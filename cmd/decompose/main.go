@@ -1,0 +1,219 @@
+// Command decompose reads a graph or hypergraph, runs one of the library's
+// decomposition algorithms, and reports the width, bounds and (optionally)
+// the decomposition tree.
+//
+// Usage:
+//
+//	decompose -algo bb-ghw -in instance.hg -format hg
+//	decompose -algo astar-tw -gen queen6_6
+//	decompose -algo ga-ghw -gen grid2d_20 -timeout 30s -show
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"hypertree/internal/bench"
+	"hypertree/internal/core"
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+)
+
+func main() {
+	var (
+		inPath  = flag.String("in", "", "input file (alternative to -gen)")
+		format  = flag.String("format", "hg", "input format: hg | dimacs | gr | edgelist")
+		gen     = flag.String("gen", "", "named benchmark instance (see -list)")
+		list    = flag.Bool("list", false, "list the named benchmark instances and exit")
+		algo    = flag.String("algo", "bb-ghw", fmt.Sprintf("algorithm: %v", core.Algorithms))
+		timeout = flag.Duration("timeout", time.Minute, "wall-clock budget (0 = unlimited)")
+		nodes   = flag.Int64("nodes", 0, "search-node budget (0 = unlimited)")
+		seed    = flag.Int64("seed", 1, "random seed for heuristic tie-breaking")
+		show    = flag.Bool("show", false, "print the decomposition tree")
+		dotPath = flag.String("dot", "", "write the decomposition as Graphviz DOT to this file")
+		tdPath  = flag.String("td", "", "write the tree decomposition in PACE .td format to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("graphs:")
+		fmt.Println("  " + strings.Join(bench.GraphNames(), " "))
+		fmt.Println("hypergraphs:")
+		fmt.Println("  " + strings.Join(bench.HyperNames(), " "))
+		return
+	}
+
+	alg, err := core.ParseAlgorithm(*algo)
+	if err != nil {
+		fatal(err)
+	}
+	h, err := loadInput(*inPath, *format, *gen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("instance: %s\n", h)
+
+	d, err := core.Decompose(h, core.Options{
+		Algorithm: alg,
+		Timeout:   *timeout,
+		MaxNodes:  *nodes,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	kind := "ghw"
+	if alg.IsTreewidth() {
+		kind = "treewidth"
+	}
+	if alg == core.AlgHW {
+		kind = "hypertree width"
+	}
+	status := "upper bound"
+	if d.Exact {
+		status = "exact"
+	}
+	fmt.Printf("%s (%s): %d   lower bound: %d\n", kind, status, d.Width, d.LowerBound)
+	fmt.Printf("effort: %d nodes, %d evaluations, %v\n", d.Nodes, d.Evaluations, d.Elapsed.Round(time.Millisecond))
+
+	if err := d.TD.Validate(h); err != nil {
+		fatal(fmt.Errorf("internal error: invalid tree decomposition: %w", err))
+	}
+	if d.GHD != nil {
+		if err := d.GHD.Validate(h); err != nil {
+			fatal(fmt.Errorf("internal error: invalid GHD: %w", err))
+		}
+		fmt.Println("decomposition validated (tree decomposition + GHD conditions)")
+	} else {
+		fmt.Println("decomposition validated (tree decomposition conditions)")
+	}
+	if *show {
+		if d.GHD != nil {
+			printGHD(h, d.GHD)
+		} else {
+			printTD(h, d.TD)
+		}
+	}
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if d.GHD != nil {
+			err = d.GHD.WriteDOT(f, h)
+		} else {
+			err = d.TD.WriteDOT(f, h)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *dotPath)
+	}
+	if *tdPath != "" {
+		f, err := os.Create(*tdPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := d.TD.WriteTd(f, h.N()); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *tdPath)
+	}
+}
+
+func loadInput(inPath, format, gen string) (*hypergraph.Hypergraph, error) {
+	switch {
+	case gen != "":
+		if gi, err := bench.Graph(gen); err == nil {
+			return hypergraph.FromGraph(gi.Build()), nil
+		}
+		hi, err := bench.Hyper(gen)
+		if err != nil {
+			return nil, err
+		}
+		return hi.Build(), nil
+	case inPath != "":
+		f, err := os.Open(inPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		switch format {
+		case "hg":
+			return hypergraph.ParseHG(f)
+		case "dimacs":
+			g, err := hypergraph.ParseDIMACS(f)
+			if err != nil {
+				return nil, err
+			}
+			return hypergraph.FromGraph(g), nil
+		case "gr":
+			g, err := hypergraph.ParseGr(f)
+			if err != nil {
+				return nil, err
+			}
+			return hypergraph.FromGraph(g), nil
+		case "edgelist":
+			return hypergraph.ParseEdgeList(f)
+		default:
+			return nil, fmt.Errorf("unknown format %q", format)
+		}
+	}
+	return nil, fmt.Errorf("provide -in FILE or -gen NAME (or -list)")
+}
+
+func printTD(h *hypergraph.Hypergraph, td *decomp.TreeDecomposition) {
+	fmt.Printf("tree decomposition: %d nodes, width %d\n", len(td.Bags), td.Width())
+	printTree(td.Parent, td.Root, func(i int) string {
+		return "{" + joinNames(h, td.Bags[i]) + "}"
+	})
+}
+
+func printGHD(h *hypergraph.Hypergraph, g *decomp.GHD) {
+	fmt.Printf("generalized hypertree decomposition: %d nodes, width %d\n", len(g.Bags), g.Width())
+	printTree(g.Parent, g.Root, func(i int) string {
+		var edges []string
+		for _, e := range g.Lambdas[i] {
+			edges = append(edges, h.EdgeName(e))
+		}
+		return "χ={" + joinNames(h, g.Bags[i]) + "}  λ={" + strings.Join(edges, ",") + "}"
+	})
+}
+
+func printTree(parent []int, root int, label func(int) string) {
+	children := make([][]int, len(parent))
+	for i, p := range parent {
+		if p >= 0 {
+			children[p] = append(children[p], i)
+		}
+	}
+	var rec func(node, depth int)
+	rec = func(node, depth int) {
+		fmt.Printf("%s%s\n", strings.Repeat("  ", depth), label(node))
+		sort.Ints(children[node])
+		for _, c := range children[node] {
+			rec(c, depth+1)
+		}
+	}
+	rec(root, 0)
+}
+
+func joinNames(h *hypergraph.Hypergraph, vs []int) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = h.VertexName(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "decompose:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadInputFromRegistry(t *testing.T) {
+	h, err := loadInput("", "hg", "queen5_5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 25 {
+		t.Fatalf("queen5_5 has %d vertices", h.N())
+	}
+	h2, err := loadInput("", "hg", "grid2d_10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.N() != 50 || h2.M() != 50 {
+		t.Fatalf("grid2d_10 sizes wrong: %v", h2)
+	}
+	if _, err := loadInput("", "hg", "no-such-instance"); err == nil {
+		t.Fatal("expected error for unknown instance")
+	}
+}
+
+func TestLoadInputFromFiles(t *testing.T) {
+	dir := t.TempDir()
+
+	hgPath := filepath.Join(dir, "x.hg")
+	if err := os.WriteFile(hgPath, []byte("c1(a,b,c),\nc2(c,d).\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h, err := loadInput(hgPath, "hg", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != 4 || h.M() != 2 {
+		t.Fatalf("hg parse wrong: %v", h)
+	}
+
+	colPath := filepath.Join(dir, "x.col")
+	if err := os.WriteFile(colPath, []byte("p edge 3 2\ne 1 2\ne 2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadInput(colPath, "dimacs", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("dimacs parse wrong: %v", g)
+	}
+
+	elPath := filepath.Join(dir, "x.txt")
+	if err := os.WriteFile(elPath, []byte("0 1 2\n2 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e, err := loadInput(elPath, "edgelist", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.N() != 4 || e.M() != 2 {
+		t.Fatalf("edgelist parse wrong: %v", e)
+	}
+
+	if _, err := loadInput(elPath, "bogus", ""); err == nil {
+		t.Fatal("expected error for unknown format")
+	}
+	if _, err := loadInput(filepath.Join(dir, "missing"), "hg", ""); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	if _, err := loadInput("", "hg", ""); err == nil {
+		t.Fatal("expected error when neither -in nor -gen given")
+	}
+}

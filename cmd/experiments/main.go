@@ -1,0 +1,56 @@
+// Command experiments regenerates the thesis's evaluation tables.
+//
+// Usage:
+//
+//	experiments -table 5.1 -scale small
+//	experiments -table all -scale smoke
+//
+// Scales: smoke (seconds), small (about a minute per table), full
+// (approximates the thesis's one-hour-per-instance protocol).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hypertree/internal/bench"
+)
+
+func main() {
+	var (
+		table = flag.String("table", "all", "table id ("+strings.Join(bench.TableIDs(), ", ")+") or 'all'")
+		scale = flag.String("scale", "small", "scale: smoke | small | full")
+	)
+	flag.Parse()
+
+	sc, err := bench.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	ids := bench.TableIDs()
+	if *table != "all" {
+		if _, ok := bench.Tables[*table]; !ok {
+			fatal(fmt.Errorf("unknown table %q (have %v)", *table, bench.TableIDs()))
+		}
+		ids = []string{*table}
+	}
+	ran := map[string]bool{}
+	for _, id := range ids {
+		runner := bench.Tables[id]
+		// 8.2 and 9.2 share their runner with 8.1/9.1; don't run twice in
+		// 'all' mode.
+		key := fmt.Sprintf("%p", runner)
+		if *table == "all" && ran[key] {
+			continue
+		}
+		ran[key] = true
+		fmt.Println(runner(sc).Format())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,135 @@
+// Command gen writes benchmark instances to files, either from the named
+// registry (the thesis's DIMACS / CSP-library instance sets and their
+// substitutes) or from the parameterized generator families.
+//
+// Usage:
+//
+//	gen -name queen8_8 -out queen8.col
+//	gen -name grid2d_20 -format hg -out grid2d_20.hg
+//	gen -family queen -n 12 -out queen12.col
+//	gen -family circuit -n 200 -m 220 -seed 7 -format edgelist -out c.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"hypertree/internal/bench"
+	"hypertree/internal/hypergraph"
+)
+
+func main() {
+	var (
+		name   = flag.String("name", "", "named registry instance")
+		family = flag.String("family", "", "generator family: queen | grid | myciel | clique | random | grid2d | grid3d | adder | bridge | circuit")
+		n      = flag.Int("n", 8, "primary size parameter")
+		m      = flag.Int("m", 0, "edge count (random/circuit families)")
+		seed   = flag.Int64("seed", 1, "seed (random families)")
+		format = flag.String("format", "", "output format: dimacs | hg | edgelist (default by kind)")
+		out    = flag.String("out", "", "output file (default stdout)")
+		list   = flag.Bool("list", false, "list named instances and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("graphs:      " + strings.Join(bench.GraphNames(), " "))
+		fmt.Println("hypergraphs: " + strings.Join(bench.HyperNames(), " "))
+		return
+	}
+
+	g, h, err := build(*name, *family, *n, *m, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if err := write(w, *format, g, h); err != nil {
+		fatal(err)
+	}
+}
+
+// build resolves either a registry name or a generator family into a graph
+// or hypergraph (exactly one of the two results is non-nil on success).
+func build(name, family string, n, m int, seed int64) (*hypergraph.Graph, *hypergraph.Hypergraph, error) {
+	switch {
+	case name != "":
+		if gi, err := bench.Graph(name); err == nil {
+			return gi.Build(), nil, nil
+		}
+		if hi, err := bench.Hyper(name); err == nil {
+			return nil, hi.Build(), nil
+		}
+		return nil, nil, fmt.Errorf("unknown instance %q", name)
+	case family != "":
+		switch family {
+		case "queen":
+			return hypergraph.Queen(n), nil, nil
+		case "grid":
+			return hypergraph.Grid(n), nil, nil
+		case "myciel":
+			return hypergraph.Mycielski(n), nil, nil
+		case "clique":
+			return hypergraph.CliqueGraph(n), nil, nil
+		case "random":
+			return hypergraph.RandomGraph(n, m, seed), nil, nil
+		case "grid2d":
+			return nil, hypergraph.Grid2D(n), nil
+		case "grid3d":
+			return nil, hypergraph.Grid3D(n), nil
+		case "adder":
+			return nil, hypergraph.Adder(n), nil
+		case "bridge":
+			return nil, hypergraph.Bridge(n), nil
+		case "circuit":
+			return nil, hypergraph.RandomCircuit(n, m, seed), nil
+		}
+		return nil, nil, fmt.Errorf("unknown family %q", family)
+	}
+	return nil, nil, fmt.Errorf("provide -name or -family (or -list)")
+}
+
+// write emits the instance in the requested format (default: dimacs for
+// graphs, hg for hypergraphs).
+func write(w io.Writer, format string, g *hypergraph.Graph, h *hypergraph.Hypergraph) error {
+	if format == "" {
+		if g != nil {
+			format = "dimacs"
+		} else {
+			format = "hg"
+		}
+	}
+	switch {
+	case g != nil && format == "dimacs":
+		return hypergraph.WriteDIMACS(w, g)
+	case g != nil && format == "gr":
+		return hypergraph.WriteGr(w, g)
+	case g != nil && format == "hg":
+		return hypergraph.WriteHG(w, hypergraph.FromGraph(g))
+	case g != nil && format == "edgelist":
+		return hypergraph.WriteEdgeList(w, hypergraph.FromGraph(g))
+	case h != nil && format == "hg":
+		return hypergraph.WriteHG(w, h)
+	case h != nil && format == "edgelist":
+		return hypergraph.WriteEdgeList(w, h)
+	case h != nil && format == "dimacs":
+		return fmt.Errorf("dimacs format cannot express hyperedges; use -format hg")
+	}
+	return fmt.Errorf("unsupported format %q", format)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hypertree/internal/hypergraph"
+)
+
+func TestBuildFamilies(t *testing.T) {
+	for _, tc := range []struct {
+		family    string
+		n, m      int
+		wantGraph bool
+		wantV     int
+	}{
+		{"queen", 5, 0, true, 25},
+		{"grid", 4, 0, true, 16},
+		{"myciel", 4, 0, true, 23},
+		{"clique", 6, 0, true, 6},
+		{"random", 10, 20, true, 10},
+		{"grid2d", 6, 0, false, 18},
+		{"grid3d", 4, 0, false, 32},
+		{"adder", 3, 0, false, 16},
+		{"bridge", 3, 0, false, 29},
+		{"circuit", 30, 35, false, 30},
+	} {
+		g, h, err := build("", tc.family, tc.n, tc.m, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.family, err)
+		}
+		if tc.wantGraph {
+			if g == nil || h != nil || g.N() != tc.wantV {
+				t.Errorf("%s: got g=%v h=%v", tc.family, g, h)
+			}
+		} else {
+			if h == nil || g != nil || h.N() != tc.wantV {
+				t.Errorf("%s: got g=%v h=%v", tc.family, g, h)
+			}
+		}
+	}
+}
+
+func TestBuildByName(t *testing.T) {
+	g, h, err := build("myciel4", "", 0, 0, 0)
+	if err != nil || g == nil || h != nil {
+		t.Fatalf("myciel4: g=%v h=%v err=%v", g, h, err)
+	}
+	g2, h2, err := build("adder_15", "", 0, 0, 0)
+	if err != nil || g2 != nil || h2 == nil {
+		t.Fatalf("adder_15: g=%v h=%v err=%v", g2, h2, err)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, _, err := build("nope", "", 0, 0, 0); err == nil {
+		t.Fatal("expected error for unknown name")
+	}
+	if _, _, err := build("", "nope", 3, 0, 0); err == nil {
+		t.Fatal("expected error for unknown family")
+	}
+	if _, _, err := build("", "", 0, 0, 0); err == nil {
+		t.Fatal("expected error for no selection")
+	}
+}
+
+func TestWriteFormats(t *testing.T) {
+	g := hypergraph.Grid(3)
+	h := hypergraph.Grid2D(4)
+	for _, tc := range []struct {
+		format string
+		g      *hypergraph.Graph
+		h      *hypergraph.Hypergraph
+		want   string
+	}{
+		{"", g, nil, "p edge 9 12"},
+		{"dimacs", g, nil, "p edge"},
+		{"hg", g, nil, "("},
+		{"edgelist", g, nil, " "},
+		{"", nil, h, "("},
+		{"hg", nil, h, "("},
+		{"edgelist", nil, h, " "},
+	} {
+		var buf bytes.Buffer
+		if err := write(&buf, tc.format, tc.g, tc.h); err != nil {
+			t.Fatalf("format %q: %v", tc.format, err)
+		}
+		if !strings.Contains(buf.String(), tc.want) {
+			t.Errorf("format %q output missing %q:\n%s", tc.format, tc.want, buf.String())
+		}
+	}
+	var buf bytes.Buffer
+	if err := write(&buf, "dimacs", nil, h); err == nil {
+		t.Fatal("hypergraph as dimacs should error")
+	}
+	if err := write(&buf, "bogus", g, nil); err == nil {
+		t.Fatal("unknown format should error")
+	}
+}

@@ -1,0 +1,12 @@
+// Package hypertree is a Go library for tree decompositions and generalized
+// hypertree decompositions (GHDs) of graphs and hypergraphs, reproducing the
+// algorithm suite of Schafhauser's "New Heuristic Methods for Tree
+// Decompositions and Generalized Hypertree Decompositions" (TU Wien, 2006;
+// the companion empirical work to the PODS 2007 line "Generalized hypertree
+// decompositions: NP-hardness and tractable variants").
+//
+// The implementation lives under internal/; the public surface for
+// downstream use is internal/core.Decompose plus the data structures in
+// internal/hypergraph and internal/decomp. See README.md for the
+// architecture overview and EXPERIMENTS.md for the reproduced evaluation.
+package hypertree

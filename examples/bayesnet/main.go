@@ -1,0 +1,59 @@
+// Bayesnet: junction-tree construction for probabilistic inference — the
+// application behind thesis §4.5 (Larrañaga et al.'s GA for triangulating
+// the moral graph of a Bayesian network). Unlike pure treewidth, the
+// objective is the total potential-table size w(TD) = log2 Σ_u Π_{v∈χ(u)} n_v,
+// which accounts for the variables' state counts: with skewed cardinalities
+// the cheapest triangulation is not always the narrowest.
+//
+//	go run ./examples/bayesnet
+package main
+
+import (
+	"fmt"
+
+	"hypertree/internal/elim"
+	"hypertree/internal/ga"
+	"hypertree/internal/hypergraph"
+)
+
+func main() {
+	// A small diagnostic network (moralized): diseases D1, D2 with large
+	// state spaces feed binary symptoms S1..S6; symptoms sharing a disease
+	// parent are moral-graph neighbors.
+	names := []string{"D1", "D2", "S1", "S2", "S3", "S4", "S5", "S6"}
+	states := []int{12, 12, 2, 2, 2, 2, 2, 2}
+	g := hypergraph.NewGraph(len(names))
+	edges := [][2]int{
+		{0, 1},                 // D1-D2 (moralized common children)
+		{0, 2}, {0, 3}, {0, 4}, // D1 -> S1..S3
+		{1, 4}, {1, 5}, {1, 6}, // D2 -> S3..S5
+		{0, 7}, {1, 7}, // both -> S6
+		{2, 3}, {5, 6}, // moral links among co-parents of latent causes
+	}
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+
+	cfg := ga.Config{
+		PopulationSize: 80, CrossoverRate: 1, MutationRate: 0.3,
+		TournamentSize: 3, MaxIterations: 120,
+		Crossover: ga.POS, Mutation: ga.ISM, Seed: 1,
+	}
+
+	// Plain GA-tw: minimizes the bag size, ignoring state counts.
+	tw := ga.Treewidth(g, cfg)
+	twEval := ga.NewWeightedEvaluator(g, states)
+	fmt.Printf("treewidth-optimal ordering: width %d, table size 2^%.2f entries\n",
+		tw.BestWidth, twEval.Weight(tw.BestOrdering))
+
+	// Weighted GA (§4.5): minimizes the junction tree's table sizes.
+	wr, bits := ga.WeightedTreewidth(g, states, cfg)
+	fmt.Printf("weight-optimal ordering:    width %d, table size 2^%.2f entries\n",
+		elim.WidthOfGraph(g, wr.BestOrdering), bits)
+
+	if bits <= twEval.Weight(tw.BestOrdering) {
+		fmt.Println("\nthe weighted objective found tables at least as small —")
+		fmt.Println("with 12-state diseases, keeping D1 and D2 out of shared bags")
+		fmt.Println("matters more than shaving one vertex off the widest bag.")
+	}
+}

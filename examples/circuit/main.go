@@ -1,0 +1,57 @@
+// Circuit: compare the decomposition algorithms on adder-circuit
+// hypergraphs of growing size — the workload family that motivates
+// generalized hypertree decompositions in the thesis's evaluation
+// (adder_75, adder_99 in Table 7.1). The greedy baseline, the genetic
+// algorithm and exact branch and bound are run side by side.
+//
+//	go run ./examples/circuit
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hypertree/internal/core"
+	"hypertree/internal/ga"
+	"hypertree/internal/hypergraph"
+)
+
+func main() {
+	fmt.Println("ghw of n-bit adder constraint hypergraphs (5n+1 vars, 7n+1 constraints)")
+	fmt.Printf("%6s  %6s  %6s  %8s  %8s  %8s\n", "bits", "vars", "cons", "greedy", "ga-ghw", "bb-ghw")
+	for _, bits := range []int{5, 10, 20, 40} {
+		h := hypergraph.Adder(bits)
+		greedy := run(h, core.Options{Algorithm: core.AlgGreedy, Seed: 1})
+		gaw := run(h, core.Options{
+			Algorithm: core.AlgGAGHW,
+			Seed:      1,
+			GA: ga.Config{
+				PopulationSize: 60, CrossoverRate: 1, MutationRate: 0.3,
+				TournamentSize: 3, MaxIterations: 80,
+				Crossover: ga.POS, Mutation: ga.ISM, Seed: 1,
+			},
+		})
+		bb := run(h, core.Options{Algorithm: core.AlgBBGHW, Seed: 1,
+			MaxNodes: 200000, Timeout: 30 * time.Second})
+		exact := ""
+		if bb.Exact {
+			exact = " (exact)"
+		}
+		fmt.Printf("%6d  %6d  %6d  %8d  %8d  %7d%s\n",
+			bits, h.N(), h.M(), greedy.Width, gaw.Width, bb.Width, exact)
+	}
+	fmt.Println("\nthe ripple-carry structure keeps ghw small and constant in the bit",
+		"\nwidth, which is why decomposition-based solving scales on this family.")
+}
+
+func run(h *hypergraph.Hypergraph, opts core.Options) *core.Decomposition {
+	d, err := core.Decompose(h, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.GHD.Validate(h); err != nil {
+		log.Fatal("invalid decomposition: ", err)
+	}
+	return d
+}

@@ -1,0 +1,57 @@
+// Quickstart: build a hypergraph, compute an exact generalized hypertree
+// decomposition with branch and bound, validate it and print the tree.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"hypertree/internal/core"
+	"hypertree/internal/hypergraph"
+)
+
+func main() {
+	// The running example of the thesis (Example 5 / Figure 2.6): six
+	// variables x1..x6 and three ternary constraints.
+	h := hypergraph.NewHypergraph(6)
+	for i := 0; i < 6; i++ {
+		h.SetVertexName(i, fmt.Sprintf("x%d", i+1))
+	}
+	h.SetEdgeName(h.AddEdge(0, 1, 2), "c1") // {x1,x2,x3}
+	h.SetEdgeName(h.AddEdge(0, 4, 5), "c2") // {x1,x5,x6}
+	h.SetEdgeName(h.AddEdge(2, 3, 4), "c3") // {x3,x4,x5}
+
+	fmt.Println("hypergraph:", h)
+	fmt.Println("acyclic:", hypergraph.IsAcyclic(h))
+
+	d, err := core.Decompose(h, core.Options{Algorithm: core.AlgBBGHW, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generalized hypertree width: %d (exact: %v)\n", d.Width, d.Exact)
+
+	if err := d.GHD.Validate(h); err != nil {
+		log.Fatal("invalid decomposition: ", err)
+	}
+	fmt.Println("decomposition (χ = variables, λ = covering constraints):")
+	children := d.GHD.Children()
+	var rec func(node, depth int)
+	rec = func(node, depth int) {
+		var vars, edges []string
+		for _, v := range d.GHD.Bags[node] {
+			vars = append(vars, h.VertexName(v))
+		}
+		for _, e := range d.GHD.Lambdas[node] {
+			edges = append(edges, h.EdgeName(e))
+		}
+		fmt.Printf("%sχ={%s} λ={%s}\n", strings.Repeat("  ", depth),
+			strings.Join(vars, ","), strings.Join(edges, ","))
+		for _, c := range children[node] {
+			rec(c, depth+1)
+		}
+	}
+	rec(d.GHD.Root, 0)
+}

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/search"
+)
+
+// RunAblation quantifies each pruning mechanism's contribution to the exact
+// searches (the design choices DESIGN.md calls out): the same instances are
+// solved with the full machinery and with one mechanism disabled at a time,
+// reporting evaluated search states. Node counts are deterministic for a
+// fixed seed, unlike wall-clock times.
+func RunAblation(s Scale) *Table {
+	t := &Table{
+		Title:  "Ablation — evaluated search states per pruning configuration (scale: " + s.Name + ")",
+		Note:   "bb/a* = full machinery; -pr2/-red/-lb disable pruning rule 2, reductions, node lower bounds",
+		Header: []string{"instance", "algo", "full", "-pr2", "-red", "-lb", "plain", "width"},
+	}
+	type variant struct {
+		name string
+		opts search.Options
+	}
+	variants := []variant{
+		{"full", search.Options{Seed: 1}},
+		{"-pr2", search.Options{Seed: 1, DisablePR2: true}},
+		{"-red", search.Options{Seed: 1, DisableReductions: true}},
+		{"-lb", search.Options{Seed: 1, DisableNodeLB: true}},
+		{"plain", search.Options{Seed: 1, DisablePR2: true, DisableReductions: true, DisableNodeLB: true}},
+	}
+	budget := s.SearchNodes * 10 // generous so most variants still close
+
+	twInstances := []struct {
+		name string
+		g    *hypergraph.Graph
+	}{
+		{"queen5_5", hypergraph.Queen(5)},
+		{"grid5", hypergraph.Grid(5)},
+		{"myciel4", hypergraph.Mycielski(4)},
+	}
+	for _, inst := range twInstances {
+		for _, algo := range []string{"bb-tw", "astar-tw"} {
+			cells := []interface{}{inst.name, algo}
+			width := -1
+			for _, v := range variants {
+				opts := v.opts
+				opts.MaxNodes = budget
+				opts.Timeout = s.SearchTimeout
+				var r search.Result
+				if algo == "bb-tw" {
+					r = search.BBTreewidth(inst.g, opts)
+				} else {
+					r = search.AStarTreewidth(inst.g, opts)
+				}
+				cells = append(cells, nodeMark(r))
+				if v.name == "full" {
+					width = r.Width
+				}
+			}
+			cells = append(cells, width)
+			t.Add(cells...)
+		}
+	}
+
+	ghwInstances := []struct {
+		name string
+		h    *hypergraph.Hypergraph
+	}{
+		{"grid2d_8", hypergraph.Grid2D(8)},
+		{"clique_10", hypergraph.CliqueHypergraph(10)},
+		{"adder_15", hypergraph.Adder(15)},
+	}
+	for _, inst := range ghwInstances {
+		for _, algo := range []string{"bb-ghw", "astar-ghw"} {
+			cells := []interface{}{inst.name, algo}
+			width := -1
+			for _, v := range variants {
+				opts := v.opts
+				opts.MaxNodes = budget
+				opts.Timeout = s.SearchTimeout
+				var r search.Result
+				if algo == "bb-ghw" {
+					r = search.BBGHW(inst.h, opts)
+				} else {
+					r = search.AStarGHW(inst.h, opts)
+				}
+				cells = append(cells, nodeMark(r))
+				if v.name == "full" {
+					width = r.Width
+				}
+			}
+			cells = append(cells, width)
+			t.Add(cells...)
+		}
+	}
+	return t
+}
+
+// nodeMark formats a node count, marking budget-limited runs.
+func nodeMark(r search.Result) string {
+	s := orNA(int(r.Nodes))
+	if !r.Exact {
+		s += "*"
+	}
+	return s
+}

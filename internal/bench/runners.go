@@ -1,0 +1,500 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hypertree/internal/bounds"
+	"hypertree/internal/ga"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/search"
+)
+
+// Scale selects how much work the runners spend. The thesis ran one-hour
+// wall-clock budgets per instance on 2006 hardware; the scaled-down presets
+// use machine-independent node/evaluation budgets so CI runs are
+// reproducible, and the shapes (who wins, what closes) are preserved.
+type Scale struct {
+	Name string
+	// SearchNodes bounds BB/A* expansions per instance.
+	SearchNodes int64
+	// SearchTimeout optionally bounds wall clock per instance.
+	SearchTimeout time.Duration
+	// GAPop / GAIters / GARuns size the genetic algorithms.
+	GAPop, GAIters, GARuns int
+	// Heavy includes the large instances.
+	Heavy bool
+}
+
+// Smoke is the tiny preset used by the go test benchmarks.
+func Smoke() Scale {
+	return Scale{Name: "smoke", SearchNodes: 2000, GAPop: 30, GAIters: 25, GARuns: 2}
+}
+
+// Small finishes a full table in roughly a minute.
+func Small() Scale {
+	return Scale{Name: "small", SearchNodes: 50000, GAPop: 100, GAIters: 150, GARuns: 3}
+}
+
+// Full approximates the thesis protocol (hours).
+func Full() Scale {
+	return Scale{Name: "full", SearchNodes: 0, SearchTimeout: time.Hour,
+		GAPop: 2000, GAIters: 2000, GARuns: 10, Heavy: true}
+}
+
+// ParseScale resolves a preset by name.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "smoke":
+		return Smoke(), nil
+	case "small":
+		return Small(), nil
+	case "full":
+		return Full(), nil
+	}
+	return Scale{}, fmt.Errorf("bench: unknown scale %q (smoke|small|full)", s)
+}
+
+func (s Scale) searchOpts(seed int64) search.Options {
+	return search.Options{MaxNodes: s.SearchNodes, Timeout: s.SearchTimeout, Seed: seed}
+}
+
+func (s Scale) gaConfig(seed int64) ga.Config {
+	return ga.Config{
+		PopulationSize: s.GAPop,
+		CrossoverRate:  1.0,
+		MutationRate:   0.3,
+		TournamentSize: 3,
+		MaxIterations:  s.GAIters,
+		Crossover:      ga.POS,
+		Mutation:       ga.ISM,
+		Seed:           seed,
+	}
+}
+
+// table51Graphs lists the Table 5.1 instance subset per scale.
+func table51Graphs(s Scale) []string {
+	small := []string{"anna", "david", "huck", "jean", "queen5_5", "queen6_6",
+		"myciel3", "myciel4", "miles250", "miles500", "zeroin.i.2", "zeroin.i.3"}
+	if !s.Heavy {
+		return small
+	}
+	return append(small, "queen7_7", "myciel5", "fpsol2.i.1", "inithx.i.2",
+		"mulsol.i.1", "miles750", "miles1000", "miles1500", "DSJC125.1",
+		"DSJC125.5", "DSJC125.9", "le450_5a", "le450_15a", "le450_25a",
+		"zeroin.i.1")
+}
+
+// RunTable51 reproduces Table 5.1: A*-tw on the DIMACS coloring graphs,
+// reporting the root bounds, the A* outcome and the thesis's values.
+func RunTable51(s Scale) *Table {
+	t := &Table{
+		Title:  "Table 5.1 — A*-tw on DIMACS graph coloring instances (scale: " + s.Name + ")",
+		Note:   "thesis columns from the 1h/2006-hardware runs; '*' marks substituted instances",
+		Header: []string{"graph", "V", "E", "lb", "ub", "A*-tw", "nodes", "time", "thesisA*"},
+	}
+	for _, name := range table51Graphs(s) {
+		inst, err := Graph(name)
+		if err != nil {
+			panic(err)
+		}
+		g := inst.Build()
+		rng := rand.New(rand.NewSource(1))
+		lb := bounds.TreewidthLowerBound(g, rng)
+		ub := bounds.MinFillUpperBound(g, rng)
+		r := search.AStarTreewidth(g, s.searchOpts(1))
+		label := name
+		if inst.Substituted {
+			label += "*"
+		}
+		t.Add(label, g.N(), g.M(), lb, ub,
+			exactMark(r.Width, r.Exact, r.LowerBound), r.Nodes,
+			r.Elapsed.Round(time.Millisecond), orNA(inst.ThesisAStar))
+	}
+	return t
+}
+
+// RunTable52 reproduces Table 5.2: A*-tw on grid graphs (tw(n×n) = n).
+func RunTable52(s Scale) *Table {
+	t := &Table{
+		Title:  "Table 5.2 — A*-tw on grid graphs (scale: " + s.Name + ")",
+		Header: []string{"graph", "V", "E", "lb", "ub", "A*-tw", "nodes", "time", "true tw"},
+	}
+	max := 6
+	if s.Heavy {
+		max = 8
+	}
+	for n := 2; n <= max; n++ {
+		g := hypergraph.Grid(n)
+		rng := rand.New(rand.NewSource(1))
+		lb := bounds.TreewidthLowerBound(g, rng)
+		ub := bounds.MinFillUpperBound(g, rng)
+		r := search.AStarTreewidth(g, s.searchOpts(1))
+		t.Add(fmt.Sprintf("grid%d", n), g.N(), g.M(), lb, ub,
+			exactMark(r.Width, r.Exact, r.LowerBound), r.Nodes,
+			r.Elapsed.Round(time.Millisecond), n)
+	}
+	return t
+}
+
+// gaTuningGraphs is the instance subset of the GA tuning tables (6.1–6.5).
+func gaTuningGraphs(s Scale) []string {
+	if s.Heavy {
+		return []string{"games120", "homer", "inithx.i.3", "le450_25a", "myciel7", "queen16_16", "zeroin.i.3"}
+	}
+	return []string{"queen6_6", "myciel4", "zeroin.i.3"}
+}
+
+// gaStats runs GA-tw `runs` times with the given config template and
+// returns (avg, min, max) best widths.
+func gaStats(g *hypergraph.Graph, cfg ga.Config, runs int) (float64, int, int) {
+	sum, min, max := 0, 1<<30, -1
+	for r := 0; r < runs; r++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(r)
+		res := ga.Treewidth(g, c)
+		sum += res.BestWidth
+		if res.BestWidth < min {
+			min = res.BestWidth
+		}
+		if res.BestWidth > max {
+			max = res.BestWidth
+		}
+	}
+	return float64(sum) / float64(runs), min, max
+}
+
+// RunTable61 reproduces Table 6.1: crossover-operator comparison for GA-tw
+// (pc = 100%, pm = 0%).
+func RunTable61(s Scale) *Table {
+	t := &Table{
+		Title:  "Table 6.1 — GA-tw crossover operators (pc=1.0, pm=0; scale: " + s.Name + ")",
+		Header: []string{"instance", "crossover", "avg", "min", "max"},
+	}
+	for _, name := range gaTuningGraphs(s) {
+		inst, _ := Graph(name)
+		g := inst.Build()
+		for _, op := range ga.CrossoverOps {
+			cfg := s.gaConfig(1)
+			cfg.CrossoverRate = 1.0
+			cfg.MutationRate = 0
+			cfg.TournamentSize = 2
+			cfg.Crossover = op
+			avg, min, max := gaStats(g, cfg, s.GARuns)
+			t.Add(name, op.String(), avg, min, max)
+		}
+	}
+	return t
+}
+
+// RunTable62 reproduces Table 6.2: mutation-operator comparison for GA-tw
+// (pc = 0%, pm = 100%).
+func RunTable62(s Scale) *Table {
+	t := &Table{
+		Title:  "Table 6.2 — GA-tw mutation operators (pc=0, pm=1.0; scale: " + s.Name + ")",
+		Header: []string{"instance", "mutation", "avg", "min", "max"},
+	}
+	for _, name := range gaTuningGraphs(s) {
+		inst, _ := Graph(name)
+		g := inst.Build()
+		for _, op := range ga.MutationOps {
+			cfg := s.gaConfig(1)
+			cfg.CrossoverRate = 0
+			cfg.MutationRate = 1.0
+			cfg.TournamentSize = 2
+			cfg.Mutation = op
+			avg, min, max := gaStats(g, cfg, s.GARuns)
+			t.Add(name, op.String(), avg, min, max)
+		}
+	}
+	return t
+}
+
+// RunTable63 reproduces Table 6.3: the pm × pc rate sweep (POS + ISM).
+func RunTable63(s Scale) *Table {
+	t := &Table{
+		Title:  "Table 6.3 — GA-tw mutation/crossover rates (POS+ISM; scale: " + s.Name + ")",
+		Header: []string{"instance", "pc", "pm", "avg", "min", "max"},
+	}
+	for _, name := range gaTuningGraphs(s) {
+		inst, _ := Graph(name)
+		g := inst.Build()
+		for _, pc := range []float64{0.8, 0.9, 1.0} {
+			for _, pm := range []float64{0.01, 0.1, 0.3} {
+				cfg := s.gaConfig(1)
+				cfg.CrossoverRate = pc
+				cfg.MutationRate = pm
+				cfg.TournamentSize = 2
+				avg, min, max := gaStats(g, cfg, s.GARuns)
+				t.Add(name, pc, pm, avg, min, max)
+			}
+		}
+	}
+	return t
+}
+
+// RunTable64 reproduces Table 6.4: population sizes.
+func RunTable64(s Scale) *Table {
+	t := &Table{
+		Title:  "Table 6.4 — GA-tw population sizes (scale: " + s.Name + ")",
+		Header: []string{"instance", "n", "avg", "min", "max"},
+	}
+	sizes := []int{s.GAPop / 2, s.GAPop, s.GAPop * 2}
+	if s.Heavy {
+		sizes = []int{100, 200, 1000, 2000}
+	}
+	for _, name := range gaTuningGraphs(s) {
+		inst, _ := Graph(name)
+		g := inst.Build()
+		for _, n := range sizes {
+			if n < 2 {
+				continue
+			}
+			cfg := s.gaConfig(1)
+			cfg.PopulationSize = n
+			cfg.TournamentSize = 2
+			avg, min, max := gaStats(g, cfg, s.GARuns)
+			t.Add(name, n, avg, min, max)
+		}
+	}
+	return t
+}
+
+// RunTable65 reproduces Table 6.5: tournament group sizes.
+func RunTable65(s Scale) *Table {
+	t := &Table{
+		Title:  "Table 6.5 — GA-tw tournament group sizes (scale: " + s.Name + ")",
+		Header: []string{"instance", "s", "avg", "min", "max"},
+	}
+	for _, name := range gaTuningGraphs(s) {
+		inst, _ := Graph(name)
+		g := inst.Build()
+		for _, size := range []int{2, 3, 4} {
+			cfg := s.gaConfig(1)
+			cfg.TournamentSize = size
+			avg, min, max := gaStats(g, cfg, s.GARuns)
+			t.Add(name, size, avg, min, max)
+		}
+	}
+	return t
+}
+
+// table66Graphs lists the Table 6.6 subset per scale.
+func table66Graphs(s Scale) []string {
+	small := []string{"anna", "david", "huck", "jean", "queen5_5", "queen6_6",
+		"queen7_7", "myciel3", "myciel4", "myciel5", "miles250", "zeroin.i.3"}
+	if !s.Heavy {
+		return small
+	}
+	return append(small, "homer", "games120", "queen8_8", "queen10_10",
+		"queen12_12", "queen16_16", "fpsol2.i.1", "inithx.i.3", "mulsol.i.1",
+		"miles500", "miles750", "miles1000", "miles1500", "myciel6", "myciel7",
+		"school1", "zeroin.i.1", "zeroin.i.2", "le450_5a", "le450_15a",
+		"le450_25a", "DSJC125.1", "DSJC125.5", "DSJC125.9", "DSJC250.1",
+		"DSJC250.5", "DSJC250.9")
+}
+
+// RunTable66 reproduces Table 6.6: final GA-tw results with the tuned
+// parameters, against the best previously known upper bounds.
+func RunTable66(s Scale) *Table {
+	t := &Table{
+		Title:  "Table 6.6 — GA-tw final results (POS+ISM, pc=1.0, pm=0.3, s=3; scale: " + s.Name + ")",
+		Note:   "thesisGA = best width of the thesis's 10×2000-iteration runs",
+		Header: []string{"graph", "V", "E", "min", "max", "avg", "thesisGA"},
+	}
+	for _, name := range table66Graphs(s) {
+		inst, err := Graph(name)
+		if err != nil {
+			panic(err)
+		}
+		g := inst.Build()
+		cfg := s.gaConfig(7)
+		avg, min, max := gaStats(g, cfg, s.GARuns)
+		label := name
+		if inst.Substituted {
+			label += "*"
+		}
+		t.Add(label, g.N(), g.M(), min, max, avg, orNA(inst.ThesisGAUB))
+	}
+	return t
+}
+
+// tableHyperInstances lists the hypergraph subset per scale (Tables 7.x-9.x).
+func tableHyperInstances(s Scale) []string {
+	small := []string{"adder_15", "bridge_15", "clique_10", "grid2d_10", "grid3d_4", "b06"}
+	if !s.Heavy {
+		return small
+	}
+	return append(small, "adder_75", "adder_99", "bridge_50", "clique_20",
+		"grid2d_20", "grid3d_8", "grid4d_4", "b08", "b09", "b10", "c499", "c880")
+}
+
+// RunTable71 reproduces Table 7.1: GA-ghw on the CSP hypergraph library.
+func RunTable71(s Scale) *Table {
+	t := &Table{
+		Title:  "Table 7.1 — GA-ghw results (scale: " + s.Name + ")",
+		Note:   "thesisUB = best previously published ghw upper bound; thesisGA = thesis GA-ghw best",
+		Header: []string{"hypergraph", "V", "H", "min", "max", "avg", "thesisUB", "thesisGA"},
+	}
+	for _, name := range tableHyperInstances(s) {
+		inst, err := Hyper(name)
+		if err != nil {
+			panic(err)
+		}
+		h := inst.Build()
+		sum, min, max := 0, 1<<30, -1
+		for r := 0; r < s.GARuns; r++ {
+			cfg := s.gaConfig(int64(10 + r))
+			res := ga.GHW(h, cfg)
+			sum += res.BestWidth
+			if res.BestWidth < min {
+				min = res.BestWidth
+			}
+			if res.BestWidth > max {
+				max = res.BestWidth
+			}
+		}
+		label := name
+		if inst.Substituted {
+			label += "*"
+		}
+		t.Add(label, h.N(), h.M(), min, max,
+			float64(sum)/float64(s.GARuns), orNA(inst.ThesisUB), orNA(inst.ThesisGA))
+	}
+	return t
+}
+
+// RunTable72 reproduces Table 7.2: SAIGA-ghw on the same instances.
+func RunTable72(s Scale) *Table {
+	t := &Table{
+		Title:  "Table 7.2 — SAIGA-ghw results (scale: " + s.Name + ")",
+		Note:   "the thesis's per-instance values for this table are not in the supplied text; see EXPERIMENTS.md",
+		Header: []string{"hypergraph", "V", "H", "min", "max", "avg", "thesisUB"},
+	}
+	for _, name := range tableHyperInstances(s) {
+		inst, err := Hyper(name)
+		if err != nil {
+			panic(err)
+		}
+		h := inst.Build()
+		sum, min, max := 0, 1<<30, -1
+		for r := 0; r < s.GARuns; r++ {
+			cfg := ga.SAIGAConfig{
+				Islands:        4,
+				IslandPop:      maxInt(10, s.GAPop/4),
+				TournamentSize: 3,
+				Epochs:         maxInt(2, s.GAIters/10),
+				EpochLength:    10,
+				Seed:           int64(20 + r),
+			}
+			res := ga.SAIGAGHW(h, cfg)
+			sum += res.BestWidth
+			if res.BestWidth < min {
+				min = res.BestWidth
+			}
+			if res.BestWidth > max {
+				max = res.BestWidth
+			}
+		}
+		label := name
+		if inst.Substituted {
+			label += "*"
+		}
+		t.Add(label, h.N(), h.M(), min, max,
+			float64(sum)/float64(s.GARuns), orNA(inst.ThesisUB))
+	}
+	return t
+}
+
+// RunTable81 reproduces Tables 8.1/8.2: BB-ghw with the tw-ksc-width lower
+// bound, reductions and pruning rules.
+func RunTable81(s Scale) *Table {
+	t := &Table{
+		Title:  "Table 8.1/8.2 — BB-ghw results (scale: " + s.Name + ")",
+		Note:   "result prints the exact ghw when closed, else 'lb..ub*'",
+		Header: []string{"hypergraph", "V", "H", "lb", "ub", "BB-ghw", "nodes", "time", "thesisUB"},
+	}
+	for _, name := range tableHyperInstances(s) {
+		inst, err := Hyper(name)
+		if err != nil {
+			panic(err)
+		}
+		h := inst.Build()
+		rng := rand.New(rand.NewSource(1))
+		lb := bounds.TwKscWidth(h, rng)
+		ub := bounds.GreedyGHWUpperBound(h, rng)
+		r := search.BBGHW(h, s.searchOpts(1))
+		label := name
+		if inst.Substituted {
+			label += "*"
+		}
+		t.Add(label, h.N(), h.M(), lb, ub,
+			exactMark(r.Width, r.Exact, r.LowerBound), r.Nodes,
+			r.Elapsed.Round(time.Millisecond), orNA(inst.ThesisUB))
+	}
+	return t
+}
+
+// RunTable91 reproduces Tables 9.1/9.2: A*-ghw, which additionally proves
+// anytime lower bounds when the budget runs out.
+func RunTable91(s Scale) *Table {
+	t := &Table{
+		Title:  "Table 9.1/9.2 — A*-ghw results (scale: " + s.Name + ")",
+		Note:   "result prints the exact ghw when closed, else 'lb..ub*' with the proved lower bound",
+		Header: []string{"hypergraph", "V", "H", "lb", "ub", "A*-ghw", "nodes", "time", "thesisUB"},
+	}
+	for _, name := range tableHyperInstances(s) {
+		inst, err := Hyper(name)
+		if err != nil {
+			panic(err)
+		}
+		h := inst.Build()
+		rng := rand.New(rand.NewSource(1))
+		lb := bounds.TwKscWidth(h, rng)
+		ub := bounds.GreedyGHWUpperBound(h, rng)
+		r := search.AStarGHW(h, s.searchOpts(1))
+		label := name
+		if inst.Substituted {
+			label += "*"
+		}
+		t.Add(label, h.N(), h.M(), lb, ub,
+			exactMark(r.Width, r.Exact, r.LowerBound), r.Nodes,
+			r.Elapsed.Round(time.Millisecond), orNA(inst.ThesisUB))
+	}
+	return t
+}
+
+// Tables maps table ids to runners, for cmd/experiments and the root
+// benchmarks.
+var Tables = map[string]func(Scale) *Table{
+	"ablation": RunAblation,
+	"5.1":      RunTable51,
+	"5.2":      RunTable52,
+	"6.1":      RunTable61,
+	"6.2":      RunTable62,
+	"6.3":      RunTable63,
+	"6.4":      RunTable64,
+	"6.5":      RunTable65,
+	"6.6":      RunTable66,
+	"7.1":      RunTable71,
+	"7.2":      RunTable72,
+	"8.1":      RunTable81,
+	"8.2":      RunTable81, // 8.2 continues 8.1 over the same protocol
+	"9.1":      RunTable91,
+	"9.2":      RunTable91, // 9.2 continues 9.1 over the same protocol
+}
+
+// TableIDs returns the runnable table ids in order. "ablation" is this
+// repository's own study of the pruning machinery (not a thesis table).
+func TableIDs() []string {
+	return []string{"5.1", "5.2", "6.1", "6.2", "6.3", "6.4", "6.5", "6.6",
+		"7.1", "7.2", "8.1", "8.2", "9.1", "9.2", "ablation"}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

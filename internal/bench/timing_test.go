@@ -1,0 +1,15 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestTimingTables(t *testing.T) {
+	for _, id := range []string{"8.1", "9.1"} {
+		start := time.Now()
+		Tables[id](Smoke())
+		fmt.Printf("table %s: %v\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,263 @@
+// Package core is the library façade: a single entry point that runs any of
+// the thesis's algorithms on a hypergraph (or graph) and returns a
+// validated decomposition together with the bounds the run proved.
+//
+// The algorithms are:
+//
+//	astar-tw   A* for exact treewidth (thesis ch. 5)
+//	bb-tw      branch and bound for exact treewidth (thesis §4.4)
+//	ga-tw      genetic algorithm for treewidth upper bounds (ch. 6)
+//	astar-ghw  A* for exact generalized hypertree width (ch. 9)
+//	bb-ghw     branch and bound for exact ghw (ch. 8)
+//	ga-ghw     genetic algorithm for ghw upper bounds (§7.1)
+//	saiga-ghw  self-adaptive island GA for ghw upper bounds (§7.2)
+//	greedy     min-fill ordering + greedy covers (McMahan's bucket
+//	           elimination baseline, §2.5.2)
+//	hw-detk    exact hypertree width via det-k-decomp — the tractable
+//	           variant (polynomial for fixed k, §2.3.2)
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hypertree/internal/bounds"
+	"hypertree/internal/decomp"
+	"hypertree/internal/elim"
+	"hypertree/internal/ga"
+	"hypertree/internal/htd"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/search"
+)
+
+// Algorithm names an implemented decomposition algorithm.
+type Algorithm string
+
+// The implemented algorithms.
+const (
+	AlgAStarTW  Algorithm = "astar-tw"
+	AlgBBTW     Algorithm = "bb-tw"
+	AlgGATW     Algorithm = "ga-tw"
+	AlgAStarGHW Algorithm = "astar-ghw"
+	AlgBBGHW    Algorithm = "bb-ghw"
+	AlgGAGHW    Algorithm = "ga-ghw"
+	AlgSAIGAGHW Algorithm = "saiga-ghw"
+	AlgGreedy   Algorithm = "greedy"
+	// AlgHW computes the hypertree width via det-k-decomp — the tractable
+	// variant: polynomial for each fixed width (thesis §2.3.2). The result
+	// is a valid GHD of width hw(H) >= ghw(H).
+	AlgHW Algorithm = "hw-detk"
+)
+
+// Algorithms lists every algorithm name accepted by Decompose.
+var Algorithms = []Algorithm{
+	AlgAStarTW, AlgBBTW, AlgGATW,
+	AlgAStarGHW, AlgBBGHW, AlgGAGHW, AlgSAIGAGHW, AlgGreedy, AlgHW,
+}
+
+// ParseAlgorithm validates an algorithm name from the CLI.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, a := range Algorithms {
+		if string(a) == s {
+			return a, nil
+		}
+	}
+	return "", fmt.Errorf("core: unknown algorithm %q (have %v)", s, Algorithms)
+}
+
+// IsTreewidth reports whether the algorithm optimizes treewidth (as opposed
+// to generalized hypertree width).
+func (a Algorithm) IsTreewidth() bool {
+	return a == AlgAStarTW || a == AlgBBTW || a == AlgGATW
+}
+
+// Options configures Decompose.
+type Options struct {
+	Algorithm Algorithm
+	// Timeout bounds the run (exact algorithms degrade to anytime bounds).
+	Timeout time.Duration
+	// MaxNodes bounds search-tree expansions for the exact algorithms.
+	MaxNodes int64
+	Seed     int64
+	// GA configures ga-tw/ga-ghw; zero-valued fields fall back to scaled-
+	// down thesis defaults.
+	GA ga.Config
+	// SAIGA configures saiga-ghw; zero value falls back to defaults.
+	SAIGA ga.SAIGAConfig
+}
+
+// Decomposition is the unified result: a validated decomposition plus the
+// bounds and effort statistics of the run.
+type Decomposition struct {
+	// TD is the tree decomposition induced by Ordering.
+	TD *decomp.TreeDecomposition
+	// GHD is the covered decomposition; nil for the treewidth algorithms.
+	GHD *decomp.GHD
+	// Width is the achieved width (treewidth-style for tw algorithms,
+	// λ-width for ghw algorithms).
+	Width int
+	// LowerBound is the best bound proved during the run (equals Width when
+	// Exact; heuristic algorithms report the cheap tw-ksc / minor bound).
+	LowerBound int
+	// Exact reports whether Width was proved optimal.
+	Exact bool
+	// Ordering is the elimination ordering realizing Width.
+	Ordering []int
+	// Nodes / Evaluations / Elapsed describe the effort spent.
+	Nodes       int64
+	Evaluations int64
+	Elapsed     time.Duration
+}
+
+// Decompose runs the selected algorithm on h. For the treewidth algorithms
+// the hypergraph's primal graph is decomposed (Lemma 1) and GHD is nil; for
+// the ghw algorithms a validated GHD with exact bag covers is returned.
+func Decompose(h *hypergraph.Hypergraph, opts Options) (*Decomposition, error) {
+	if h.N() == 0 {
+		return nil, fmt.Errorf("core: empty hypergraph")
+	}
+	if !h.CoversAllVertices() && !opts.Algorithm.IsTreewidth() {
+		return nil, fmt.Errorf("core: hypergraph leaves vertices uncovered; ghw is undefined (add unary edges)")
+	}
+	sopt := search.Options{Timeout: opts.Timeout, MaxNodes: opts.MaxNodes, Seed: opts.Seed}
+	var d *Decomposition
+	switch opts.Algorithm {
+	case AlgAStarTW:
+		d = fromSearch(search.AStarTreewidth(h.PrimalGraph(), sopt))
+	case AlgBBTW:
+		d = fromSearch(search.BBTreewidth(h.PrimalGraph(), sopt))
+	case AlgGATW:
+		cfg := gaDefaults(opts.GA, opts)
+		r := ga.TreewidthOfHypergraph(h, cfg)
+		d = &Decomposition{
+			Width:       r.BestWidth,
+			LowerBound:  bounds.TreewidthLowerBound(h.PrimalGraph(), rand.New(rand.NewSource(opts.Seed))),
+			Ordering:    r.BestOrdering,
+			Evaluations: r.Evaluations,
+			Elapsed:     r.Elapsed,
+		}
+	case AlgAStarGHW:
+		d = fromSearch(search.AStarGHW(h, sopt))
+	case AlgBBGHW:
+		d = fromSearch(search.BBGHW(h, sopt))
+	case AlgGAGHW:
+		cfg := gaDefaults(opts.GA, opts)
+		r := ga.GHW(h, cfg)
+		d = &Decomposition{
+			Width:       r.BestWidth,
+			LowerBound:  bounds.TwKscWidth(h, rand.New(rand.NewSource(opts.Seed))),
+			Ordering:    r.BestOrdering,
+			Evaluations: r.Evaluations,
+			Elapsed:     r.Elapsed,
+		}
+	case AlgSAIGAGHW:
+		cfg := opts.SAIGA
+		if cfg.Islands == 0 {
+			cfg = ga.SAIGADefaults()
+			cfg.Seed = opts.Seed
+			cfg.Timeout = opts.Timeout
+		}
+		r := ga.SAIGAGHW(h, cfg)
+		d = &Decomposition{
+			Width:       r.BestWidth,
+			LowerBound:  bounds.TwKscWidth(h, rand.New(rand.NewSource(opts.Seed))),
+			Ordering:    r.BestOrdering,
+			Evaluations: r.Evaluations,
+			Elapsed:     r.Elapsed,
+		}
+	case AlgGreedy:
+		start := time.Now()
+		rng := rand.New(rand.NewSource(opts.Seed))
+		order := elim.MinFillOrdering(h.PrimalGraph(), rng)
+		w := elim.NewGHWEvaluator(h, false, rng).Width(order)
+		d = &Decomposition{
+			Width:      w,
+			LowerBound: bounds.TwKscWidth(h, rng),
+			Ordering:   order,
+			Elapsed:    time.Since(start),
+		}
+	case AlgHW:
+		start := time.Now()
+		rng := rand.New(rand.NewSource(opts.Seed))
+		// hw ≤ tw+1 always, and the greedy ghw bound caps the search too.
+		maxK := bounds.MinFillUpperBound(h.PrimalGraph(), rng) + 1
+		w, g := htd.HypertreeWidth(h, maxK)
+		if w < 0 {
+			return nil, fmt.Errorf("core: det-k-decomp found no decomposition up to width %d", maxK)
+		}
+		d = &Decomposition{
+			Width:      w,
+			LowerBound: bounds.TwKscWidth(h, rng),
+			Exact:      true, // exact hypertree width
+			Elapsed:    time.Since(start),
+		}
+		// det-k-decomp builds the decomposition directly, not from an
+		// ordering; attach it and derive the TD view from its bags.
+		d.GHD = g
+		d.TD = &g.TreeDecomposition
+		return d, nil
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", opts.Algorithm)
+	}
+
+	if d.Ordering == nil {
+		// Budgeted run that never materialized an ordering: fall back to
+		// min-fill so the caller always gets a decomposition.
+		d.Ordering = elim.MinFillOrdering(h.PrimalGraph(), rand.New(rand.NewSource(opts.Seed)))
+	}
+	d.TD = elim.TDFromOrdering(h, d.Ordering)
+	if !opts.Algorithm.IsTreewidth() {
+		g, err := elim.GHDFromOrdering(h, d.Ordering, true, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: covering decomposition: %w", err)
+		}
+		d.GHD = g
+		if g.Width() < d.Width {
+			// Exact covers can beat the greedy width the heuristic reported.
+			d.Width = g.Width()
+		} else if g.Width() > d.Width {
+			// Possible only on the fallback-ordering path: report what the
+			// returned decomposition actually achieves.
+			d.Width = g.Width()
+			d.Exact = false
+		}
+	}
+	return d, nil
+}
+
+// Treewidth runs a treewidth algorithm directly on a graph.
+func Treewidth(g *hypergraph.Graph, opts Options) (*Decomposition, error) {
+	if !opts.Algorithm.IsTreewidth() {
+		return nil, fmt.Errorf("core: %s is not a treewidth algorithm", opts.Algorithm)
+	}
+	return Decompose(hypergraph.FromGraph(g), opts)
+}
+
+func fromSearch(r search.Result) *Decomposition {
+	return &Decomposition{
+		Width:      r.Width,
+		LowerBound: r.LowerBound,
+		Exact:      r.Exact,
+		Ordering:   r.Ordering,
+		Nodes:      r.Nodes,
+		Elapsed:    r.Elapsed,
+	}
+}
+
+// gaDefaults fills unset GA fields with scaled-down thesis defaults.
+func gaDefaults(cfg ga.Config, opts Options) ga.Config {
+	if cfg.PopulationSize == 0 {
+		def := ga.ThesisDefaults()
+		def.PopulationSize = 200
+		def.MaxIterations = 200
+		cfg = def
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = opts.Seed
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = opts.Timeout
+	}
+	return cfg
+}

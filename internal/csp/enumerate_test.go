@@ -1,0 +1,110 @@
+package csp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"hypertree/internal/elim"
+)
+
+// allSolutionsBrute returns every complete consistent assignment.
+func allSolutionsBrute(c *CSP) [][]Value {
+	var out [][]Value
+	assignment := make([]Value, c.NumVars)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == c.NumVars {
+			if c.Consistent(assignment) {
+				out = append(out, append([]Value(nil), assignment...))
+			}
+			return
+		}
+		for _, v := range c.Domains[i] {
+			assignment[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+func canonical(sols [][]Value) []string {
+	keys := make([]string, len(sols))
+	for i, s := range sols {
+		keys[i] = fmt.Sprint(s)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func TestEnumerateFromTDExample5(t *testing.T) {
+	c := example5CSP()
+	h := c.Hypergraph()
+	td := elim.TDFromOrdering(h, []int{5, 4, 3, 2, 1, 0})
+	got := EnumerateFromTD(c, td, 0)
+	want := allSolutionsBrute(c)
+	if len(got) != len(want) {
+		t.Fatalf("enumerated %d solutions, brute force %d", len(got), len(want))
+	}
+	g, w := canonical(got), canonical(want)
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("solution sets differ:\n%v\n%v", g, w)
+		}
+	}
+}
+
+func TestEnumerateFromTDLimit(t *testing.T) {
+	c := australia()
+	h := c.Hypergraph()
+	td := elim.TDFromOrdering(h, elim.MinFillOrdering(h.PrimalGraph(), nil))
+	got := EnumerateFromTD(c, td, 5)
+	if len(got) != 5 {
+		t.Fatalf("limit 5 returned %d", len(got))
+	}
+	for _, s := range got {
+		if !c.Consistent(s) {
+			t.Fatalf("inconsistent solution %v", s)
+		}
+	}
+}
+
+func TestEnumerateFromTDUnsat(t *testing.T) {
+	c := &CSP{NumVars: 2, Domains: [][]Value{{0}, {0}}}
+	c.AddConstraint([]int{0, 1}, [][]Value{{0, 1}, {1, 0}})
+	h := c.Hypergraph()
+	td := elim.TDFromOrdering(h, []int{0, 1})
+	if got := EnumerateFromTD(c, td, 0); got != nil {
+		t.Fatalf("unsat enumeration returned %v", got)
+	}
+}
+
+// Property: enumeration matches brute force exactly (as sets) on random
+// CSPs whose free variables are pinned (the enumerator fixes free variables
+// to their first domain value, so compare on CSPs without free variables —
+// randomCSP normalizes with unary constraints, making every variable bound).
+func TestEnumerateMatchesBruteProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCSP(rng)
+		h := c.Hypergraph()
+		td := elim.TDFromOrdering(h, rng.Perm(c.NumVars))
+		got := canonical(EnumerateFromTD(c, td, 0))
+		want := canonical(allSolutionsBrute(c))
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+package csp
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Table is a relation with named columns: Vars lists the variable index of
+// each column, Rows the tuples. The relational operators below are the ones
+// Acyclic Solving needs (thesis §2.2.3): natural join, semijoin, projection.
+type Table struct {
+	Vars []int
+	Rows [][]Value
+}
+
+// sharedColumns returns, for tables a and b, the column positions of their
+// common variables (parallel slices).
+func sharedColumns(a, b *Table) (ai, bi []int) {
+	posB := make(map[int]int, len(b.Vars))
+	for j, v := range b.Vars {
+		posB[v] = j
+	}
+	for i, v := range a.Vars {
+		if j, ok := posB[v]; ok {
+			ai = append(ai, i)
+			bi = append(bi, j)
+		}
+	}
+	return
+}
+
+// key encodes the values of row at the given columns for hashing.
+func key(row []Value, cols []int) string {
+	var sb strings.Builder
+	for _, c := range cols {
+		sb.WriteString(strconv.Itoa(row[c]))
+		sb.WriteByte('|')
+	}
+	return sb.String()
+}
+
+// Join computes the natural join a ⋈ b.
+func Join(a, b *Table) *Table {
+	ai, bi := sharedColumns(a, b)
+	// Output columns: all of a, then b's non-shared.
+	sharedB := make(map[int]bool, len(bi))
+	for _, j := range bi {
+		sharedB[j] = true
+	}
+	outVars := append([]int(nil), a.Vars...)
+	var extraB []int
+	for j, v := range b.Vars {
+		if !sharedB[j] {
+			outVars = append(outVars, v)
+			extraB = append(extraB, j)
+		}
+	}
+	// Hash rows of b by shared key.
+	index := make(map[string][][]Value)
+	for _, rb := range b.Rows {
+		k := key(rb, bi)
+		index[k] = append(index[k], rb)
+	}
+	out := &Table{Vars: outVars}
+	for _, ra := range a.Rows {
+		for _, rb := range index[key(ra, ai)] {
+			row := make([]Value, 0, len(outVars))
+			row = append(row, ra...)
+			for _, j := range extraB {
+				row = append(row, rb[j])
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// Semijoin computes a ⋉ b: the rows of a that join with at least one row of
+// b. If a and b share no variables, a is returned unchanged when b is
+// nonempty and emptied when b is empty (the join would be a cross product).
+func Semijoin(a, b *Table) *Table {
+	ai, bi := sharedColumns(a, b)
+	if len(ai) == 0 {
+		if len(b.Rows) == 0 {
+			return &Table{Vars: a.Vars}
+		}
+		return a
+	}
+	keys := make(map[string]struct{}, len(b.Rows))
+	for _, rb := range b.Rows {
+		keys[key(rb, bi)] = struct{}{}
+	}
+	out := &Table{Vars: a.Vars}
+	for _, ra := range a.Rows {
+		if _, ok := keys[key(ra, ai)]; ok {
+			out.Rows = append(out.Rows, ra)
+		}
+	}
+	return out
+}
+
+// Project computes π_vars(a), deduplicating rows. Variables not present in
+// a are ignored.
+func Project(a *Table, vars []int) *Table {
+	var cols []int
+	var outVars []int
+	pos := make(map[int]int, len(a.Vars))
+	for i, v := range a.Vars {
+		pos[v] = i
+	}
+	sorted := append([]int(nil), vars...)
+	sort.Ints(sorted)
+	for _, v := range sorted {
+		if i, ok := pos[v]; ok {
+			cols = append(cols, i)
+			outVars = append(outVars, v)
+		}
+	}
+	out := &Table{Vars: outVars}
+	seen := make(map[string]struct{})
+	for _, r := range a.Rows {
+		row := make([]Value, len(cols))
+		for i, c := range cols {
+			row[i] = r[c]
+		}
+		k := key(row, allCols(len(row)))
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+func allCols(n int) []int {
+	cols := make([]int, n)
+	for i := range cols {
+		cols[i] = i
+	}
+	return cols
+}
+
+// TableOf materializes a constraint as a table.
+func TableOf(c *Constraint) *Table {
+	t := &Table{Vars: append([]int(nil), c.Scope...)}
+	for _, row := range c.Tuples {
+		t.Rows = append(t.Rows, append([]Value(nil), row...))
+	}
+	return t
+}
+
+// selectConsistent returns the rows of t agreeing with the partial
+// assignment (assigned[v] true means variable v is pinned to assignment[v]).
+func selectConsistent(t *Table, assignment []Value, assigned []bool) [][]Value {
+	var out [][]Value
+	for _, r := range t.Rows {
+		ok := true
+		for i, v := range t.Vars {
+			if assigned[v] && assignment[v] != r[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package decomp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"hypertree/internal/hypergraph"
+)
+
+// WriteDOT renders a tree decomposition in Graphviz DOT format, one box per
+// node showing its bag (using the hypergraph's vertex names).
+func (td *TreeDecomposition) WriteDOT(w io.Writer, h *hypergraph.Hypergraph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "graph td {")
+	fmt.Fprintln(bw, "  node [shape=box];")
+	for i, bag := range td.Bags {
+		fmt.Fprintf(bw, "  n%d [label=\"{%s}\"];\n", i, vertexNames(h, bag))
+	}
+	for i, p := range td.Parent {
+		if p >= 0 {
+			fmt.Fprintf(bw, "  n%d -- n%d;\n", p, i)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+// WriteDOT renders a generalized hypertree decomposition in Graphviz DOT
+// format: each node shows its χ-set and λ-set.
+func (g *GHD) WriteDOT(w io.Writer, h *hypergraph.Hypergraph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "graph ghd {")
+	fmt.Fprintln(bw, "  node [shape=record];")
+	for i, bag := range g.Bags {
+		var edges []string
+		for _, e := range g.Lambdas[i] {
+			edges = append(edges, h.EdgeName(e))
+		}
+		fmt.Fprintf(bw, "  n%d [label=\"{χ: %s|λ: %s}\"];\n",
+			i, vertexNames(h, bag), strings.Join(edges, ", "))
+	}
+	for i, p := range g.Parent {
+		if p >= 0 {
+			fmt.Fprintf(bw, "  n%d -- n%d;\n", p, i)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+func vertexNames(h *hypergraph.Hypergraph, vs []int) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = h.VertexName(v)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,47 @@
+package decomp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTDWriteDOT(t *testing.T) {
+	h := example5()
+	for v := 0; v < 6; v++ {
+		h.SetVertexName(v, "x"+string(rune('1'+v)))
+	}
+	td := example5TD()
+	var buf bytes.Buffer
+	if err := td.WriteDOT(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph td {", "n0 --", "x1", "}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// One node line per bag, one edge line per non-root node.
+	if got := strings.Count(out, "--"); got != len(td.Bags)-1 {
+		t.Errorf("edge lines = %d, want %d", got, len(td.Bags)-1)
+	}
+}
+
+func TestGHDWriteDOT(t *testing.T) {
+	h := example5()
+	g := &GHD{
+		TreeDecomposition: *example5TD(),
+		Lambdas:           [][]int{{0, 2}, {0}, {2}, {1}},
+	}
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"graph ghd {", "χ:", "λ:", "e0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

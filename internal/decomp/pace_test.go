@@ -1,0 +1,57 @@
+package decomp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteTdParseTdRoundTrip(t *testing.T) {
+	h := example5()
+	td := example5TD()
+	var buf bytes.Buffer
+	if err := td.WriteTd(&buf, h.N()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "s td 4 3 6\n") {
+		t.Fatalf("solution line wrong:\n%s", out)
+	}
+	td2, err := ParseTd(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := td2.Validate(h); err != nil {
+		t.Fatalf("round-tripped TD invalid: %v", err)
+	}
+	if td2.Width() != td.Width() || len(td2.Bags) != len(td.Bags) {
+		t.Fatalf("round trip changed shape: width %d vs %d", td2.Width(), td.Width())
+	}
+}
+
+func TestParseTdErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"no solution":  "b 1 1 2\n",
+		"bad bag id":   "s td 1 2 3\nb 9 1\n",
+		"bad vertex":   "s td 1 2 3\nb 1 x\n",
+		"edge early":   "1 2\ns td 2 2 3\n",
+		"bad edge":     "s td 2 2 3\nb 1 1\nb 2 2\n1 9\n",
+		"edge count":   "s td 3 2 3\nb 1 1\nb 2 2\nb 3 3\n1 2\n",
+		"disconnected": "s td 3 2 3\nb 1 1\nb 2 2\nb 3 3\n2 3\n2 3\n",
+		"dup solution": "s td 1 2 3\ns td 1 2 3\nb 1 1\n",
+	} {
+		if _, err := ParseTd(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestParseTdSingleBag(t *testing.T) {
+	td, err := ParseTd(strings.NewReader("s td 1 3 3\nb 1 1 2 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(td.Bags) != 1 || td.Width() != 2 {
+		t.Fatalf("td = %+v", td)
+	}
+}

@@ -1,0 +1,295 @@
+// Package elim implements elimination orderings and the two equivalent
+// constructions that turn an ordering into a tree decomposition — bucket
+// elimination (thesis Figure 2.10) and vertex elimination (Figure 2.12) —
+// plus the fast width evaluators used by the genetic algorithms (Figures 6.2
+// and 7.1) and the greedy ordering heuristics (min-fill, min-degree).
+//
+// Ordering convention: everywhere in this library an ordering lists vertices
+// in the order they are eliminated (position 0 first). The thesis writes
+// σ = (v1..vn) with v_n eliminated first; its σ is the reverse of ours.
+package elim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hypertree/internal/decomp"
+	"hypertree/internal/elimgraph"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/setcover"
+)
+
+// Validate checks that order is a permutation of 0..n-1.
+func Validate(order []int, n int) error {
+	if len(order) != n {
+		return fmt.Errorf("elim: ordering has %d entries for %d vertices", len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, v := range order {
+		if v < 0 || v >= n {
+			return fmt.Errorf("elim: vertex %d out of range", v)
+		}
+		if seen[v] {
+			return fmt.Errorf("elim: vertex %d repeated", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// Width returns the width of the tree decomposition induced by eliminating
+// the vertices of g's primal graph in the given order: the maximum live
+// degree at elimination time (thesis Figure 6.2). It uses the early exit
+// "stop once the width cannot grow further" from the thesis.
+func Width(e *elimgraph.ElimGraph, order []int) int {
+	defer e.Reset()
+	width := 0
+	for _, v := range order {
+		if width >= e.Live()-1 {
+			break // no remaining clique can exceed the current width
+		}
+		if d := e.Eliminate(v); d > width {
+			width = d
+		}
+	}
+	return width
+}
+
+// WidthOfGraph evaluates Width on a fresh elimination graph for g.
+func WidthOfGraph(g *hypergraph.Graph, order []int) int {
+	return Width(elimgraph.New(g), order)
+}
+
+// GHWEvaluator evaluates the generalized-hypertree width of orderings of a
+// fixed hypergraph (thesis Figure 7.1). It owns a reusable elimination
+// graph of the primal graph and per-bag cover scratch space; a single
+// evaluator is not safe for concurrent use.
+type GHWEvaluator struct {
+	H     *hypergraph.Hypergraph
+	E     *elimgraph.ElimGraph
+	Exact bool // exact set covers instead of greedy
+	Rng   *rand.Rand
+	// Cap, when positive, lets exact covers stop early: a bag needing Cap
+	// or more edges reports exactly Cap. The exact searches set Cap to the
+	// current upper bound, where any such bag is pruned anyway; this keeps
+	// the per-bag set-cover search polynomial in practice.
+	Cap int
+
+	bag       []int
+	candidate []int
+	candSeen  []bool
+	sets      [][]int
+}
+
+// NewGHWEvaluator builds an evaluator; rng (for greedy tie-breaking) may be
+// nil for deterministic lowest-index ties.
+func NewGHWEvaluator(h *hypergraph.Hypergraph, exact bool, rng *rand.Rand) *GHWEvaluator {
+	return &GHWEvaluator{
+		H:        h,
+		E:        elimgraph.FromHypergraph(h),
+		Exact:    exact,
+		Rng:      rng,
+		candSeen: make([]bool, h.M()),
+	}
+}
+
+// Width returns the generalized hypertree width of the decomposition induced
+// by the ordering: the maximum, over elimination cliques, of the number of
+// hyperedges needed to cover the clique. Returns -1 if some bag is
+// uncoverable (possible only when h leaves vertices uncovered).
+func (ev *GHWEvaluator) Width(order []int) int {
+	defer ev.E.Reset()
+	width := 0
+	for _, v := range order {
+		if width >= ev.E.Live() {
+			break // a bag of ≤ width vertices needs ≤ width covering edges
+		}
+		ev.bag = append(ev.E.Neighbors(v, ev.bag[:0]), v)
+		k := ev.coverSize(ev.bag)
+		if k < 0 {
+			return -1
+		}
+		if k > width {
+			width = k
+		}
+		ev.E.Eliminate(v)
+	}
+	return width
+}
+
+// BagCost returns the number of hyperedges needed to cover the bag that
+// eliminating v from the *current* graph state would create ({v} ∪ live
+// neighbors), without eliminating v. Used by the ghw search algorithms.
+func (ev *GHWEvaluator) BagCost(v int) int {
+	ev.bag = append(ev.E.Neighbors(v, ev.bag[:0]), v)
+	return ev.coverSize(ev.bag)
+}
+
+// coverSize covers bag with hyperedges of ev.H, restricting candidates to
+// edges incident to the bag (everything else is useless), and returns the
+// cover size, or -1 if uncoverable.
+func (ev *GHWEvaluator) coverSize(bag []int) int {
+	ev.candidate = ev.candidate[:0]
+	for _, v := range bag {
+		for _, e := range ev.H.IncidentEdges(v) {
+			if !ev.candSeen[e] {
+				ev.candSeen[e] = true
+				ev.candidate = append(ev.candidate, e)
+			}
+		}
+	}
+	ev.sets = ev.sets[:0]
+	for _, e := range ev.candidate {
+		ev.sets = append(ev.sets, ev.H.Edge(e))
+		ev.candSeen[e] = false
+	}
+	if ev.Exact {
+		if ev.Cap > 0 {
+			return setcover.ExactSizeCapped(bag, ev.sets, ev.Cap)
+		}
+		return setcover.ExactSize(bag, ev.sets)
+	}
+	return setcover.GreedySize(bag, ev.sets, ev.Rng)
+}
+
+// TDFromOrdering builds the tree decomposition produced by vertex
+// elimination (thesis Figure 2.12): one node per vertex, node(v)'s bag is
+// {v} ∪ N_live(v) at v's elimination, and node(v)'s parent is the node of
+// the first-eliminated live neighbor. Nodes with no live neighbors chain to
+// the next node in elimination order so that the result is a single tree.
+func TDFromOrdering(h *hypergraph.Hypergraph, order []int) *decomp.TreeDecomposition {
+	if err := Validate(order, h.N()); err != nil {
+		panic(err)
+	}
+	n := h.N()
+	if n == 0 {
+		panic("elim: empty hypergraph")
+	}
+	e := elimgraph.FromHypergraph(h)
+	defer e.Reset()
+	pos := make([]int, n) // pos[v] = elimination position
+	for i, v := range order {
+		pos[v] = i
+	}
+	bags := make([][]int, n)
+	parent := make([]int, n)
+	var buf []int
+	for i, v := range order {
+		ns := e.Neighbors(v, buf)
+		buf = ns
+		bag := make([]int, 0, len(ns)+1)
+		bag = append(bag, ns...)
+		bag = append(bag, v)
+		sort.Ints(bag)
+		bags[i] = bag
+		// Parent: earliest-eliminated live neighbor.
+		next := -1
+		for _, u := range ns {
+			if next < 0 || pos[u] < next {
+				next = pos[u]
+			}
+		}
+		if next < 0 {
+			if i+1 < n {
+				next = i + 1 // chain isolated roots
+			} else {
+				next = -1 // overall root
+			}
+		}
+		parent[i] = next
+		e.Eliminate(v)
+	}
+	return &decomp.TreeDecomposition{
+		Tree: decomp.Tree{Parent: parent, Root: n - 1},
+		Bags: bags,
+	}
+}
+
+// BucketElimination builds the same tree decomposition as TDFromOrdering
+// using the thesis's bucket formulation (Figure 2.10): each hyperedge is
+// placed in the bucket of its first-eliminated vertex; processing buckets in
+// elimination order, the bucket's content minus the processed vertex is
+// forwarded to the bucket of its first-eliminated member. Exported for
+// cross-checking; TDFromOrdering is the faster equivalent.
+func BucketElimination(h *hypergraph.Hypergraph, order []int) *decomp.TreeDecomposition {
+	if err := Validate(order, h.N()); err != nil {
+		panic(err)
+	}
+	n := h.N()
+	if n == 0 {
+		panic("elim: empty hypergraph")
+	}
+	pos := make([]int, n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	buckets := make([]map[int]struct{}, n) // indexed by position
+	for i := range buckets {
+		buckets[i] = map[int]struct{}{order[i]: {}}
+	}
+	for _, edge := range h.Edges() {
+		// First-eliminated vertex of the edge owns it.
+		min := pos[edge[0]]
+		for _, v := range edge[1:] {
+			if pos[v] < min {
+				min = pos[v]
+			}
+		}
+		for _, v := range edge {
+			buckets[min][v] = struct{}{}
+		}
+	}
+	parent := make([]int, n)
+	for i := 0; i < n; i++ {
+		v := order[i]
+		// A = bucket minus v; forward to the first-eliminated member of A.
+		next := -1
+		for u := range buckets[i] {
+			if u == v {
+				continue
+			}
+			if next < 0 || pos[u] < next {
+				next = pos[u]
+			}
+		}
+		if next >= 0 {
+			for u := range buckets[i] {
+				if u != v {
+					buckets[next][u] = struct{}{}
+				}
+			}
+			parent[i] = next
+		} else if i+1 < n {
+			parent[i] = i + 1
+		} else {
+			parent[i] = -1
+		}
+	}
+	bags := make([][]int, n)
+	for i := range bags {
+		bag := make([]int, 0, len(buckets[i]))
+		for v := range buckets[i] {
+			bag = append(bag, v)
+		}
+		sort.Ints(bag)
+		bags[i] = bag
+	}
+	return &decomp.TreeDecomposition{
+		Tree: decomp.Tree{Parent: parent, Root: n - 1},
+		Bags: bags,
+	}
+}
+
+// GHDFromOrdering builds a generalized hypertree decomposition from an
+// ordering: the vertex-elimination tree decomposition with every bag covered
+// by hyperedges (thesis §2.5.2). exact selects exact covers (the optimal
+// decomposition for this ordering, per Theorem 3) versus greedy covers.
+func GHDFromOrdering(h *hypergraph.Hypergraph, order []int, exact bool, rng *rand.Rand) (*decomp.GHD, error) {
+	td := TDFromOrdering(h, order)
+	mode := decomp.CoverGreedy
+	if exact {
+		mode = decomp.CoverExact
+	}
+	return decomp.FromTreeDecomposition(h, td, mode, rng)
+}

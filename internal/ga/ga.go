@@ -1,0 +1,221 @@
+package ga
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"hypertree/internal/elim"
+	"hypertree/internal/elimgraph"
+	"hypertree/internal/hypergraph"
+)
+
+// Evaluator scores an elimination ordering; lower is better. The two
+// instances used by the thesis are the treewidth evaluator (Figure 6.2) and
+// the ghw evaluator with greedy set covers (Figure 7.1).
+type Evaluator interface {
+	Evaluate(order []int) int
+}
+
+// TreewidthEvaluator evaluates orderings by the induced tree-decomposition
+// width. Not safe for concurrent use (it owns one elimination graph).
+type TreewidthEvaluator struct {
+	e *elimgraph.ElimGraph
+}
+
+// NewTreewidthEvaluator builds a treewidth evaluator for g.
+func NewTreewidthEvaluator(g *hypergraph.Graph) *TreewidthEvaluator {
+	return &TreewidthEvaluator{e: elimgraph.New(g)}
+}
+
+// Evaluate implements Evaluator.
+func (t *TreewidthEvaluator) Evaluate(order []int) int { return elim.Width(t.e, order) }
+
+// GHWEvaluator adapts elim.GHWEvaluator to the GA Evaluator interface.
+type GHWEvaluator struct {
+	ev *elim.GHWEvaluator
+}
+
+// NewGHWEvaluator builds a greedy-cover ghw evaluator for h (thesis §7.1.2).
+func NewGHWEvaluator(h *hypergraph.Hypergraph, rng *rand.Rand) *GHWEvaluator {
+	return &GHWEvaluator{ev: elim.NewGHWEvaluator(h, false, rng)}
+}
+
+// Evaluate implements Evaluator.
+func (g *GHWEvaluator) Evaluate(order []int) int { return g.ev.Width(order) }
+
+// Config holds the control parameters of algorithm GA-tw / GA-ghw
+// (thesis Figure 6.1): population size n, crossover rate p_c, mutation rate
+// p_m, tournament group size s, and iteration count.
+type Config struct {
+	PopulationSize int
+	CrossoverRate  float64
+	MutationRate   float64
+	TournamentSize int
+	MaxIterations  int
+	Crossover      CrossoverOp
+	Mutation       MutationOp
+	Seed           int64
+	// Timeout optionally bounds the run; zero means none.
+	Timeout time.Duration
+	// Target, when positive, stops the run early once the best width
+	// reaches it (useful when a matching lower bound is known).
+	Target int
+}
+
+// ThesisDefaults returns the control parameters selected by the thesis's
+// tuning experiments (§6.3): n=2000, p_c=1.0, p_m=0.3, s=3, POS + ISM.
+func ThesisDefaults() Config {
+	return Config{
+		PopulationSize: 2000,
+		CrossoverRate:  1.0,
+		MutationRate:   0.3,
+		TournamentSize: 3,
+		MaxIterations:  2000,
+		Crossover:      POS,
+		Mutation:       ISM,
+	}
+}
+
+// Result reports a GA run.
+type Result struct {
+	BestWidth    int
+	BestOrdering []int
+	Generations  int
+	Evaluations  int64
+	Elapsed      time.Duration
+	// History records the best width after each generation (index 0 is the
+	// initial population), for the convergence experiments.
+	History []int
+}
+
+// Run executes the genetic algorithm of thesis Figure 6.1 over orderings of
+// n vertices, scored by eval.
+func Run(n int, eval Evaluator, cfg Config) Result {
+	if cfg.PopulationSize < 2 {
+		panic("ga: population size must be at least 2")
+	}
+	if cfg.TournamentSize < 1 {
+		panic("ga: tournament size must be at least 1")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := time.Now()
+	var deadline time.Time
+	if cfg.Timeout > 0 {
+		deadline = start.Add(cfg.Timeout)
+	}
+
+	pop := make([][]int, cfg.PopulationSize)
+	fit := make([]int, cfg.PopulationSize)
+	evals := int64(0)
+	for i := range pop {
+		pop[i] = rng.Perm(n)
+		fit[i] = eval.Evaluate(pop[i])
+		evals++
+	}
+	best, bestFit := bestOf(pop, fit)
+	history := []int{bestFit}
+
+	gen := 0
+	for ; gen < cfg.MaxIterations; gen++ {
+		if bestFit <= cfg.Target && cfg.Target > 0 {
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		// Selection (tournament, thesis §6.1).
+		next := make([][]int, cfg.PopulationSize)
+		for i := range next {
+			next[i] = append([]int(nil), tournament(pop, fit, cfg.TournamentSize, rng)...)
+		}
+		// Recombination: the first p_c fraction of the population is
+		// recombined pairwise; the rest passes through unchanged.
+		pairs := int(cfg.CrossoverRate * float64(cfg.PopulationSize) / 2)
+		rng.Shuffle(len(next), func(i, j int) { next[i], next[j] = next[j], next[i] })
+		for p := 0; p < pairs; p++ {
+			a, b := 2*p, 2*p+1
+			if b >= len(next) {
+				break
+			}
+			c1, c2 := Crossover(cfg.Crossover, next[a], next[b], rng)
+			next[a], next[b] = c1, c2
+		}
+		// Mutation.
+		for i := range next {
+			if rng.Float64() < cfg.MutationRate {
+				Mutate(cfg.Mutation, next[i], rng)
+			}
+		}
+		// Evaluation.
+		pop = next
+		for i := range pop {
+			fit[i] = eval.Evaluate(pop[i])
+			evals++
+		}
+		if o, f := bestOf(pop, fit); f < bestFit {
+			best, bestFit = o, f
+		}
+		history = append(history, bestFit)
+	}
+
+	return Result{
+		BestWidth:    bestFit,
+		BestOrdering: append([]int(nil), best...),
+		Generations:  gen,
+		Evaluations:  evals,
+		Elapsed:      time.Since(start),
+		History:      history,
+	}
+}
+
+// Treewidth runs GA-tw (thesis Chapter 6) on a graph and returns an upper
+// bound on its treewidth.
+func Treewidth(g *hypergraph.Graph, cfg Config) Result {
+	return Run(g.N(), NewTreewidthEvaluator(g), cfg)
+}
+
+// TreewidthOfHypergraph runs GA-tw on a hypergraph's primal graph
+// (Lemma 1: their tree decompositions coincide).
+func TreewidthOfHypergraph(h *hypergraph.Hypergraph, cfg Config) Result {
+	return Run(h.N(), NewTreewidthEvaluator(h.PrimalGraph()), cfg)
+}
+
+// GHW runs GA-ghw (thesis §7.1) on a hypergraph and returns an upper bound
+// on its generalized hypertree width.
+func GHW(h *hypergraph.Hypergraph, cfg Config) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x9e3779b9))
+	return Run(h.N(), NewGHWEvaluator(h, rng), cfg)
+}
+
+// tournament picks s random individuals and returns the fittest.
+func tournament(pop [][]int, fit []int, s int, rng *rand.Rand) []int {
+	best := rng.Intn(len(pop))
+	for k := 1; k < s; k++ {
+		i := rng.Intn(len(pop))
+		if fit[i] < fit[best] {
+			best = i
+		}
+	}
+	return pop[best]
+}
+
+func bestOf(pop [][]int, fit []int) ([]int, int) {
+	bi := 0
+	for i := range fit {
+		if fit[i] < fit[bi] {
+			bi = i
+		}
+	}
+	return pop[bi], fit[bi]
+}
+
+// sortByFitness orders indices of fit ascending (used by SAIGA migration).
+func sortByFitness(fit []int) []int {
+	idx := make([]int, len(fit))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return fit[idx[a]] < fit[idx[b]] })
+	return idx
+}

@@ -1,0 +1,343 @@
+// Package ga implements the genetic algorithms of the thesis: GA-tw
+// (Chapter 6) and GA-ghw (Chapter 7.1) for treewidth / generalized-
+// hypertree-width upper bounds, and the self-adaptive island GA SAIGA-ghw
+// (Chapter 7.2). Individuals are elimination orderings (permutations); the
+// operators are the six permutation crossovers of thesis §4.3.2 (Figure 4.5)
+// and the six permutation mutations of §4.3.3 (Figure 4.6), all taken from
+// Larrañaga et al.
+package ga
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CrossoverOp selects a crossover operator for permutations.
+type CrossoverOp int
+
+// The six crossover operators of thesis §4.3.2.
+const (
+	PMX CrossoverOp = iota // partially-mapped crossover
+	CX                     // cycle crossover
+	OX1                    // order crossover
+	OX2                    // order-based crossover
+	POS                    // position-based crossover
+	AP                     // alternating-position crossover
+)
+
+// CrossoverOps lists every operator, in thesis order.
+var CrossoverOps = []CrossoverOp{PMX, CX, OX1, OX2, POS, AP}
+
+// String returns the thesis's abbreviation.
+func (c CrossoverOp) String() string {
+	switch c {
+	case PMX:
+		return "PMX"
+	case CX:
+		return "CX"
+	case OX1:
+		return "OX1"
+	case OX2:
+		return "OX2"
+	case POS:
+		return "POS"
+	case AP:
+		return "AP"
+	}
+	return fmt.Sprintf("CrossoverOp(%d)", int(c))
+}
+
+// MutationOp selects a mutation operator for permutations.
+type MutationOp int
+
+// The six mutation operators of thesis §4.3.3.
+const (
+	DM  MutationOp = iota // displacement
+	EM                    // exchange
+	ISM                   // insertion
+	SIM                   // simple inversion
+	IVM                   // inversion
+	SM                    // scramble
+)
+
+// MutationOps lists every operator, in thesis order.
+var MutationOps = []MutationOp{DM, EM, ISM, SIM, IVM, SM}
+
+// String returns the thesis's abbreviation.
+func (m MutationOp) String() string {
+	switch m {
+	case DM:
+		return "DM"
+	case EM:
+		return "EM"
+	case ISM:
+		return "ISM"
+	case SIM:
+		return "SIM"
+	case IVM:
+		return "IVM"
+	case SM:
+		return "SM"
+	}
+	return fmt.Sprintf("MutationOp(%d)", int(m))
+}
+
+// Crossover applies the operator to parents p1, p2 (equal-length
+// permutations) and returns two offspring. The parents are not modified.
+func Crossover(op CrossoverOp, p1, p2 []int, rng *rand.Rand) ([]int, []int) {
+	if len(p1) != len(p2) {
+		panic("ga: parents of different length")
+	}
+	switch op {
+	case PMX:
+		return pmx(p1, p2, rng), pmx(p2, p1, rng)
+	case CX:
+		return cx(p1, p2), cx(p2, p1)
+	case OX1:
+		return ox1(p1, p2, rng), ox1(p2, p1, rng)
+	case OX2:
+		return ox2(p1, p2, rng), ox2(p2, p1, rng)
+	case POS:
+		return pos(p1, p2, rng), pos(p2, p1, rng)
+	case AP:
+		return ap(p1, p2), ap(p2, p1)
+	}
+	panic(fmt.Sprintf("ga: unknown crossover %d", int(op)))
+}
+
+// Mutate applies the operator to perm in place.
+func Mutate(op MutationOp, perm []int, rng *rand.Rand) {
+	n := len(perm)
+	if n < 2 {
+		return
+	}
+	switch op {
+	case DM:
+		displace(perm, rng, false)
+	case EM:
+		i, j := rng.Intn(n), rng.Intn(n)
+		perm[i], perm[j] = perm[j], perm[i]
+	case ISM:
+		i := rng.Intn(n)
+		v := perm[i]
+		rest := make([]int, 0, n-1)
+		rest = append(rest, perm[:i]...)
+		rest = append(rest, perm[i+1:]...)
+		j := rng.Intn(n)
+		copy(perm, rest[:j])
+		perm[j] = v
+		copy(perm[j+1:], rest[j:])
+	case SIM:
+		a, b := twoCuts(n, rng)
+		reverse(perm[a:b])
+	case IVM:
+		displace(perm, rng, true)
+	case SM:
+		a, b := twoCuts(n, rng)
+		sub := perm[a:b]
+		rng.Shuffle(len(sub), func(i, j int) { sub[i], sub[j] = sub[j], sub[i] })
+	}
+}
+
+// twoCuts returns 0 <= a < b <= n with b-a >= 1.
+func twoCuts(n int, rng *rand.Rand) (int, int) {
+	a := rng.Intn(n)
+	b := rng.Intn(n + 1)
+	if a > b {
+		a, b = b, a
+	}
+	if a == b {
+		if b < n {
+			b++
+		} else {
+			a--
+		}
+	}
+	return a, b
+}
+
+func reverse(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// displace removes a random substring and reinserts it at a random position,
+// reversed when rev is set (DM and IVM).
+func displace(perm []int, rng *rand.Rand, rev bool) {
+	n := len(perm)
+	a, b := twoCuts(n, rng)
+	sub := append([]int(nil), perm[a:b]...)
+	if rev {
+		reverse(sub)
+	}
+	rest := append(perm[:a:a], perm[b:]...)
+	j := rng.Intn(len(rest) + 1)
+	out := make([]int, 0, n)
+	out = append(out, rest[:j]...)
+	out = append(out, sub...)
+	out = append(out, rest[j:]...)
+	copy(perm, out)
+}
+
+// pmx is the partially-mapped crossover: the child keeps p1's crossover
+// segment and fills the rest from p2, resolving conflicts through the
+// segment mapping.
+func pmx(p1, p2 []int, rng *rand.Rand) []int {
+	n := len(p1)
+	a, b := twoCuts(n, rng)
+	child := make([]int, n)
+	inSeg := make(map[int]int, b-a) // value in p1 segment -> segment index
+	for k := a; k < b; k++ {
+		child[k] = p1[k]
+		inSeg[p1[k]] = k
+	}
+	for i := 0; i < n; i++ {
+		if i >= a && i < b {
+			continue
+		}
+		v := p2[i]
+		for {
+			k, conflict := inSeg[v]
+			if !conflict {
+				break
+			}
+			v = p2[k]
+		}
+		child[i] = v
+	}
+	return child
+}
+
+// cx is the cycle crossover: the first cycle of the permutation induced by
+// aligning p1 above p2 keeps p1's positions; all other positions come from
+// p2.
+func cx(p1, p2 []int) []int {
+	n := len(p1)
+	posIn1 := make(map[int]int, n)
+	for i, v := range p1 {
+		posIn1[v] = i
+	}
+	inCycle := make([]bool, n)
+	for i := 0; ; {
+		inCycle[i] = true
+		i = posIn1[p2[i]]
+		if i == 0 || inCycle[i] {
+			break
+		}
+	}
+	child := make([]int, n)
+	for i := 0; i < n; i++ {
+		if inCycle[i] {
+			child[i] = p1[i]
+		} else {
+			child[i] = p2[i]
+		}
+	}
+	return child
+}
+
+// ox1 is the order crossover: keep p1's segment; fill the remaining
+// positions, starting after the segment and wrapping, with p2's values in
+// the order they appear in p2 starting after the segment.
+func ox1(p1, p2 []int, rng *rand.Rand) []int {
+	n := len(p1)
+	a, b := twoCuts(n, rng)
+	child := make([]int, n)
+	used := make(map[int]bool, n)
+	for k := a; k < b; k++ {
+		child[k] = p1[k]
+		used[p1[k]] = true
+	}
+	j := b % n
+	for i := 0; i < n; i++ {
+		v := p2[(b+i)%n]
+		if used[v] {
+			continue
+		}
+		for j >= a && j < b {
+			j = (j + 1) % n
+		}
+		child[j] = v
+		j = (j + 1) % n
+	}
+	return child
+}
+
+// ox2 is the order-based crossover: a random set of positions is chosen; the
+// values p2 holds there are re-ordered inside p1 to match their p2 order.
+func ox2(p1, p2 []int, rng *rand.Rand) []int {
+	n := len(p1)
+	child := append([]int(nil), p1...)
+	selected := make(map[int]bool) // values selected from p2
+	var values []int               // in p2 order
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			selected[p2[i]] = true
+			values = append(values, p2[i])
+		}
+	}
+	vi := 0
+	for i := 0; i < n; i++ {
+		if selected[child[i]] {
+			child[i] = values[vi]
+			vi++
+		}
+	}
+	return child
+}
+
+// pos is the position-based crossover: a random set of positions takes p2's
+// values directly; the remaining positions are filled with the leftover
+// values in p1 order.
+func pos(p1, p2 []int, rng *rand.Rand) []int {
+	n := len(p1)
+	child := make([]int, n)
+	fixed := make([]bool, n)
+	used := make(map[int]bool, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			child[i] = p2[i]
+			fixed[i] = true
+			used[p2[i]] = true
+		}
+	}
+	j := 0
+	for i := 0; i < n; i++ {
+		if fixed[i] {
+			continue
+		}
+		for used[p1[j]] {
+			j++
+		}
+		child[i] = p1[j]
+		used[p1[j]] = true
+	}
+	return child
+}
+
+// ap is the alternating-position crossover: take the next unused element
+// alternately from p1 and p2.
+func ap(p1, p2 []int) []int {
+	n := len(p1)
+	child := make([]int, 0, n)
+	used := make(map[int]bool, n)
+	i1, i2 := 0, 0
+	for turn := 0; len(child) < n; turn++ {
+		var src []int
+		var idx *int
+		if turn%2 == 0 {
+			src, idx = p1, &i1
+		} else {
+			src, idx = p2, &i2
+		}
+		for *idx < n && used[src[*idx]] {
+			*idx++
+		}
+		if *idx < n {
+			child = append(child, src[*idx])
+			used[src[*idx]] = true
+		}
+	}
+	return child
+}

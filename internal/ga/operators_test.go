@@ -1,0 +1,168 @@
+package ga
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func isPerm(p []int, n int) bool {
+	if len(p) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, v := range p {
+		if v < 0 || v >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// Property: every crossover operator emits valid permutations for random
+// parents of random length.
+func TestCrossoverEmitsPermutationsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		p1 := rng.Perm(n)
+		p2 := rng.Perm(n)
+		for _, op := range CrossoverOps {
+			c1, c2 := Crossover(op, p1, p2, rng)
+			if !isPerm(c1, n) || !isPerm(c2, n) {
+				return false
+			}
+		}
+		return isPerm(p1, n) && isPerm(p2, n) // parents untouched
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every mutation operator keeps permutations valid.
+func TestMutationKeepsPermutationsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		for _, op := range MutationOps {
+			p := rng.Perm(n)
+			Mutate(op, p, rng)
+			if !isPerm(p, n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Identical parents must reproduce themselves under every crossover: all six
+// operators only rearrange genes according to the other parent.
+func TestCrossoverIdenticalParents(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := rng.Perm(12)
+	for _, op := range CrossoverOps {
+		c1, c2 := Crossover(op, p, p, rng)
+		for i := range p {
+			if c1[i] != p[i] || c2[i] != p[i] {
+				t.Errorf("%v: identical parents produced different child", op)
+				break
+			}
+		}
+	}
+}
+
+func TestCXDeterministicExample(t *testing.T) {
+	// p1 = 1 2 3 4 5 (0-indexed: 0 1 2 3 4), p2 = 2 4 5 1 3 (1 3 4 0 2).
+	// First cycle from position 0: 0 -> value p2[0]=1 at p1 pos 1 ->
+	// p2[1]=3 at p1 pos 3 -> p2[3]=0 at p1 pos 0: cycle {0,1,3}.
+	p1 := []int{0, 1, 2, 3, 4}
+	p2 := []int{1, 3, 4, 0, 2}
+	c := cx(p1, p2)
+	want := []int{0, 1, 4, 3, 2}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("cx = %v, want %v", c, want)
+		}
+	}
+}
+
+func TestAPDeterministicExample(t *testing.T) {
+	// AP alternates p1 and p2, skipping used values:
+	// p1 = 0 1 2 3, p2 = 3 2 1 0 -> 0, 3, 1, 2.
+	c := ap([]int{0, 1, 2, 3}, []int{3, 2, 1, 0})
+	want := []int{0, 3, 1, 2}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Fatalf("ap = %v, want %v", c, want)
+		}
+	}
+}
+
+func TestEMSwapsExactlyTwoOrZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		p := rng.Perm(10)
+		orig := append([]int(nil), p...)
+		Mutate(EM, p, rng)
+		diff := 0
+		for i := range p {
+			if p[i] != orig[i] {
+				diff++
+			}
+		}
+		if diff != 0 && diff != 2 {
+			t.Fatalf("EM changed %d positions", diff)
+		}
+	}
+}
+
+func TestSIMReversesSegment(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		p := rng.Perm(8)
+		orig := append([]int(nil), p...)
+		Mutate(SIM, p, rng)
+		// Outside some window, order preserved; inside, reversed. Verify by
+		// finding the changed window and checking reversal.
+		a, b := 0, len(p)
+		for a < len(p) && p[a] == orig[a] {
+			a++
+		}
+		for b > a && p[b-1] == orig[b-1] {
+			b--
+		}
+		for i := a; i < b; i++ {
+			if p[i] != orig[a+b-1-i] {
+				t.Fatalf("SIM did not reverse: %v -> %v", orig, p)
+			}
+		}
+	}
+}
+
+func TestOperatorStrings(t *testing.T) {
+	if PMX.String() != "PMX" || AP.String() != "AP" || POS.String() != "POS" {
+		t.Fatal("crossover names wrong")
+	}
+	if DM.String() != "DM" || SM.String() != "SM" || ISM.String() != "ISM" {
+		t.Fatal("mutation names wrong")
+	}
+	if CrossoverOp(99).String() == "" || MutationOp(99).String() == "" {
+		t.Fatal("unknown ops should stringify")
+	}
+}
+
+func TestMutateSingleElementNoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, op := range MutationOps {
+		p := []int{0}
+		Mutate(op, p, rng)
+		if p[0] != 0 {
+			t.Fatalf("%v mutated singleton", op)
+		}
+	}
+}

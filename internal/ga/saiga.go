@@ -1,0 +1,265 @@
+package ga
+
+import (
+	"math/rand"
+	"time"
+
+	"hypertree/internal/hypergraph"
+)
+
+// SAIGAConfig controls SAIGA-ghw (thesis §7.2), the self-adaptive island
+// genetic algorithm: several islands evolve independently, each carrying its
+// own control-parameter vector; parameter vectors are mutated over time and
+// oriented toward the parameters of better-performing neighbor islands, so
+// no hand tuning of rates is required (thesis §7.2.2–7.2.5).
+type SAIGAConfig struct {
+	Islands        int // number of islands (ring topology)
+	IslandPop      int // population size per island
+	TournamentSize int
+	Epochs         int // number of epochs
+	EpochLength    int // generations per epoch between adaptation steps
+	Seed           int64
+	Timeout        time.Duration
+	Target         int
+}
+
+// SAIGADefaults returns a small but representative configuration.
+func SAIGADefaults() SAIGAConfig {
+	return SAIGAConfig{
+		Islands:        8,
+		IslandPop:      250,
+		TournamentSize: 3,
+		Epochs:         20,
+		EpochLength:    25,
+	}
+}
+
+// paramVector is an island's self-adapted parameter set (thesis §7.2.2):
+// mutation rate, crossover rate, and the operator choices.
+type paramVector struct {
+	pm, pc    float64
+	crossover CrossoverOp
+	mutation  MutationOp
+}
+
+// randomParams initializes a parameter vector uniformly within the thesis's
+// admissible ranges (§7.2.3).
+func randomParams(rng *rand.Rand) paramVector {
+	return paramVector{
+		pm:        rng.Float64(),           // [0,1)
+		pc:        0.5 + 0.5*rng.Float64(), // [0.5,1)
+		crossover: CrossoverOps[rng.Intn(len(CrossoverOps))],
+		mutation:  MutationOps[rng.Intn(len(MutationOps))],
+	}
+}
+
+// mutateParams perturbs the vector (thesis §7.2.4, Figure 7.4): rates get
+// Gaussian noise clamped to their ranges; with small probability the
+// operator genes resample.
+func mutateParams(p paramVector, rng *rand.Rand) paramVector {
+	p.pm = clamp(p.pm+rng.NormFloat64()*0.1, 0, 1)
+	p.pc = clamp(p.pc+rng.NormFloat64()*0.1, 0, 1)
+	if rng.Float64() < 0.15 {
+		p.crossover = CrossoverOps[rng.Intn(len(CrossoverOps))]
+	}
+	if rng.Float64() < 0.15 {
+		p.mutation = MutationOps[rng.Intn(len(MutationOps))]
+	}
+	return p
+}
+
+// orientTowards moves p's rates halfway toward a better neighbor's and
+// copies the neighbor's operators with probability ½ (thesis §7.2.5,
+// "neighbor orientation").
+func orientTowards(p, better paramVector, rng *rand.Rand) paramVector {
+	p.pm += (better.pm - p.pm) * 0.5
+	p.pc += (better.pc - p.pc) * 0.5
+	if rng.Intn(2) == 0 {
+		p.crossover = better.crossover
+	}
+	if rng.Intn(2) == 0 {
+		p.mutation = better.mutation
+	}
+	return p
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// SAIGAResult reports a SAIGA-ghw run.
+type SAIGAResult struct {
+	BestWidth    int
+	BestOrdering []int
+	Evaluations  int64
+	Elapsed      time.Duration
+	// FinalParams holds each island's adapted parameters at termination,
+	// for inspection of what the self-adaptation converged to.
+	FinalParams []struct {
+		Pm, Pc    float64
+		Crossover CrossoverOp
+		Mutation  MutationOp
+	}
+}
+
+// island is one population with its parameter vector.
+type island struct {
+	pop    [][]int
+	fit    []int
+	params paramVector
+	best   []int
+	bestF  int
+}
+
+// SAIGAGHW runs SAIGA-ghw on a hypergraph and returns an upper bound on its
+// generalized hypertree width (the thesis's configuration, §7.2).
+func SAIGAGHW(h *hypergraph.Hypergraph, cfg SAIGAConfig) SAIGAResult {
+	eval := NewGHWEvaluator(h, rand.New(rand.NewSource(cfg.Seed^0x51a)))
+	return SAIGA(h.N(), eval, cfg)
+}
+
+// SAIGATreewidth runs the self-adaptive island GA under the treewidth cost
+// function — an extension beyond the thesis, which only pairs SAIGA with
+// ghw; the island machinery is evaluator-agnostic.
+func SAIGATreewidth(g *hypergraph.Graph, cfg SAIGAConfig) SAIGAResult {
+	return SAIGA(g.N(), NewTreewidthEvaluator(g), cfg)
+}
+
+// SAIGA runs the self-adaptive island GA over orderings of n vertices,
+// scored by eval.
+func SAIGA(n int, eval Evaluator, cfg SAIGAConfig) SAIGAResult {
+	if cfg.Islands < 2 {
+		panic("ga: SAIGA needs at least 2 islands")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := time.Now()
+	var deadline time.Time
+	if cfg.Timeout > 0 {
+		deadline = start.Add(cfg.Timeout)
+	}
+	evals := int64(0)
+
+	isles := make([]*island, cfg.Islands)
+	for i := range isles {
+		isl := &island{
+			pop:    make([][]int, cfg.IslandPop),
+			fit:    make([]int, cfg.IslandPop),
+			params: randomParams(rng),
+		}
+		for j := range isl.pop {
+			isl.pop[j] = rng.Perm(n)
+			isl.fit[j] = eval.Evaluate(isl.pop[j])
+			evals++
+		}
+		isl.best, isl.bestF = bestOf(isl.pop, isl.fit)
+		isl.best = append([]int(nil), isl.best...)
+		isles[i] = isl
+	}
+
+	globalBest, globalF := isles[0].best, isles[0].bestF
+	for _, isl := range isles {
+		if isl.bestF < globalF {
+			globalBest, globalF = isl.best, isl.bestF
+		}
+	}
+
+epochs:
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, isl := range isles {
+			if cfg.Target > 0 && globalF <= cfg.Target {
+				break epochs
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				break epochs
+			}
+			evals += evolveIsland(isl, eval, cfg, rng)
+			if isl.bestF < globalF {
+				globalBest, globalF = isl.best, isl.bestF
+			}
+		}
+		// Migration: each island sends its best individual to the next in
+		// the ring, replacing the worst.
+		for i, isl := range isles {
+			next := isles[(i+1)%len(isles)]
+			worst := sortByFitness(next.fit)[len(next.fit)-1]
+			next.pop[worst] = append([]int(nil), isl.best...)
+			next.fit[worst] = isl.bestF
+		}
+		// Self-adaptation: mutate parameters, then orient toward better
+		// ring neighbors.
+		for i, isl := range isles {
+			isl.params = mutateParams(isl.params, rng)
+			left := isles[(i+len(isles)-1)%len(isles)]
+			right := isles[(i+1)%len(isles)]
+			better := isl
+			if left.bestF < better.bestF {
+				better = left
+			}
+			if right.bestF < better.bestF {
+				better = right
+			}
+			if better != isl {
+				isl.params = orientTowards(isl.params, better.params, rng)
+			}
+		}
+	}
+
+	res := SAIGAResult{
+		BestWidth:    globalF,
+		BestOrdering: append([]int(nil), globalBest...),
+		Evaluations:  evals,
+		Elapsed:      time.Since(start),
+	}
+	for _, isl := range isles {
+		res.FinalParams = append(res.FinalParams, struct {
+			Pm, Pc    float64
+			Crossover CrossoverOp
+			Mutation  MutationOp
+		}{isl.params.pm, isl.params.pc, isl.params.crossover, isl.params.mutation})
+	}
+	return res
+}
+
+// evolveIsland runs EpochLength generations of the basic GA on one island
+// with its current parameters and returns the number of evaluations.
+func evolveIsland(isl *island, eval Evaluator, cfg SAIGAConfig, rng *rand.Rand) int64 {
+	evals := int64(0)
+	popSize := len(isl.pop)
+	for gen := 0; gen < cfg.EpochLength; gen++ {
+		next := make([][]int, popSize)
+		for i := range next {
+			next[i] = append([]int(nil), tournament(isl.pop, isl.fit, cfg.TournamentSize, rng)...)
+		}
+		pairs := int(isl.params.pc * float64(popSize) / 2)
+		rng.Shuffle(len(next), func(i, j int) { next[i], next[j] = next[j], next[i] })
+		for p := 0; p < pairs; p++ {
+			a, b := 2*p, 2*p+1
+			if b >= len(next) {
+				break
+			}
+			c1, c2 := Crossover(isl.params.crossover, next[a], next[b], rng)
+			next[a], next[b] = c1, c2
+		}
+		for i := range next {
+			if rng.Float64() < isl.params.pm {
+				Mutate(isl.params.mutation, next[i], rng)
+			}
+		}
+		isl.pop = next
+		for i := range isl.pop {
+			isl.fit[i] = eval.Evaluate(isl.pop[i])
+			evals++
+		}
+		if o, f := bestOf(isl.pop, isl.fit); f < isl.bestF {
+			isl.best = append([]int(nil), o...)
+			isl.bestF = f
+		}
+	}
+	return evals
+}

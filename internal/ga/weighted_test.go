@@ -1,0 +1,79 @@
+package ga
+
+import (
+	"math"
+	"testing"
+
+	"hypertree/internal/hypergraph"
+)
+
+func TestWeightedEvaluatorUniformStates(t *testing.T) {
+	// A path 0-1-2 eliminated end-first gives bags {0,1},{1,2},{2}:
+	// with binary states the weight is log2(4 + 4 + 2) = log2 10.
+	g := hypergraph.NewGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	ev := NewWeightedEvaluator(g, []int{2, 2, 2})
+	got := ev.Weight([]int{0, 1, 2})
+	want := math.Log2(10)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("weight = %v, want %v", got, want)
+	}
+	// Evaluate is the milli-bit fixed point of the same value.
+	if e := ev.Evaluate([]int{0, 1, 2}); e != int(1024*want) {
+		t.Fatalf("Evaluate = %d, want %d", e, int(1024*want))
+	}
+}
+
+// With skewed state counts the best ordering can differ from the best
+// treewidth ordering: a star center with tiny domain should join big-domain
+// leaves late.
+func TestWeightedPrefersSmallDomains(t *testing.T) {
+	// Triangle 0-1-2 plus pendant 3 on 0. States: vertex 3 has 100 states.
+	g := hypergraph.NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	ev := NewWeightedEvaluator(g, []int{2, 2, 2, 100})
+	// Eliminating 3 first: bags {3,0} (200) then triangle: 8+4+2 = 214.
+	early := ev.Weight([]int{3, 0, 1, 2})
+	// Eliminating 3 last: bag {0,3} still appears but after 0 is gone the
+	// bag is {3} alone: 1 first? order {1,2,0,3}: bags {1,0,2}=8, {2,0}=4,
+	// {0,3}=200, {3}=100 -> 312.
+	late := ev.Weight([]int{1, 2, 0, 3})
+	if early >= late {
+		t.Fatalf("expected early elimination of the big-domain leaf to be cheaper: early=%v late=%v", early, late)
+	}
+}
+
+func TestWeightedTreewidthGA(t *testing.T) {
+	g := hypergraph.Grid(3)
+	states := make([]int, g.N())
+	for i := range states {
+		states[i] = 2 + i%3
+	}
+	cfg := smallConfig(9)
+	r, bits := WeightedTreewidth(g, states, cfg)
+	if len(r.BestOrdering) != g.N() {
+		t.Fatal("no ordering returned")
+	}
+	if math.IsInf(bits, 0) || math.IsNaN(bits) || bits <= 0 {
+		t.Fatalf("weight = %v", bits)
+	}
+	// The GA must do at least as well as a random ordering.
+	ev := NewWeightedEvaluator(g, states)
+	if random := ev.Weight([]int{0, 1, 2, 3, 4, 5, 6, 7, 8}); bits > random+1e-9 {
+		t.Fatalf("GA weight %v worse than identity ordering %v", bits, random)
+	}
+}
+
+func TestWeightedEvaluatorPanics(t *testing.T) {
+	g := hypergraph.Grid(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad states length")
+		}
+	}()
+	NewWeightedEvaluator(g, []int{2})
+}

@@ -1,0 +1,209 @@
+package hypergraph
+
+import "testing"
+
+func TestGridSizes(t *testing.T) {
+	for _, tc := range []struct{ n, wantV, wantE int }{
+		{2, 4, 4},
+		{3, 9, 12},
+		{4, 16, 24},
+		{5, 25, 40},
+		{8, 64, 112},
+	} {
+		g := Grid(tc.n)
+		if g.N() != tc.wantV || g.M() != tc.wantE {
+			t.Errorf("Grid(%d): n=%d m=%d, want %d, %d", tc.n, g.N(), g.M(), tc.wantV, tc.wantE)
+		}
+	}
+}
+
+// Queen graph sizes. The thesis tables report the DIMACS file line counts
+// (each edge listed in both directions): queen5_5 "320", queen6_6 "580",
+// queen7_7 "952", queen8_8 "1456". As undirected graphs these have exactly
+// half that many edges.
+func TestQueenSizesMatchDIMACS(t *testing.T) {
+	for _, tc := range []struct{ n, wantV, wantE int }{
+		{5, 25, 160},
+		{6, 36, 290},
+		{7, 49, 476},
+		{8, 64, 728},
+	} {
+		g := Queen(tc.n)
+		if g.N() != tc.wantV || g.M() != tc.wantE {
+			t.Errorf("Queen(%d): n=%d m=%d, want %d, %d", tc.n, g.N(), g.M(), tc.wantV, tc.wantE)
+		}
+	}
+}
+
+// Mycielski sizes from thesis Table 5.1/6.6: myciel3 (11,20), myciel4
+// (23,71), myciel5 (47,236), myciel6 (95,755), myciel7 (191,2360).
+func TestMycielskiSizesMatchDIMACS(t *testing.T) {
+	for _, tc := range []struct{ k, wantV, wantE int }{
+		{3, 11, 20},
+		{4, 23, 71},
+		{5, 47, 236},
+		{6, 95, 755},
+		{7, 191, 2360},
+	} {
+		g := Mycielski(tc.k)
+		if g.N() != tc.wantV || g.M() != tc.wantE {
+			t.Errorf("Mycielski(%d): n=%d m=%d, want %d, %d", tc.k, g.N(), g.M(), tc.wantV, tc.wantE)
+		}
+	}
+}
+
+func TestCliqueGraph(t *testing.T) {
+	g := CliqueGraph(6)
+	if g.N() != 6 || g.M() != 15 {
+		t.Fatalf("K6: n=%d m=%d", g.N(), g.M())
+	}
+	if !g.IsClique([]int{0, 1, 2, 3, 4, 5}) {
+		t.Fatal("K6 not a clique")
+	}
+}
+
+func TestRandomGraphDeterministic(t *testing.T) {
+	a := RandomGraph(30, 100, 7)
+	b := RandomGraph(30, 100, 7)
+	c := RandomGraph(30, 100, 8)
+	if a.M() != 100 || b.M() != 100 {
+		t.Fatal("edge count wrong")
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+	ec := c.Edges()
+	same := true
+	for i := range ea {
+		if ea[i] != ec[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs (suspicious)")
+	}
+}
+
+func TestRandomIntervalGraphIsIntervalLike(t *testing.T) {
+	g := RandomIntervalGraph(50, 200, 3)
+	if g.N() != 50 {
+		t.Fatal("vertex count wrong")
+	}
+	if g.M() == 0 {
+		t.Fatal("interval graph came out empty")
+	}
+}
+
+func TestRandomGeometricGraph(t *testing.T) {
+	g := RandomGeometricGraph(64, 0.3, 5)
+	if g.N() != 64 || g.M() == 0 {
+		t.Fatalf("geometric graph n=%d m=%d", g.N(), g.M())
+	}
+	// r = sqrt(2) connects everything.
+	full := RandomGeometricGraph(10, 1.5, 5)
+	if full.M() != 45 {
+		t.Fatalf("r=1.5 should give K10, got m=%d", full.M())
+	}
+}
+
+// Grid2D/Grid3D counts from thesis Table 7.1: grid2d_20 (200,200),
+// grid3d_8 (256,256).
+func TestGridHypergraphSizesMatchLibrary(t *testing.T) {
+	h2 := Grid2D(20)
+	if h2.N() != 200 || h2.M() != 200 {
+		t.Errorf("Grid2D(20): n=%d m=%d, want 200, 200", h2.N(), h2.M())
+	}
+	h3 := Grid3D(8)
+	if h3.N() != 256 || h3.M() != 256 {
+		t.Errorf("Grid3D(8): n=%d m=%d, want 256, 256", h3.N(), h3.M())
+	}
+	h4 := Grid4D(4)
+	if h4.N() != 128 || h4.M() != 128 {
+		t.Errorf("Grid4D(4): n=%d m=%d, want 128, 128", h4.N(), h4.M())
+	}
+}
+
+func TestGrid2DArity(t *testing.T) {
+	h := Grid2D(6)
+	if h.MaxArity() > 4 {
+		t.Fatalf("grid hyperedges should have arity <= 4, got %d", h.MaxArity())
+	}
+	if !h.CoversAllVertices() {
+		t.Fatal("grid hypergraph leaves vertices uncovered")
+	}
+}
+
+// Adder counts from thesis Table 7.1: adder_75 (376,526), adder_99 (496,694).
+func TestAdderSizesMatchLibrary(t *testing.T) {
+	for _, tc := range []struct{ n, wantV, wantE int }{
+		{75, 376, 526},
+		{99, 496, 694},
+		{1, 6, 8},
+	} {
+		h := Adder(tc.n)
+		if h.N() != tc.wantV || h.M() != tc.wantE {
+			t.Errorf("Adder(%d): n=%d m=%d, want %d, %d", tc.n, h.N(), h.M(), tc.wantV, tc.wantE)
+		}
+		if !h.CoversAllVertices() {
+			t.Errorf("Adder(%d) leaves vertices uncovered", tc.n)
+		}
+	}
+}
+
+// Bridge counts from thesis Table 7.1: bridge_50 (452,452).
+func TestBridgeSizesMatchLibrary(t *testing.T) {
+	h := Bridge(50)
+	if h.N() != 452 || h.M() != 452 {
+		t.Errorf("Bridge(50): n=%d m=%d, want 452, 452", h.N(), h.M())
+	}
+	if !h.CoversAllVertices() {
+		t.Error("Bridge(50) leaves vertices uncovered")
+	}
+}
+
+func TestCliqueHypergraph(t *testing.T) {
+	h := CliqueHypergraph(20)
+	if h.N() != 20 || h.M() != 190 {
+		t.Fatalf("clique_20: n=%d m=%d, want 20, 190", h.N(), h.M())
+	}
+}
+
+func TestRandomCircuitShape(t *testing.T) {
+	h := RandomCircuit(170, 179, 11) // b08-sized
+	if h.N() != 170 || h.M() != 179 {
+		t.Fatalf("circuit n=%d m=%d", h.N(), h.M())
+	}
+	if h.MaxArity() > 5 {
+		t.Fatalf("gate arity %d > 5", h.MaxArity())
+	}
+	// Determinism.
+	h2 := RandomCircuit(170, 179, 11)
+	for e := 0; e < h.M(); e++ {
+		a, b := h.Edge(e), h2.Edge(e)
+		if len(a) != len(b) {
+			t.Fatal("circuit generation not deterministic")
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("circuit generation not deterministic")
+			}
+		}
+	}
+}
+
+func TestRandomHypergraphBounds(t *testing.T) {
+	h := RandomHypergraph(15, 10, 2, 5, 42)
+	if h.N() != 15 || h.M() != 10 {
+		t.Fatalf("n=%d m=%d", h.N(), h.M())
+	}
+	for e := 0; e < h.M(); e++ {
+		k := len(h.Edge(e))
+		if k < 2 || k > 5 {
+			t.Fatalf("edge %d has arity %d outside [2,5]", e, k)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package hypergraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseGr reads a graph in the PACE treewidth-track .gr format:
+//
+//	c comment
+//	p tw <n> <m>
+//	<u> <v>          (1-based endpoints, one edge per line)
+func ParseGr(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var g *Graph
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || fields[0] == "c" {
+			continue
+		}
+		if fields[0] == "p" {
+			if g != nil {
+				return nil, fmt.Errorf("gr line %d: duplicate problem line", line)
+			}
+			if len(fields) < 4 || fields[1] != "tw" {
+				return nil, fmt.Errorf("gr line %d: malformed problem line", line)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("gr line %d: bad vertex count", line)
+			}
+			g = NewGraph(n)
+			continue
+		}
+		if g == nil {
+			return nil, fmt.Errorf("gr line %d: edge before problem line", line)
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("gr line %d: malformed edge", line)
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil || u < 1 || u > g.N() || v < 1 || v > g.N() {
+			return nil, fmt.Errorf("gr line %d: bad endpoints", line)
+		}
+		g.AddEdge(u-1, v-1)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("gr: missing problem line")
+	}
+	return g, nil
+}
+
+// WriteGr writes g in the PACE .gr format.
+func WriteGr(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p tw %d %d\n", g.N(), g.M())
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "%d %d\n", e[0]+1, e[1]+1)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,53 @@
+package hypergraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseGr(t *testing.T) {
+	src := "c comment\np tw 4 3\n1 2\n2 3\n1 4\n"
+	g, err := ParseGr(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 3 || !g.HasEdge(0, 1) || !g.HasEdge(0, 3) {
+		t.Fatalf("parsed wrong: %v", g)
+	}
+}
+
+func TestParseGrErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"no problem":    "1 2\n",
+		"empty":         "",
+		"wrong tag":     "p edge 2 1\n1 2\n",
+		"bad endpoints": "p tw 2 1\n1 5\n",
+		"malformed":     "p tw 2 1\n1 2 3\n",
+		"dup problem":   "p tw 2 0\np tw 2 0\n",
+	} {
+		if _, err := ParseGr(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestGrRoundTrip(t *testing.T) {
+	g := Mycielski(4)
+	var buf bytes.Buffer
+	if err := WriteGr(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseGr(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip changed size: %v vs %v", g2, g)
+	}
+	for _, e := range g.Edges() {
+		if !g2.HasEdge(e[0], e[1]) {
+			t.Fatalf("lost edge %v", e)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package search
+
+import (
+	"sort"
+
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/reduce"
+)
+
+// BBTreewidth runs the branch-and-bound treewidth search (the thesis's
+// review of BB-tw / QuickBB, §4.4, with PR1, PR2, reductions and per-node
+// minor-min-width bounds). The result is exact unless a budget was hit.
+func BBTreewidth(g *hypergraph.Graph, opts Options) Result {
+	return runBB(newTWModel(g, opts.Seed), opts)
+}
+
+// BBGHW runs BB-ghw (thesis Chapter 8, Figure 8.3): branch and bound over
+// elimination orderings for generalized hypertree width, with exact set
+// covers for bag costs, the tw-ksc-width lower bound at interior nodes,
+// simplicial reductions and the non-adjacent case of PR2.
+func BBGHW(h *hypergraph.Hypergraph, opts Options) Result {
+	return runBB(newGHWModel(h, opts.Seed, true), opts)
+}
+
+// BBGHWGreedy is BB-ghw with greedy instead of exact set covers: faster,
+// still an upper-bound-producing anytime algorithm, but its "exact" result
+// is only exact with respect to greedy covers.
+func BBGHWGreedy(h *hypergraph.Hypergraph, opts Options) Result {
+	return runBB(newGHWModel(h, opts.Seed, false), opts)
+}
+
+type bbSearch struct {
+	m      model
+	opts   Options
+	budget *budget
+	ub     int
+	lbRoot int
+	best   []int
+	prefix []int
+}
+
+func runBB(m model, opts Options) Result {
+	b := newBudget(opts)
+	lb, ub, ordering := m.initial()
+	if opts.InitialUB > 0 && opts.InitialUB < ub {
+		ub = opts.InitialUB
+		ordering = nil
+	}
+	s := &bbSearch{m: m, opts: opts, budget: b, ub: ub, lbRoot: lb, best: ordering}
+	if lb < ub && m.graph().N() > 0 {
+		s.dfs(0, lb, false)
+	}
+	exact := !b.exceeded
+	lbOut := s.lbRoot
+	if exact {
+		lbOut = s.ub
+	}
+	return Result{
+		Width:      s.ub,
+		LowerBound: lbOut,
+		Exact:      exact,
+		Ordering:   s.best,
+		Nodes:      b.nodes,
+		Elapsed:    b.elapsed(),
+	}
+}
+
+// dfs explores the subtree below the current elimination prefix.
+// g is the cost of the prefix, f the best lower bound along the path, and
+// lastReduced tells whether the previous elimination was a forced reduction
+// (suppressing PR2 for this node's children, per thesis Figure 5.1).
+func (s *bbSearch) dfs(g, f int, lastReduced bool) {
+	if !s.budget.tick() {
+		return
+	}
+	e := s.m.graph()
+	// PR1 (thesis §4.4.5): completing in any order costs at most
+	// max(g, completionCap); harvest it as an upper bound, and stop if the
+	// subtree cannot do better.
+	cap := s.m.completionCap()
+	if w := max2(g, cap); w < s.ub {
+		s.ub = w
+		s.best = completion(e, s.prefix)
+	}
+	if cap <= g {
+		return
+	}
+	// Children: a forced reduction vertex, or all live vertices.
+	var children []int
+	reduced := false
+	if !s.opts.DisableReductions {
+		if r := reduce.FindReduction(e, s.lbRoot, s.m.allowAlmostSimplicial()); r >= 0 {
+			children = []int{r}
+			reduced = true
+		}
+	}
+	if children == nil {
+		children = e.LiveVertices(nil)
+	}
+	// Order children by step cost so cheap eliminations are tried first.
+	// Costs at or above the current upper bound are all equivalent (pruned),
+	// which lets the ghw model cap its exact set-cover searches.
+	s.m.setCostCap(s.ub)
+	type childCost struct{ v, cost int }
+	cc := make([]childCost, len(children))
+	for i, v := range children {
+		cc[i] = childCost{v, s.m.stepCost(v)}
+	}
+	sort.SliceStable(cc, func(i, j int) bool { return cc[i].cost < cc[j].cost })
+
+	for _, c := range cc {
+		// Each evaluated child counts against the node budget: child
+		// evaluation (step cost + remainder lower bound) dominates the work.
+		if !s.budget.tick() {
+			return
+		}
+		v, cost := c.v, c.cost
+		if !reduced && !lastReduced && !s.opts.DisablePR2 && pr2Skip(s.m, v) {
+			continue
+		}
+		g2 := max2(g, cost)
+		if g2 >= s.ub {
+			continue
+		}
+		e.Eliminate(v)
+		s.prefix = append(s.prefix, v)
+		h := 0
+		if !s.opts.DisableNodeLB {
+			h = s.m.remainderLB()
+		}
+		f2 := max3(g2, h, f)
+		if f2 < s.ub {
+			s.dfs(g2, f2, reduced)
+		}
+		s.prefix = s.prefix[:len(s.prefix)-1]
+		e.Restore()
+	}
+}

@@ -1,0 +1,298 @@
+// Package search implements the exact algorithms of the thesis: the
+// branch-and-bound searches over elimination orderings (BB-tw in the style
+// of QuickBB/BB-tw, thesis §4.4; BB-ghw, Chapter 8) and the A* searches
+// (A*-tw, Chapter 5; A*-ghw, Chapter 9). All four explore the same search
+// tree — prefixes of elimination orderings — and share the pruning
+// machinery: PR1, PR2, simplicial / strongly-almost-simplicial reductions,
+// and per-node lower bounds.
+package search
+
+import (
+	"math/rand"
+	"time"
+
+	"hypertree/internal/bounds"
+	"hypertree/internal/elim"
+	"hypertree/internal/elimgraph"
+	"hypertree/internal/hypergraph"
+)
+
+// Options controls a search run.
+type Options struct {
+	// Timeout bounds wall-clock time; zero means unlimited.
+	Timeout time.Duration
+	// MaxNodes bounds the number of search-tree nodes expanded; zero means
+	// unlimited.
+	MaxNodes int64
+	// Seed drives the tie-breaking randomness of the bound heuristics.
+	Seed int64
+	// InitialUB, when positive, primes the search with a known upper bound
+	// (widths >= InitialUB are pruned; a solution of exactly InitialUB is
+	// assumed to exist elsewhere).
+	InitialUB int
+	// DisableReductions turns off the simplicial/almost-simplicial rules
+	// (thesis §4.4.3); used by the ablation benchmarks.
+	DisableReductions bool
+	// DisablePR2 turns off pruning rule 2 (thesis §4.4.5).
+	DisablePR2 bool
+	// NodeLB selects whether per-node lower bounds are computed (minor-min-
+	// width at interior nodes). Disabling degrades to plain depth-first
+	// branch and bound on g alone.
+	DisableNodeLB bool
+	// DedupeStates enables A* duplicate detection: two prefixes eliminating
+	// the same vertex set leave the same residual graph, so only the one
+	// with the smaller g needs expanding. An extension beyond the thesis's
+	// algorithms (it notes the exponential queue as the main limitation).
+	// Dedup subsumes PR2's non-adjacent case (swapped pairs reach the same
+	// set), and PR2 is disabled alongside it because the two prunings'
+	// correctness arguments do not compose.
+	DedupeStates bool
+}
+
+// Result reports the outcome of a search.
+type Result struct {
+	// Width is the smallest width found (an upper bound on the optimum;
+	// equal to it when Exact).
+	Width int
+	// LowerBound is the best proved lower bound on the optimum.
+	LowerBound int
+	// Exact reports whether Width was proved optimal.
+	Exact bool
+	// Ordering is an elimination ordering achieving Width. It is nil when
+	// the priming InitialUB was never improved upon.
+	Ordering []int
+	// Nodes is the number of evaluated search states (each child evaluation
+	// — step cost plus remainder lower bound — counts once; these dominate
+	// the work and are what the MaxNodes budget limits).
+	Nodes int64
+	// Elapsed is the wall-clock duration of the search.
+	Elapsed time.Duration
+}
+
+// model abstracts the cost structure shared by the treewidth and ghw
+// searches. The elimination graph it owns is the single mutable search
+// state.
+type model interface {
+	graph() *elimgraph.ElimGraph
+	// stepCost is the cost of eliminating v from the current state: the
+	// live degree (treewidth) or the bag cover size (ghw). It must be
+	// called before the elimination.
+	stepCost(v int) int
+	// remainderLB lower-bounds the optimal width of any completion of the
+	// current state.
+	remainderLB() int
+	// completionCap upper-bounds the cost charged by completing the current
+	// state in an arbitrary order (PR1; live-1 for treewidth, live for ghw).
+	completionCap() int
+	// initial returns the root lower bound, a heuristic upper bound and an
+	// ordering achieving it.
+	initial() (lb, ub int, ordering []int)
+	// allowAlmostSimplicial reports whether the strongly-almost-simplicial
+	// reduction is sound under this cost model.
+	allowAlmostSimplicial() bool
+	// pr2Adjacent reports whether PR2's adjacent case is sound under this
+	// cost model.
+	pr2Adjacent() bool
+	// setCostCap tells the model that step costs of cap or above are
+	// equivalent (they will be pruned), letting the ghw model bound its
+	// per-bag exact set-cover searches. No-op for the treewidth model.
+	setCostCap(cap int)
+}
+
+// twModel is the treewidth cost model (thesis Chapters 4–5).
+type twModel struct {
+	e   *elimgraph.ElimGraph
+	g   *hypergraph.Graph
+	rng *rand.Rand
+}
+
+func newTWModel(g *hypergraph.Graph, seed int64) *twModel {
+	return &twModel{e: elimgraph.New(g), g: g, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (m *twModel) graph() *elimgraph.ElimGraph { return m.e }
+func (m *twModel) stepCost(v int) int          { return m.e.Degree(v) }
+func (m *twModel) remainderLB() int            { return bounds.MinorMinWidthElim(m.e, m.rng) }
+func (m *twModel) completionCap() int {
+	if m.e.Live() == 0 {
+		return 0
+	}
+	return m.e.Live() - 1
+}
+func (m *twModel) initial() (int, int, []int) {
+	lb := bounds.TreewidthLowerBound(m.g, m.rng)
+	order := elim.MinFillOrdering(m.g, m.rng)
+	ub := elim.WidthOfGraph(m.g, order)
+	return lb, ub, order
+}
+func (m *twModel) allowAlmostSimplicial() bool { return true }
+func (m *twModel) pr2Adjacent() bool           { return true }
+func (m *twModel) setCostCap(int)              {}
+
+// ghwModel is the generalized-hypertree-width cost model (Chapters 8–9).
+type ghwModel struct {
+	h        *hypergraph.Hypergraph
+	ev       *elim.GHWEvaluator
+	rng      *rand.Rand
+	maxArity int
+}
+
+func newGHWModel(h *hypergraph.Hypergraph, seed int64, exactCovers bool) *ghwModel {
+	rng := rand.New(rand.NewSource(seed))
+	return &ghwModel{
+		h:        h,
+		ev:       elim.NewGHWEvaluator(h, exactCovers, rng),
+		rng:      rng,
+		maxArity: h.MaxArity(),
+	}
+}
+
+func (m *ghwModel) graph() *elimgraph.ElimGraph { return m.ev.E }
+func (m *ghwModel) stepCost(v int) int          { return m.ev.BagCost(v) }
+func (m *ghwModel) remainderLB() int {
+	return bounds.TwKscWidthFrom(bounds.MinorMinWidthElim(m.ev.E, m.rng), m.maxArity)
+}
+func (m *ghwModel) completionCap() int { return m.ev.E.Live() }
+func (m *ghwModel) initial() (int, int, []int) {
+	lb := bounds.TwKscWidthFrom(bounds.MinorMinWidthElim(m.ev.E, m.rng), m.maxArity)
+	order := elim.MinFillOrdering(m.h.PrimalGraph(), m.rng)
+	// Greedy covers for the priming bound: always cheap, still an upper
+	// bound; the search's exact covers are capped by it from then on.
+	ub := elim.NewGHWEvaluator(m.h, false, m.rng).Width(order)
+	return lb, ub, order
+}
+func (m *ghwModel) allowAlmostSimplicial() bool { return false }
+func (m *ghwModel) pr2Adjacent() bool           { return false }
+func (m *ghwModel) setCostCap(cap int)          { m.ev.Cap = cap }
+
+// budget tracks node and wall-clock limits.
+type budget struct {
+	deadline time.Time
+	maxNodes int64
+	nodes    int64
+	start    time.Time
+	exceeded bool
+}
+
+func newBudget(opts Options) *budget {
+	b := &budget{maxNodes: opts.MaxNodes, start: time.Now()}
+	if opts.Timeout > 0 {
+		b.deadline = b.start.Add(opts.Timeout)
+	}
+	return b
+}
+
+// tick counts one expanded node and reports whether the budget still holds.
+func (b *budget) tick() bool {
+	if b.exceeded {
+		return false
+	}
+	b.nodes++
+	if b.maxNodes > 0 && b.nodes > b.maxNodes {
+		b.exceeded = true
+		return false
+	}
+	if !b.deadline.IsZero() && b.nodes%256 == 0 && time.Now().After(b.deadline) {
+		b.exceeded = true
+		return false
+	}
+	return true
+}
+
+func (b *budget) elapsed() time.Duration { return time.Since(b.start) }
+
+// pr2Skip reports whether child v of the current state can be pruned by
+// pruning rule 2, given that `last` was eliminated immediately before and
+// was not a forced reduction. The rule keeps one canonical order of every
+// swappable consecutive pair (the order eliminating the larger-indexed
+// vertex first).
+func pr2Skip(m model, v int) bool {
+	e := m.graph()
+	if e.Depth() == 0 {
+		return false
+	}
+	last, clique, fills := e.LastStep()
+	if v >= last {
+		return false
+	}
+	adjacent := false
+	for _, u := range clique {
+		if u == v {
+			adjacent = true
+			break
+		}
+	}
+	if !adjacent {
+		// Non-adjacent consecutive eliminations commute exactly.
+		return true
+	}
+	if !m.pr2Adjacent() {
+		return false
+	}
+	// Adjacent case (thesis PR2): both orders have equal width when each of
+	// last and v has a still-live neighbor (before either elimination) that
+	// is not a neighbor of the other. Reconstruct N_before(v): current
+	// neighbors of v minus fill edges incident to v from last's elimination,
+	// plus last itself.
+	nvBefore := make(map[int]struct{})
+	var buf []int
+	for _, u := range e.Neighbors(v, buf) {
+		nvBefore[u] = struct{}{}
+	}
+	for _, f := range fills {
+		if f[0] == v {
+			delete(nvBefore, f[1])
+		} else if f[1] == v {
+			delete(nvBefore, f[0])
+		}
+	}
+	nvBefore[last] = struct{}{}
+	nLast := make(map[int]struct{}, len(clique))
+	for _, u := range clique {
+		nLast[u] = struct{}{}
+	}
+	condA := false
+	for u := range nLast {
+		if u == v {
+			continue
+		}
+		if _, ok := nvBefore[u]; !ok {
+			condA = true
+			break
+		}
+	}
+	if !condA {
+		return false
+	}
+	for u := range nvBefore {
+		if u == last {
+			continue
+		}
+		if _, ok := nLast[u]; !ok {
+			return true
+		}
+	}
+	return false
+}
+
+// completion returns prefix extended by all remaining live vertices (in
+// index order) — a full ordering whose width is bounded by
+// max(g, completionCap) per PR1.
+func completion(e *elimgraph.ElimGraph, prefix []int) []int {
+	out := append([]int(nil), prefix...)
+	for v := 0; v < e.N(); v++ {
+		if !e.Eliminated(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func max3(a, b, c int) int { return max2(max2(a, b), c) }

@@ -1,0 +1,339 @@
+// Package setcover implements the set-cover routines used when turning tree
+// decompositions into generalized hypertree decompositions: the greedy
+// heuristic of thesis Figure 7.2, an exact branch-and-bound solver standing
+// in for the thesis's IP solver (see DESIGN.md "Substitutions"), and the
+// k-set-cover lower bound used by the tw-ksc-width heuristic (thesis §8.1.1).
+//
+// In every use in this repository the universe is a decomposition bag (a
+// χ-set) and the candidate sets are the hypergraph's hyperedges; only the
+// intersections of the hyperedges with the bag matter.
+package setcover
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Greedy computes a cover of universe using the given sets, repeatedly
+// picking a set covering the maximum number of still-uncovered elements
+// (thesis Figure 7.2). Ties are broken by rng if non-nil, else by lowest
+// index. It returns the indices of the chosen sets, or nil if the universe
+// is not coverable.
+func Greedy(universe []int, sets [][]int, rng *rand.Rand) []int {
+	if len(universe) == 0 {
+		return []int{}
+	}
+	uncovered := make(map[int]struct{}, len(universe))
+	for _, v := range universe {
+		uncovered[v] = struct{}{}
+	}
+	var chosen []int
+	used := make([]bool, len(sets))
+	for len(uncovered) > 0 {
+		best, bestGain, ties := -1, 0, 0
+		for i, s := range sets {
+			if used[i] {
+				continue
+			}
+			gain := 0
+			for _, v := range s {
+				if _, ok := uncovered[v]; ok {
+					gain++
+				}
+			}
+			switch {
+			case gain > bestGain:
+				best, bestGain, ties = i, gain, 1
+			case gain == bestGain && gain > 0:
+				ties++
+				// Reservoir-sample among ties for the thesis's random
+				// tie-breaking.
+				if rng != nil && rng.Intn(ties) == 0 {
+					best = i
+				}
+			}
+		}
+		if best < 0 {
+			return nil // uncoverable
+		}
+		used[best] = true
+		chosen = append(chosen, best)
+		for _, v := range sets[best] {
+			delete(uncovered, v)
+		}
+	}
+	sort.Ints(chosen)
+	return chosen
+}
+
+// GreedySize returns len(Greedy(...)), or -1 if the universe is uncoverable.
+func GreedySize(universe []int, sets [][]int, rng *rand.Rand) int {
+	c := Greedy(universe, sets, rng)
+	if c == nil {
+		return -1
+	}
+	return len(c)
+}
+
+// Exact computes a minimum set cover by branch and bound and returns the
+// chosen set indices, or nil if the universe is uncoverable. It substitutes
+// for the IP solver used in the thesis (§2.5.2): the optimum is identical.
+//
+// The search restricts sets to the universe, removes dominated candidates,
+// branches on an uncovered element with the fewest candidate sets, bounds
+// with current + ceil(remaining / maxGain), and is primed with the greedy
+// solution.
+func Exact(universe []int, sets [][]int) []int {
+	if len(universe) == 0 {
+		return []int{}
+	}
+	chosen, _ := exactBB(universe, sets, 0)
+	return chosen
+}
+
+// ExactSizeCapped returns the minimum cover size when it is smaller than
+// cap, or cap when the minimum is cap or larger (the caller has already
+// decided that covers of size >= cap are useless, so the search can prune
+// aggressively). It returns -1 if the universe is uncoverable. cap must be
+// positive.
+func ExactSizeCapped(universe []int, sets [][]int, cap int) int {
+	if cap <= 0 {
+		panic("setcover: cap must be positive")
+	}
+	if len(universe) == 0 {
+		return 0
+	}
+	chosen, capped := exactBB(universe, sets, cap)
+	if capped {
+		return cap
+	}
+	if chosen == nil {
+		return -1
+	}
+	return len(chosen)
+}
+
+// exactBB is the shared branch-and-bound core. cap <= 0 means uncapped.
+// It reports (nil, true) when the optimum is >= cap under a positive cap.
+func exactBB(universe []int, sets [][]int, cap int) (result []int, capped bool) {
+	// Deduplicate universe.
+	uniq := make(map[int]struct{}, len(universe))
+	for _, v := range universe {
+		uniq[v] = struct{}{}
+	}
+	elems := make([]int, 0, len(uniq))
+	for v := range uniq {
+		elems = append(elems, v)
+	}
+	sort.Ints(elems)
+	pos := make(map[int]int, len(elems))
+	for i, v := range elems {
+		pos[v] = i
+	}
+	ne := len(elems)
+
+	// Restrict each set to the universe, as element positions, dropping
+	// duplicates and dominated (subset-of-another) candidates: they can
+	// always be replaced by their dominator without growing the cover.
+	type cand struct {
+		elems []int
+		orig  int
+	}
+	var cands []cand
+	seenKey := make(map[string]struct{})
+	for i, s := range sets {
+		var r []int
+		for _, v := range s {
+			if p, ok := pos[v]; ok {
+				r = append(r, p)
+			}
+		}
+		if len(r) == 0 {
+			continue
+		}
+		sort.Ints(r)
+		key := fmt.Sprint(r)
+		if _, dup := seenKey[key]; dup {
+			continue
+		}
+		seenKey[key] = struct{}{}
+		cands = append(cands, cand{r, i})
+	}
+	// Remove dominated candidates (quadratic; candidate lists are small
+	// after restriction/dedup).
+	kept := cands[:0]
+	for i := range cands {
+		dominated := false
+		for j := range cands {
+			if i == j || len(cands[i].elems) > len(cands[j].elems) {
+				continue
+			}
+			if len(cands[i].elems) == len(cands[j].elems) && i < j {
+				continue // equal sets were deduped; guard for safety
+			}
+			if subsetInts(cands[i].elems, cands[j].elems) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			kept = append(kept, cands[i])
+		}
+	}
+	cands = kept
+
+	restricted := make([][]int, len(cands))
+	memberOf := make([][]int, ne)
+	for i, c := range cands {
+		restricted[i] = c.elems
+		for _, e := range c.elems {
+			memberOf[e] = append(memberOf[e], i)
+		}
+	}
+	for e := 0; e < ne; e++ {
+		if len(memberOf[e]) == 0 {
+			return nil, false // element not coverable
+		}
+	}
+
+	greedyCover := Greedy(universe, sets, nil)
+	if greedyCover == nil {
+		return nil, false
+	}
+	bestLen := len(greedyCover)
+	best := append([]int(nil), greedyCover...)
+	if cap > 0 && bestLen > cap {
+		bestLen = cap
+		best = nil
+	}
+	// covered counts per element; coveredCount = elements with count > 0.
+	counts := make([]int, ne)
+	coveredCount := 0
+	var chosen []int
+
+	maxSetSize := 0
+	for _, r := range restricted {
+		if len(r) > maxSetSize {
+			maxSetSize = len(r)
+		}
+	}
+
+	add := func(i int) {
+		for _, e := range restricted[i] {
+			if counts[e] == 0 {
+				coveredCount++
+			}
+			counts[e]++
+		}
+		chosen = append(chosen, i)
+	}
+	undo := func(i int) {
+		for _, e := range restricted[i] {
+			counts[e]--
+			if counts[e] == 0 {
+				coveredCount--
+			}
+		}
+		chosen = chosen[:len(chosen)-1]
+	}
+
+	var dfs func()
+	dfs = func() {
+		if coveredCount == ne {
+			if len(chosen) < bestLen {
+				bestLen = len(chosen)
+				best = best[:0]
+				for _, ci := range chosen {
+					best = append(best, cands[ci].orig)
+				}
+			}
+			return
+		}
+		remaining := ne - coveredCount
+		lb := len(chosen) + (remaining+maxSetSize-1)/maxSetSize
+		if lb >= bestLen {
+			return
+		}
+		// Branch on the uncovered element with fewest candidates.
+		branch, branchDeg := -1, 1<<30
+		for e := 0; e < ne; e++ {
+			if counts[e] > 0 {
+				continue
+			}
+			if d := len(memberOf[e]); d < branchDeg {
+				branch, branchDeg = e, d
+			}
+		}
+		for _, si := range memberOf[branch] {
+			add(si)
+			dfs()
+			undo(si)
+		}
+	}
+	dfs()
+	if best == nil || (cap > 0 && bestLen >= cap) {
+		// Coverable (the memberOf check passed) but only at cap or above.
+		return nil, true
+	}
+	out := append([]int(nil), best...)
+	sort.Ints(out)
+	return out, false
+}
+
+// subsetInts reports whether sorted slice a is a subset of sorted slice b.
+func subsetInts(a, b []int) bool {
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i >= len(b) || b[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// ExactSize returns len(Exact(...)), or -1 if the universe is uncoverable.
+func ExactSize(universe []int, sets [][]int) int {
+	c := Exact(universe, sets)
+	if c == nil {
+		return -1
+	}
+	return len(c)
+}
+
+// KSetCoverLowerBound returns the trivial k-set-cover lower bound: covering
+// q elements with sets of size at most k needs at least ceil(q/k) sets
+// (thesis §8.1.1). It returns 0 for q <= 0 and panics for k < 1.
+func KSetCoverLowerBound(q, k int) int {
+	if k < 1 {
+		panic("setcover: k must be positive")
+	}
+	if q <= 0 {
+		return 0
+	}
+	return (q + k - 1) / k
+}
+
+// Covers reports whether the union of sets[i] for i in chosen contains every
+// element of universe.
+func Covers(universe []int, sets [][]int, chosen []int) bool {
+	have := make(map[int]struct{})
+	for _, i := range chosen {
+		if i < 0 || i >= len(sets) {
+			return false
+		}
+		for _, v := range sets[i] {
+			have[v] = struct{}{}
+		}
+	}
+	for _, v := range universe {
+		if _, ok := have[v]; !ok {
+			return false
+		}
+	}
+	return true
+}
