@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build vet test race check fuzz clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the full verification gate: static analysis, a clean build, and
+# the test suite under the race detector (which subsumes plain `go test`).
+check: vet build race
+
+# fuzz runs each parser fuzzer briefly; extend -fuzztime for real campaigns.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzParseHG     -fuzztime=30s ./internal/hypergraph/
+	$(GO) test -run=^$$ -fuzz=FuzzParseDIMACS -fuzztime=30s ./internal/hypergraph/
+	$(GO) test -run=^$$ -fuzz=FuzzParseGr     -fuzztime=30s ./internal/hypergraph/
+
+clean:
+	$(GO) clean ./...

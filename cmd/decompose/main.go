@@ -10,14 +10,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"hypertree/internal/bench"
+	"hypertree/internal/budget"
 	"hypertree/internal/core"
 	"hypertree/internal/decomp"
 	"hypertree/internal/hypergraph"
@@ -57,13 +62,24 @@ func main() {
 	}
 	fmt.Printf("instance: %s\n", h)
 
+	// SIGINT/SIGTERM cancel the run's context; the algorithms stop at their
+	// next checkpoint and the best decomposition found so far is still
+	// printed, with its stop reason. A second signal kills the process.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
 	d, err := core.Decompose(h, core.Options{
 		Algorithm: alg,
+		Ctx:       ctx,
 		Timeout:   *timeout,
 		MaxNodes:  *nodes,
 		Seed:      *seed,
 	})
 	if err != nil {
+		var pe *budget.PanicError
+		if errors.As(err, &pe) {
+			fatal(fmt.Errorf("algorithm panicked (contained): %w", pe))
+		}
 		fatal(err)
 	}
 
@@ -80,6 +96,9 @@ func main() {
 	}
 	fmt.Printf("%s (%s): %d   lower bound: %d\n", kind, status, d.Width, d.LowerBound)
 	fmt.Printf("effort: %d nodes, %d evaluations, %v\n", d.Nodes, d.Evaluations, d.Elapsed.Round(time.Millisecond))
+	if d.Interrupted {
+		fmt.Printf("run interrupted (%s): result is the best found within the budget\n", d.Stop)
+	}
 
 	if err := d.TD.Validate(h); err != nil {
 		fatal(fmt.Errorf("internal error: invalid tree decomposition: %w", err))

@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"hypertree/internal/bench"
 )
@@ -29,6 +32,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// SIGINT/SIGTERM cancel in-flight runs: the current table still prints
+	// (with anytime per-instance results), and no further table starts.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	sc.Ctx = ctx
+
 	ids := bench.TableIDs()
 	if *table != "all" {
 		if _, ok := bench.Tables[*table]; !ok {
@@ -47,6 +56,10 @@ func main() {
 		}
 		ran[key] = true
 		fmt.Println(runner(sc).Format())
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted; remaining tables skipped")
+			break
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -25,6 +26,10 @@ type Scale struct {
 	GAPop, GAIters, GARuns int
 	// Heavy includes the large instances.
 	Heavy bool
+	// Ctx optionally cancels in-flight runs (SIGINT in cmd/experiments):
+	// each per-instance run then returns its anytime result, and the table
+	// drivers stop between instances.
+	Ctx context.Context
 }
 
 // Smoke is the tiny preset used by the go test benchmarks.
@@ -57,7 +62,7 @@ func ParseScale(s string) (Scale, error) {
 }
 
 func (s Scale) searchOpts(seed int64) search.Options {
-	return search.Options{MaxNodes: s.SearchNodes, Timeout: s.SearchTimeout, Seed: seed}
+	return search.Options{MaxNodes: s.SearchNodes, Timeout: s.SearchTimeout, Seed: seed, Ctx: s.Ctx}
 }
 
 func (s Scale) gaConfig(seed int64) ga.Config {
@@ -70,6 +75,7 @@ func (s Scale) gaConfig(seed int64) ga.Config {
 		Crossover:      ga.POS,
 		Mutation:       ga.ISM,
 		Seed:           seed,
+		Ctx:            s.Ctx,
 	}
 }
 
@@ -387,6 +393,7 @@ func RunTable72(s Scale) *Table {
 				Epochs:         maxInt(2, s.GAIters/10),
 				EpochLength:    10,
 				Seed:           int64(20 + r),
+				Ctx:            s.Ctx,
 			}
 			res := ga.SAIGAGHW(h, cfg)
 			sum += res.BestWidth

@@ -1,0 +1,222 @@
+// Package budget is the unified run-budget abstraction shared by every
+// algorithm in this repository. A budget carries an optional
+// context.Context, a wall-clock deadline, and a search-node (work-unit)
+// budget; algorithms call Tick once per unit of work and Check at coarser
+// checkpoints, and stop cooperatively as soon as any limit trips. Because
+// every algorithm here attacks an NP-hard problem, runs routinely end by
+// budget rather than by completion — the budget records *why* a run stopped
+// (StopReason) so callers can report best-so-far anytime results honestly.
+//
+// A nil *B is valid everywhere and means "unlimited": Tick/Check return
+// true, Stopped reports false. This lets library entry points accept an
+// optional budget without nil checks at every call site.
+//
+// All methods are safe for concurrent use (the SAIGA islands share one
+// budget across goroutines).
+package budget
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hypertree/internal/budget/faultinject"
+)
+
+// StopReason says why a run ended early. The empty value means the run
+// completed normally.
+type StopReason string
+
+// The stop reasons.
+const (
+	StopNone     StopReason = ""            // ran to completion
+	StopDeadline StopReason = "deadline"    // wall-clock budget exhausted
+	StopNodes    StopReason = "node-budget" // work-unit budget exhausted
+	StopCanceled StopReason = "canceled"    // context canceled (e.g. SIGINT)
+	StopPanic    StopReason = "panic"       // a contained panic ended the run
+)
+
+// Limits configures a budget. Zero values mean unlimited.
+type Limits struct {
+	// Timeout bounds wall-clock time from New.
+	Timeout time.Duration
+	// MaxNodes bounds the number of Ticks (search expansions, GA
+	// evaluations — whatever the algorithm counts as a unit of work).
+	MaxNodes int64
+	// CheckEvery is how many Ticks pass between deadline/context
+	// checkpoints; defaults to 256. Tests lower it to make cancellation
+	// land promptly even in short runs.
+	CheckEvery int64
+}
+
+// B is a run budget. The zero value is not useful; use New. A nil *B is
+// valid and unlimited.
+type B struct {
+	ctx        context.Context
+	deadline   time.Time
+	maxNodes   int64
+	checkEvery int64
+	start      time.Time
+
+	nodes   atomic.Int64
+	stopped atomic.Bool
+	mu      sync.Mutex
+	reason  StopReason
+}
+
+// New builds a budget from ctx (may be nil) and limits, starting its clock
+// now. A context deadline earlier than limits.Timeout wins.
+func New(ctx context.Context, l Limits) *B {
+	b := &B{ctx: ctx, maxNodes: l.MaxNodes, checkEvery: l.CheckEvery, start: time.Now()}
+	if b.checkEvery <= 0 {
+		b.checkEvery = 256
+	}
+	if l.Timeout > 0 {
+		b.deadline = b.start.Add(l.Timeout)
+	}
+	if ctx != nil {
+		if d, ok := ctx.Deadline(); ok && (b.deadline.IsZero() || d.Before(b.deadline)) {
+			b.deadline = d
+		}
+	}
+	return b
+}
+
+// Context returns the budget's context, or context.Background for a nil or
+// context-less budget.
+func (b *B) Context() context.Context {
+	if b == nil || b.ctx == nil {
+		return context.Background()
+	}
+	return b.ctx
+}
+
+// Tick counts one unit of work and reports whether the run may continue.
+// Every checkEvery-th tick is also a Check checkpoint.
+func (b *B) Tick() bool {
+	if b == nil {
+		return true
+	}
+	if b.stopped.Load() {
+		return false
+	}
+	n := b.nodes.Add(1)
+	if b.maxNodes > 0 && n > b.maxNodes {
+		b.Stop(StopNodes)
+		return false
+	}
+	if n%b.checkEvery == 0 {
+		return b.Check()
+	}
+	return true
+}
+
+// Check is a cooperative checkpoint: it polls the context and the deadline
+// without counting work, and reports whether the run may continue.
+func (b *B) Check() bool {
+	if b == nil {
+		return true
+	}
+	faultinject.Hit(faultinject.SiteCheckpoint)
+	if b.stopped.Load() {
+		return false
+	}
+	if b.ctx != nil {
+		select {
+		case <-b.ctx.Done():
+			b.Stop(StopCanceled)
+			return false
+		default:
+		}
+	}
+	if !b.deadline.IsZero() && time.Now().After(b.deadline) {
+		b.Stop(StopDeadline)
+		return false
+	}
+	return true
+}
+
+// Stop marks the budget stopped with the given reason. The first reason
+// wins; later calls only keep the stopped flag set.
+func (b *B) Stop(r StopReason) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.reason == StopNone {
+		b.reason = r
+	}
+	b.mu.Unlock()
+	b.stopped.Store(true)
+}
+
+// Stopped reports whether any limit tripped (or Stop was called).
+func (b *B) Stopped() bool { return b != nil && b.stopped.Load() }
+
+// Reason returns why the budget stopped, or StopNone while it is live.
+func (b *B) Reason() StopReason {
+	if b == nil {
+		return StopNone
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.reason
+}
+
+// Nodes returns the number of work units ticked so far.
+func (b *B) Nodes() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.nodes.Load()
+}
+
+// Elapsed returns the wall-clock time since New.
+func (b *B) Elapsed() time.Duration {
+	if b == nil {
+		return 0
+	}
+	return time.Since(b.start)
+}
+
+// PanicError is the typed error a contained panic converts into: the
+// recovered value plus the stack of the panicking goroutine, so one bad
+// instance in a batch run surfaces as a diagnosable error instead of
+// killing the process.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// AsPanicError wraps a recovered value, capturing the current goroutine's
+// stack. A value that already is a *PanicError passes through unchanged, so
+// a panic forwarded across goroutines (SAIGA islands) keeps the stack of
+// the goroutine that actually panicked.
+func AsPanicError(v any) *PanicError {
+	if pe, ok := v.(*PanicError); ok {
+		return pe
+	}
+	buf := make([]byte, 64<<10)
+	return &PanicError{Value: v, Stack: buf[:runtime.Stack(buf, false)]}
+}
+
+// Guard runs fn with a panic barrier: a panic inside fn is recovered,
+// converted to a *PanicError, and returned as the error, with b marked
+// stopped (StopPanic). Batch runners rely on this so a single exploding
+// instance cannot take down the whole run.
+func Guard(b *B, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.Stop(StopPanic)
+			err = AsPanicError(r)
+		}
+	}()
+	return fn()
+}

@@ -1,0 +1,156 @@
+package budget
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *B
+	if !b.Tick() || !b.Check() {
+		t.Fatal("nil budget must allow work")
+	}
+	if b.Stopped() {
+		t.Fatal("nil budget must not report stopped")
+	}
+	if b.Reason() != StopNone {
+		t.Fatalf("nil budget reason = %q", b.Reason())
+	}
+	if b.Nodes() != 0 || b.Elapsed() != 0 {
+		t.Fatal("nil budget must report zero effort")
+	}
+	b.Stop(StopCanceled) // must not panic
+	if b.Context() == nil {
+		t.Fatal("nil budget must return a background context")
+	}
+}
+
+func TestNodeBudget(t *testing.T) {
+	b := New(nil, Limits{MaxNodes: 10})
+	ticks := 0
+	for b.Tick() {
+		ticks++
+		if ticks > 100 {
+			t.Fatal("node budget never tripped")
+		}
+	}
+	if ticks != 10 {
+		t.Fatalf("got %d ticks within a 10-node budget", ticks)
+	}
+	if b.Reason() != StopNodes {
+		t.Fatalf("reason = %q, want %q", b.Reason(), StopNodes)
+	}
+	if !b.Stopped() {
+		t.Fatal("budget must report stopped")
+	}
+	if b.Tick() {
+		t.Fatal("a stopped budget must refuse further work")
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	b := New(nil, Limits{Timeout: time.Millisecond, CheckEvery: 1})
+	time.Sleep(5 * time.Millisecond)
+	if b.Tick() {
+		t.Fatal("tick after the deadline must fail")
+	}
+	if b.Reason() != StopDeadline {
+		t.Fatalf("reason = %q, want %q", b.Reason(), StopDeadline)
+	}
+}
+
+func TestContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	b := New(ctx, Limits{CheckEvery: 1})
+	if !b.Tick() {
+		t.Fatal("tick before cancel must succeed")
+	}
+	cancel()
+	if b.Tick() {
+		t.Fatal("tick after cancel must fail")
+	}
+	if b.Reason() != StopCanceled {
+		t.Fatalf("reason = %q, want %q", b.Reason(), StopCanceled)
+	}
+}
+
+func TestContextDeadlineMergesWithTimeout(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	b := New(ctx, Limits{Timeout: time.Hour, CheckEvery: 1})
+	time.Sleep(5 * time.Millisecond)
+	if b.Tick() {
+		t.Fatal("tick after the (earlier) context deadline must fail")
+	}
+	if r := b.Reason(); r != StopCanceled && r != StopDeadline {
+		t.Fatalf("reason = %q, want canceled or deadline", r)
+	}
+}
+
+func TestFirstReasonWins(t *testing.T) {
+	b := New(nil, Limits{})
+	b.Stop(StopNodes)
+	b.Stop(StopDeadline)
+	if b.Reason() != StopNodes {
+		t.Fatalf("reason = %q, want the first stop to win", b.Reason())
+	}
+}
+
+func TestCheckEveryDefaults(t *testing.T) {
+	// With the default checkpoint stride, deadline trips are only observed
+	// at multiples of 256 ticks — but a node budget trips exactly.
+	b := New(nil, Limits{MaxNodes: 3})
+	for i := 0; i < 3; i++ {
+		if !b.Tick() {
+			t.Fatalf("tick %d failed before the budget", i)
+		}
+	}
+	if b.Tick() {
+		t.Fatal("4th tick must fail")
+	}
+}
+
+func TestGuardContainsPanic(t *testing.T) {
+	b := New(nil, Limits{})
+	err := Guard(b, func() error {
+		panic("kaboom")
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Guard returned %T, want *PanicError", err)
+	}
+	if pe.Value != "kaboom" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "budget") {
+		t.Fatal("panic stack missing or implausible")
+	}
+	if b.Reason() != StopPanic {
+		t.Fatalf("reason = %q, want %q", b.Reason(), StopPanic)
+	}
+}
+
+func TestGuardPassesThroughErrors(t *testing.T) {
+	b := New(nil, Limits{})
+	sentinel := errors.New("boom")
+	if err := Guard(b, func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("Guard returned %v, want sentinel", err)
+	}
+	if err := Guard(b, func() error { return nil }); err != nil {
+		t.Fatalf("Guard returned %v, want nil", err)
+	}
+	if b.Stopped() {
+		t.Fatal("non-panicking Guard must not stop the budget")
+	}
+}
+
+func TestAsPanicErrorPassthrough(t *testing.T) {
+	orig := AsPanicError("first")
+	again := AsPanicError(orig)
+	if again != orig {
+		t.Fatal("an existing *PanicError must pass through unchanged (stack preservation)")
+	}
+}

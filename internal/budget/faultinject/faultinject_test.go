@@ -1,0 +1,79 @@
+package faultinject
+
+import "testing"
+
+func TestDisarmedHitIsNoop(t *testing.T) {
+	Reset()
+	if Armed() {
+		t.Fatal("fresh state must be disarmed")
+	}
+	Hit(SiteSearchExpand) // must not panic or block
+}
+
+func TestArmFiresOnNthHit(t *testing.T) {
+	defer Reset()
+	fired := 0
+	Arm(SiteGAEval, 3, func() { fired++ })
+	Hit(SiteGAEval)
+	Hit(SiteGAEval)
+	if fired != 0 {
+		t.Fatalf("fired after %d hits, want after 3", fired)
+	}
+	Hit(SiteGAEval)
+	if fired != 1 {
+		t.Fatalf("fired = %d after 3rd hit, want 1", fired)
+	}
+	Hit(SiteGAEval)
+	if fired != 1 {
+		t.Fatal("action must run at most once")
+	}
+	if Armed() {
+		t.Fatal("site must disarm after firing")
+	}
+}
+
+func TestSitesAreIndependent(t *testing.T) {
+	defer Reset()
+	fired := false
+	Arm(SiteCover, 1, func() { fired = true })
+	Hit(SiteSearchExpand)
+	Hit(SiteCheckpoint)
+	if fired {
+		t.Fatal("hits on other sites must not fire the plan")
+	}
+	Hit(SiteCover)
+	if !fired {
+		t.Fatal("armed site did not fire")
+	}
+}
+
+func TestArmZeroMeansNext(t *testing.T) {
+	defer Reset()
+	fired := false
+	Arm(SiteCheckpoint, 0, func() { fired = true })
+	Hit(SiteCheckpoint)
+	if !fired {
+		t.Fatal("n<1 must clamp to the next hit")
+	}
+}
+
+func TestInjectedPanicUnwindsCaller(t *testing.T) {
+	defer Reset()
+	Arm(SiteSearchExpand, 1, func() { panic("injected") })
+	defer func() {
+		if r := recover(); r != "injected" {
+			t.Fatalf("recovered %v, want the injected panic", r)
+		}
+	}()
+	Hit(SiteSearchExpand)
+	t.Fatal("unreachable: Hit must have panicked")
+}
+
+func TestResetClearsPlans(t *testing.T) {
+	Arm(SiteGAEval, 1, func() { t.Fatal("must never fire") })
+	Reset()
+	if Armed() {
+		t.Fatal("Reset must disarm")
+	}
+	Hit(SiteGAEval)
+}

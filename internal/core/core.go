@@ -18,11 +18,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"hypertree/internal/bounds"
+	"hypertree/internal/budget"
 	"hypertree/internal/decomp"
 	"hypertree/internal/elim"
 	"hypertree/internal/ga"
@@ -75,15 +77,24 @@ func (a Algorithm) IsTreewidth() bool {
 // Options configures Decompose.
 type Options struct {
 	Algorithm Algorithm
+	// Ctx optionally cancels the run (e.g. on SIGINT); on cancellation
+	// Decompose still returns a validated best-so-far decomposition with
+	// Stop set to budget.StopCanceled.
+	Ctx context.Context
 	// Timeout bounds the run (exact algorithms degrade to anytime bounds).
 	Timeout time.Duration
-	// MaxNodes bounds search-tree expansions for the exact algorithms.
+	// MaxNodes bounds work units: search-tree expansions for the exact
+	// algorithms, fitness evaluations for the genetic ones.
 	MaxNodes int64
-	Seed     int64
+	// CheckEvery overrides how many work units pass between context/deadline
+	// checkpoints (default 256). Tests lower it so cancellation lands even
+	// in very short runs.
+	CheckEvery int64
+	Seed       int64
 	// GA configures ga-tw/ga-ghw; zero-valued fields fall back to scaled-
 	// down thesis defaults.
 	GA ga.Config
-	// SAIGA configures saiga-ghw; zero value falls back to defaults.
+	// SAIGA configures saiga-ghw; zero-valued fields fall back to defaults.
 	SAIGA ga.SAIGAConfig
 }
 
@@ -108,11 +119,23 @@ type Decomposition struct {
 	Nodes       int64
 	Evaluations int64
 	Elapsed     time.Duration
+	// Interrupted reports that the run ended on a budget (deadline, node
+	// budget, or cancellation) rather than by completing; the decomposition
+	// is the validated best found so far. Stop says which limit tripped.
+	Interrupted bool
+	Stop        budget.StopReason
 }
 
 // Decompose runs the selected algorithm on h. For the treewidth algorithms
 // the hypergraph's primal graph is decomposed (Lemma 1) and GHD is nil; for
 // the ghw algorithms a validated GHD with exact bag covers is returned.
+//
+// The run is governed by one shared budget built from Ctx, Timeout and
+// MaxNodes. When any limit trips, the algorithm stops cooperatively and
+// Decompose still returns a validated best-so-far decomposition, with
+// Interrupted set and Stop naming the limit. A panic inside the algorithm
+// is contained and returned as a *budget.PanicError — one exploding
+// instance in a batch run stays a diagnosable error.
 func Decompose(h *hypergraph.Hypergraph, opts Options) (*Decomposition, error) {
 	if h.N() == 0 {
 		return nil, fmt.Errorf("core: empty hypergraph")
@@ -120,7 +143,30 @@ func Decompose(h *hypergraph.Hypergraph, opts Options) (*Decomposition, error) {
 	if !h.CoversAllVertices() && !opts.Algorithm.IsTreewidth() {
 		return nil, fmt.Errorf("core: hypergraph leaves vertices uncovered; ghw is undefined (add unary edges)")
 	}
-	sopt := search.Options{Timeout: opts.Timeout, MaxNodes: opts.MaxNodes, Seed: opts.Seed}
+	b := budget.New(opts.Ctx, budget.Limits{
+		Timeout:    opts.Timeout,
+		MaxNodes:   opts.MaxNodes,
+		CheckEvery: opts.CheckEvery,
+	})
+	var d *Decomposition
+	err := budget.Guard(b, func() error {
+		var err error
+		d, err = decompose(h, opts, b)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.Stop = b.Reason()
+	d.Interrupted = d.Stop != budget.StopNone
+	d.Exact = d.Exact && !d.Interrupted
+	return d, nil
+}
+
+// decompose dispatches to the selected algorithm under the shared budget b
+// and post-processes the result into a validated decomposition.
+func decompose(h *hypergraph.Hypergraph, opts Options, b *budget.B) (*Decomposition, error) {
+	sopt := search.Options{Seed: opts.Seed, Budget: b}
 	var d *Decomposition
 	switch opts.Algorithm {
 	case AlgAStarTW:
@@ -129,6 +175,7 @@ func Decompose(h *hypergraph.Hypergraph, opts Options) (*Decomposition, error) {
 		d = fromSearch(search.BBTreewidth(h.PrimalGraph(), sopt))
 	case AlgGATW:
 		cfg := gaDefaults(opts.GA, opts)
+		cfg.Budget = b
 		r := ga.TreewidthOfHypergraph(h, cfg)
 		d = &Decomposition{
 			Width:       r.BestWidth,
@@ -143,6 +190,7 @@ func Decompose(h *hypergraph.Hypergraph, opts Options) (*Decomposition, error) {
 		d = fromSearch(search.BBGHW(h, sopt))
 	case AlgGAGHW:
 		cfg := gaDefaults(opts.GA, opts)
+		cfg.Budget = b
 		r := ga.GHW(h, cfg)
 		d = &Decomposition{
 			Width:       r.BestWidth,
@@ -152,12 +200,8 @@ func Decompose(h *hypergraph.Hypergraph, opts Options) (*Decomposition, error) {
 			Elapsed:     r.Elapsed,
 		}
 	case AlgSAIGAGHW:
-		cfg := opts.SAIGA
-		if cfg.Islands == 0 {
-			cfg = ga.SAIGADefaults()
-			cfg.Seed = opts.Seed
-			cfg.Timeout = opts.Timeout
-		}
+		cfg := saigaDefaults(opts.SAIGA, opts)
+		cfg.Budget = b
 		r := ga.SAIGAGHW(h, cfg)
 		d = &Decomposition{
 			Width:       r.BestWidth,
@@ -169,7 +213,7 @@ func Decompose(h *hypergraph.Hypergraph, opts Options) (*Decomposition, error) {
 	case AlgGreedy:
 		start := time.Now()
 		rng := rand.New(rand.NewSource(opts.Seed))
-		order := elim.MinFillOrdering(h.PrimalGraph(), rng)
+		order := elim.MinFillOrderingBudget(h.PrimalGraph(), rng, b)
 		w := elim.NewGHWEvaluator(h, false, rng).Width(order)
 		d = &Decomposition{
 			Width:      w,
@@ -182,33 +226,56 @@ func Decompose(h *hypergraph.Hypergraph, opts Options) (*Decomposition, error) {
 		rng := rand.New(rand.NewSource(opts.Seed))
 		// hw ≤ tw+1 always, and the greedy ghw bound caps the search too.
 		maxK := bounds.MinFillUpperBound(h.PrimalGraph(), rng) + 1
-		w, g := htd.HypertreeWidth(h, maxK)
-		if w < 0 {
+		w, g, provenLB := htd.HypertreeWidthBudget(h, maxK, b)
+		lb := bounds.TwKscWidth(h, rng)
+		if provenLB > lb {
+			lb = provenLB
+		}
+		if w >= 0 {
+			d = &Decomposition{
+				Width:      w,
+				LowerBound: lb,
+				Exact:      true, // exact hypertree width
+				Nodes:      b.Nodes(),
+				Elapsed:    time.Since(start),
+			}
+			// det-k-decomp builds the decomposition directly, not from an
+			// ordering; attach it and derive the TD view from its bags.
+			d.GHD = g
+			d.TD = &g.TreeDecomposition
+			return d, nil
+		}
+		if !b.Stopped() {
 			return nil, fmt.Errorf("core: det-k-decomp found no decomposition up to width %d", maxK)
 		}
+		// Interrupted: widths below provenLB were refuted (hw ≥ provenLB),
+		// but no decomposition was completed. Degrade to a greedy GHD via
+		// the nil-Ordering fallback below so the anytime contract holds.
+		// Note LowerBound bounds hw while the fallback width bounds ghw, so
+		// on an interrupted run LowerBound may exceed Width.
 		d = &Decomposition{
-			Width:      w,
-			LowerBound: bounds.TwKscWidth(h, rng),
-			Exact:      true, // exact hypertree width
+			LowerBound: lb,
+			Nodes:      b.Nodes(),
 			Elapsed:    time.Since(start),
 		}
-		// det-k-decomp builds the decomposition directly, not from an
-		// ordering; attach it and derive the TD view from its bags.
-		d.GHD = g
-		d.TD = &g.TreeDecomposition
-		return d, nil
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %q", opts.Algorithm)
 	}
 
 	if d.Ordering == nil {
 		// Budgeted run that never materialized an ordering: fall back to
-		// min-fill so the caller always gets a decomposition.
-		d.Ordering = elim.MinFillOrdering(h.PrimalGraph(), rand.New(rand.NewSource(opts.Seed)))
+		// min-fill so the caller always gets a decomposition. The budget is
+		// already stopped here, so the greedy scorer inside degrades to a
+		// cheap index ordering rather than spending more time.
+		d.Ordering = elim.MinFillOrderingBudget(h.PrimalGraph(), rand.New(rand.NewSource(opts.Seed)), b)
 	}
 	d.TD = elim.TDFromOrdering(h, d.Ordering)
 	if !opts.Algorithm.IsTreewidth() {
-		g, err := elim.GHDFromOrdering(h, d.Ordering, true, nil)
+		// Exact covers are exponential in the worst case; on an interrupted
+		// run stay polynomial with greedy covers so post-processing cannot
+		// blow past the budget the caller just hit.
+		exact := !b.Stopped()
+		g, err := elim.GHDFromOrdering(h, d.Ordering, exact, rand.New(rand.NewSource(opts.Seed)))
 		if err != nil {
 			return nil, fmt.Errorf("core: covering decomposition: %w", err)
 		}
@@ -217,8 +284,8 @@ func Decompose(h *hypergraph.Hypergraph, opts Options) (*Decomposition, error) {
 			// Exact covers can beat the greedy width the heuristic reported.
 			d.Width = g.Width()
 		} else if g.Width() > d.Width {
-			// Possible only on the fallback-ordering path: report what the
-			// returned decomposition actually achieves.
+			// Possible only on the fallback-ordering and greedy-cover paths:
+			// report what the returned decomposition actually achieves.
 			d.Width = g.Width()
 			d.Exact = false
 		}
@@ -245,13 +312,60 @@ func fromSearch(r search.Result) *Decomposition {
 	}
 }
 
-// gaDefaults fills unset GA fields with scaled-down thesis defaults.
+// gaDefaults fills unset GA fields with scaled-down thesis defaults,
+// field by field: a caller who sets only PopulationSize still gets working
+// rates, tournament size and iteration count instead of a zero-valued
+// config that panics inside ga.Run.
 func gaDefaults(cfg ga.Config, opts Options) ga.Config {
+	def := ga.ThesisDefaults()
+	def.PopulationSize = 200
+	def.MaxIterations = 200
 	if cfg.PopulationSize == 0 {
-		def := ga.ThesisDefaults()
-		def.PopulationSize = 200
-		def.MaxIterations = 200
-		cfg = def
+		cfg.PopulationSize = def.PopulationSize
+		// The zero-valued operators (PMX, DM) are legitimate choices a
+		// caller may have made deliberately, so they only default when the
+		// whole config looks untouched (no population size set).
+		cfg.Crossover = def.Crossover
+		cfg.Mutation = def.Mutation
+	}
+	if cfg.CrossoverRate == 0 {
+		cfg.CrossoverRate = def.CrossoverRate
+	}
+	if cfg.MutationRate == 0 {
+		cfg.MutationRate = def.MutationRate
+	}
+	if cfg.TournamentSize == 0 {
+		cfg.TournamentSize = def.TournamentSize
+	}
+	if cfg.MaxIterations == 0 {
+		cfg.MaxIterations = def.MaxIterations
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = opts.Seed
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = opts.Timeout
+	}
+	return cfg
+}
+
+// saigaDefaults fills unset SAIGA fields with defaults, field by field.
+func saigaDefaults(cfg ga.SAIGAConfig, opts Options) ga.SAIGAConfig {
+	def := ga.SAIGADefaults()
+	if cfg.Islands == 0 {
+		cfg.Islands = def.Islands
+	}
+	if cfg.IslandPop == 0 {
+		cfg.IslandPop = def.IslandPop
+	}
+	if cfg.TournamentSize == 0 {
+		cfg.TournamentSize = def.TournamentSize
+	}
+	if cfg.Epochs == 0 {
+		cfg.Epochs = def.Epochs
+	}
+	if cfg.EpochLength == 0 {
+		cfg.EpochLength = def.EpochLength
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = opts.Seed

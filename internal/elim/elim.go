@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"hypertree/internal/budget/faultinject"
 	"hypertree/internal/decomp"
 	"hypertree/internal/elimgraph"
 	"hypertree/internal/hypergraph"
@@ -130,6 +131,7 @@ func (ev *GHWEvaluator) BagCost(v int) int {
 // edges incident to the bag (everything else is useless), and returns the
 // cover size, or -1 if uncoverable.
 func (ev *GHWEvaluator) coverSize(bag []int) int {
+	faultinject.Hit(faultinject.SiteCover)
 	ev.candidate = ev.candidate[:0]
 	for _, v := range bag {
 		for _, e := range ev.H.IncidentEdges(v) {

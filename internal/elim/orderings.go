@@ -3,6 +3,7 @@ package elim
 import (
 	"math/rand"
 
+	"hypertree/internal/budget"
 	"hypertree/internal/elimgraph"
 	"hypertree/internal/hypergraph"
 )
@@ -12,7 +13,15 @@ import (
 // "min-fill heuristic"; ties broken by rng, or lowest index when rng is
 // nil). This is the upper-bound heuristic used by QuickBB and A*-tw.
 func MinFillOrdering(g *hypergraph.Graph, rng *rand.Rand) []int {
-	return greedyOrdering(elimgraph.New(g), rng, func(e *elimgraph.ElimGraph, v int) int {
+	return MinFillOrderingBudget(g, rng, nil)
+}
+
+// MinFillOrderingBudget is MinFillOrdering under a run budget: one work
+// unit per eliminated vertex. On budget exhaustion the greedy choice
+// degrades to index order for the remaining vertices, so the result is
+// always a complete, valid ordering (just a weaker one).
+func MinFillOrderingBudget(g *hypergraph.Graph, rng *rand.Rand, b *budget.B) []int {
+	return greedyOrdering(elimgraph.New(g), rng, b, func(e *elimgraph.ElimGraph, v int) int {
 		return e.FillCount(v)
 	})
 }
@@ -20,18 +29,29 @@ func MinFillOrdering(g *hypergraph.Graph, rng *rand.Rand) []int {
 // MinDegreeOrdering returns an elimination ordering built by repeatedly
 // eliminating a vertex of minimum live degree.
 func MinDegreeOrdering(g *hypergraph.Graph, rng *rand.Rand) []int {
-	return greedyOrdering(elimgraph.New(g), rng, func(e *elimgraph.ElimGraph, v int) int {
+	return greedyOrdering(elimgraph.New(g), rng, nil, func(e *elimgraph.ElimGraph, v int) int {
 		return e.Degree(v)
 	})
 }
 
 // greedyOrdering eliminates all vertices, always choosing a minimizer of
 // score among live vertices, with reservoir tie-breaking when rng != nil.
-func greedyOrdering(e *elimgraph.ElimGraph, rng *rand.Rand, score func(*elimgraph.ElimGraph, int) int) []int {
+// A stopped budget short-circuits the remaining greedy choices to index
+// order; the returned ordering is complete either way.
+func greedyOrdering(e *elimgraph.ElimGraph, rng *rand.Rand, b *budget.B, score func(*elimgraph.ElimGraph, int) int) []int {
 	n := e.N()
 	order := make([]int, 0, n)
 	var live []int
 	for len(order) < n {
+		if !b.Tick() {
+			// Budget exhausted: complete the permutation without scoring.
+			for v := 0; v < n; v++ {
+				if !e.Eliminated(v) {
+					order = append(order, v)
+				}
+			}
+			break
+		}
 		live = e.LiveVertices(live)
 		best, bestScore, ties := -1, 0, 0
 		for _, v := range live {

@@ -1,10 +1,13 @@
 package ga
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"time"
 
+	"hypertree/internal/budget"
+	"hypertree/internal/budget/faultinject"
 	"hypertree/internal/elim"
 	"hypertree/internal/elimgraph"
 	"hypertree/internal/hypergraph"
@@ -61,6 +64,22 @@ type Config struct {
 	// Target, when positive, stops the run early once the best width
 	// reaches it (useful when a matching lower bound is known).
 	Target int
+	// Ctx optionally cancels the run at the evaluation checkpoints; on
+	// cancellation Run returns its best-so-far anytime result.
+	Ctx context.Context
+	// Budget, when non-nil, supersedes Ctx/Timeout: every fitness
+	// evaluation draws one work unit from it. core.Decompose shares one
+	// budget across the whole run.
+	Budget *budget.B
+}
+
+// budgetFor returns the run budget: the caller-supplied one, or a fresh
+// budget built from the legacy Ctx/Timeout fields.
+func (c Config) budgetFor() *budget.B {
+	if c.Budget != nil {
+		return c.Budget
+	}
+	return budget.New(c.Ctx, budget.Limits{Timeout: c.Timeout})
 }
 
 // ThesisDefaults returns the control parameters selected by the thesis's
@@ -87,6 +106,9 @@ type Result struct {
 	// History records the best width after each generation (index 0 is the
 	// initial population), for the convergence experiments.
 	History []int
+	// Stop says why the run ended early (deadline, node budget, canceled);
+	// StopNone when all generations ran or Target was reached.
+	Stop budget.StopReason
 }
 
 // Run executes the genetic algorithm of thesis Figure 6.1 over orderings of
@@ -100,20 +122,31 @@ func Run(n int, eval Evaluator, cfg Config) Result {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	start := time.Now()
-	var deadline time.Time
-	if cfg.Timeout > 0 {
-		deadline = start.Add(cfg.Timeout)
-	}
+	b := cfg.budgetFor()
 
 	pop := make([][]int, cfg.PopulationSize)
 	fit := make([]int, cfg.PopulationSize)
 	evals := int64(0)
 	for i := range pop {
 		pop[i] = rng.Perm(n)
+	}
+	// The first individual is always evaluated — even on an exhausted
+	// budget the caller gets one valid scored ordering back.
+	faultinject.Hit(faultinject.SiteGAEval)
+	fit[0] = eval.Evaluate(pop[0])
+	evals++
+	best, bestFit := pop[0], fit[0]
+	for i := 1; i < len(pop); i++ {
+		if !b.Tick() {
+			break
+		}
+		faultinject.Hit(faultinject.SiteGAEval)
 		fit[i] = eval.Evaluate(pop[i])
 		evals++
+		if fit[i] < bestFit {
+			best, bestFit = pop[i], fit[i]
+		}
 	}
-	best, bestFit := bestOf(pop, fit)
 	history := []int{bestFit}
 
 	gen := 0
@@ -121,7 +154,7 @@ func Run(n int, eval Evaluator, cfg Config) Result {
 		if bestFit <= cfg.Target && cfg.Target > 0 {
 			break
 		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
+		if b.Stopped() || !b.Check() {
 			break
 		}
 		// Selection (tournament, thesis §6.1).
@@ -147,16 +180,29 @@ func Run(n int, eval Evaluator, cfg Config) Result {
 				Mutate(cfg.Mutation, next[i], rng)
 			}
 		}
-		// Evaluation.
+		// Evaluation. On budget exhaustion mid-generation only the already-
+		// evaluated prefix is trusted: the tail of fit still scores the
+		// previous generation's individuals.
 		pop = next
+		evaluated := len(pop)
 		for i := range pop {
+			if !b.Tick() {
+				evaluated = i
+				break
+			}
+			faultinject.Hit(faultinject.SiteGAEval)
 			fit[i] = eval.Evaluate(pop[i])
 			evals++
 		}
-		if o, f := bestOf(pop, fit); f < bestFit {
-			best, bestFit = o, f
+		for i := 0; i < evaluated; i++ {
+			if fit[i] < bestFit {
+				best, bestFit = pop[i], fit[i]
+			}
 		}
 		history = append(history, bestFit)
+		if evaluated < len(pop) {
+			break
+		}
 	}
 
 	return Result{
@@ -166,6 +212,7 @@ func Run(n int, eval Evaluator, cfg Config) Result {
 		Evaluations:  evals,
 		Elapsed:      time.Since(start),
 		History:      history,
+		Stop:         b.Reason(),
 	}
 }
 

@@ -1,9 +1,13 @@
 package ga
 
 import (
+	"context"
 	"math/rand"
+	"sync"
 	"time"
 
+	"hypertree/internal/budget"
+	"hypertree/internal/budget/faultinject"
 	"hypertree/internal/hypergraph"
 )
 
@@ -21,6 +25,19 @@ type SAIGAConfig struct {
 	Seed           int64
 	Timeout        time.Duration
 	Target         int
+	// Ctx optionally cancels the run at the evaluation checkpoints; on
+	// cancellation SAIGA returns its best-so-far anytime result.
+	Ctx context.Context
+	// Budget, when non-nil, supersedes Ctx/Timeout: every fitness
+	// evaluation (on any island) draws one work unit from it.
+	Budget *budget.B
+}
+
+func (c SAIGAConfig) budgetFor() *budget.B {
+	if c.Budget != nil {
+		return c.Budget
+	}
+	return budget.New(c.Ctx, budget.Limits{Timeout: c.Timeout})
 }
 
 // SAIGADefaults returns a small but representative configuration.
@@ -99,6 +116,9 @@ type SAIGAResult struct {
 	BestOrdering []int
 	Evaluations  int64
 	Elapsed      time.Duration
+	// Stop says why the run ended early; StopNone when all epochs ran or
+	// Target was reached.
+	Stop budget.StopReason
 	// FinalParams holds each island's adapted parameters at termination,
 	// for inspection of what the self-adaptation converged to.
 	FinalParams []struct {
@@ -108,59 +128,82 @@ type SAIGAResult struct {
 	}
 }
 
-// island is one population with its parameter vector.
+// island is one population with its parameter vector. Every island owns its
+// rng and evaluator so the islands of an epoch can evolve on separate
+// goroutines without sharing mutable state; cross-island steps (migration,
+// parameter orientation) run sequentially between epochs.
 type island struct {
 	pop    [][]int
 	fit    []int
 	params paramVector
 	best   []int
 	bestF  int
+	rng    *rand.Rand
+	eval   Evaluator
+	evals  int64
 }
 
 // SAIGAGHW runs SAIGA-ghw on a hypergraph and returns an upper bound on its
 // generalized hypertree width (the thesis's configuration, §7.2).
 func SAIGAGHW(h *hypergraph.Hypergraph, cfg SAIGAConfig) SAIGAResult {
-	eval := NewGHWEvaluator(h, rand.New(rand.NewSource(cfg.Seed^0x51a)))
-	return SAIGA(h.N(), eval, cfg)
+	return SAIGA(h.N(), func(i int) Evaluator {
+		return NewGHWEvaluator(h, rand.New(rand.NewSource(cfg.Seed^0x51a+int64(i)*1000003)))
+	}, cfg)
 }
 
 // SAIGATreewidth runs the self-adaptive island GA under the treewidth cost
 // function — an extension beyond the thesis, which only pairs SAIGA with
 // ghw; the island machinery is evaluator-agnostic.
 func SAIGATreewidth(g *hypergraph.Graph, cfg SAIGAConfig) SAIGAResult {
-	return SAIGA(g.N(), NewTreewidthEvaluator(g), cfg)
+	return SAIGA(g.N(), func(int) Evaluator { return NewTreewidthEvaluator(g) }, cfg)
 }
 
-// SAIGA runs the self-adaptive island GA over orderings of n vertices,
-// scored by eval.
-func SAIGA(n int, eval Evaluator, cfg SAIGAConfig) SAIGAResult {
+// SAIGA runs the self-adaptive island GA over orderings of n vertices.
+// newEval builds one evaluator per island (evaluators own scratch state and
+// are not safe for concurrent use, so islands may not share one).
+func SAIGA(n int, newEval func(island int) Evaluator, cfg SAIGAConfig) SAIGAResult {
 	if cfg.Islands < 2 {
 		panic("ga: SAIGA needs at least 2 islands")
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	start := time.Now()
-	var deadline time.Time
-	if cfg.Timeout > 0 {
-		deadline = start.Add(cfg.Timeout)
-	}
-	evals := int64(0)
+	b := cfg.budgetFor()
 
 	isles := make([]*island, cfg.Islands)
 	for i := range isles {
-		isl := &island{
+		isles[i] = &island{
 			pop:    make([][]int, cfg.IslandPop),
 			fit:    make([]int, cfg.IslandPop),
 			params: randomParams(rng),
+			rng:    rand.New(rand.NewSource(cfg.Seed + 0x5eed*int64(i+1))),
+			eval:   newEval(i),
+			bestF:  int(^uint(0) >> 1), // until the first evaluation lands
 		}
-		for j := range isl.pop {
-			isl.pop[j] = rng.Perm(n)
-			isl.fit[j] = eval.Evaluate(isl.pop[j])
-			evals++
-		}
-		isl.best, isl.bestF = bestOf(isl.pop, isl.fit)
-		isl.best = append([]int(nil), isl.best...)
-		isles[i] = isl
 	}
+
+	// Initial populations, evaluated island-parallel.
+	runIslands(isles, func(isl *island) {
+		for j := range isl.pop {
+			isl.pop[j] = isl.rng.Perm(n)
+		}
+		evaluated := len(isl.pop)
+		for j := range isl.pop {
+			if !b.Tick() {
+				evaluated = j
+				break
+			}
+			faultinject.Hit(faultinject.SiteGAEval)
+			isl.fit[j] = isl.eval.Evaluate(isl.pop[j])
+			isl.evals++
+		}
+		for j := 0; j < evaluated; j++ {
+			if isl.fit[j] < isl.bestF {
+				// Fresh copy: globalBest snapshots isl.best by reference.
+				isl.best = append([]int(nil), isl.pop[j]...)
+				isl.bestF = isl.fit[j]
+			}
+		}
+	})
 
 	globalBest, globalF := isles[0].best, isles[0].bestF
 	for _, isl := range isles {
@@ -168,20 +211,35 @@ func SAIGA(n int, eval Evaluator, cfg SAIGAConfig) SAIGAResult {
 			globalBest, globalF = isl.best, isl.bestF
 		}
 	}
+	if globalBest == nil {
+		// Budget exhausted before any evaluation: score one ordering anyway
+		// so the anytime contract (a valid result with a true width) holds.
+		globalBest = isles[0].pop[0]
+		globalF = isles[0].eval.Evaluate(globalBest)
+		isles[0].evals++
+		isles[0].best = append([]int(nil), globalBest...)
+		isles[0].bestF = globalF
+	}
 
-epochs:
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.Target > 0 && globalF <= cfg.Target {
+			break
+		}
+		if b.Stopped() || !b.Check() {
+			break
+		}
+		runIslands(isles, func(isl *island) {
+			evolveIsland(isl, cfg, b)
+		})
 		for _, isl := range isles {
-			if cfg.Target > 0 && globalF <= cfg.Target {
-				break epochs
-			}
-			if !deadline.IsZero() && time.Now().After(deadline) {
-				break epochs
-			}
-			evals += evolveIsland(isl, eval, cfg, rng)
 			if isl.bestF < globalF {
 				globalBest, globalF = isl.best, isl.bestF
 			}
+		}
+		if b.Stopped() {
+			// An island cut mid-generation leaves fit scoring the previous
+			// generation; skip migration/adaptation over that stale state.
+			break
 		}
 		// Migration: each island sends its best individual to the next in
 		// the ring, replacing the worst.
@@ -213,10 +271,11 @@ epochs:
 	res := SAIGAResult{
 		BestWidth:    globalF,
 		BestOrdering: append([]int(nil), globalBest...),
-		Evaluations:  evals,
 		Elapsed:      time.Since(start),
+		Stop:         b.Reason(),
 	}
 	for _, isl := range isles {
+		res.Evaluations += isl.evals
 		res.FinalParams = append(res.FinalParams, struct {
 			Pm, Pc    float64
 			Crossover CrossoverOp
@@ -226,40 +285,89 @@ epochs:
 	return res
 }
 
+// runIslands runs fn for every island concurrently and joins. A panic on an
+// island goroutine is captured (with its stack) and re-raised on the caller
+// after all goroutines have exited, so the process-level containment barrier
+// in core.Decompose sees it and no goroutine leaks behind it.
+func runIslands(isles []*island, fn func(*island)) {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var pan *budget.PanicError
+	for _, isl := range isles {
+		isl := isl
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if pan == nil {
+						pan = budget.AsPanicError(r)
+					}
+					mu.Unlock()
+				}
+			}()
+			fn(isl)
+		}()
+	}
+	wg.Wait()
+	if pan != nil {
+		panic(pan)
+	}
+}
+
 // evolveIsland runs EpochLength generations of the basic GA on one island
-// with its current parameters and returns the number of evaluations.
-func evolveIsland(isl *island, eval Evaluator, cfg SAIGAConfig, rng *rand.Rand) int64 {
-	evals := int64(0)
+// with its current parameters, drawing one budget work unit per evaluation.
+func evolveIsland(isl *island, cfg SAIGAConfig, b *budget.B) {
 	popSize := len(isl.pop)
 	for gen := 0; gen < cfg.EpochLength; gen++ {
+		if b.Stopped() {
+			return
+		}
+		if cfg.Target > 0 && isl.bestF <= cfg.Target {
+			return
+		}
 		next := make([][]int, popSize)
 		for i := range next {
-			next[i] = append([]int(nil), tournament(isl.pop, isl.fit, cfg.TournamentSize, rng)...)
+			next[i] = append([]int(nil), tournament(isl.pop, isl.fit, cfg.TournamentSize, isl.rng)...)
 		}
 		pairs := int(isl.params.pc * float64(popSize) / 2)
-		rng.Shuffle(len(next), func(i, j int) { next[i], next[j] = next[j], next[i] })
+		isl.rng.Shuffle(len(next), func(i, j int) { next[i], next[j] = next[j], next[i] })
 		for p := 0; p < pairs; p++ {
-			a, b := 2*p, 2*p+1
-			if b >= len(next) {
+			a, b2 := 2*p, 2*p+1
+			if b2 >= len(next) {
 				break
 			}
-			c1, c2 := Crossover(isl.params.crossover, next[a], next[b], rng)
-			next[a], next[b] = c1, c2
+			c1, c2 := Crossover(isl.params.crossover, next[a], next[b2], isl.rng)
+			next[a], next[b2] = c1, c2
 		}
 		for i := range next {
-			if rng.Float64() < isl.params.pm {
-				Mutate(isl.params.mutation, next[i], rng)
+			if isl.rng.Float64() < isl.params.pm {
+				Mutate(isl.params.mutation, next[i], isl.rng)
 			}
 		}
 		isl.pop = next
+		evaluated := popSize
 		for i := range isl.pop {
-			isl.fit[i] = eval.Evaluate(isl.pop[i])
-			evals++
+			if !b.Tick() {
+				evaluated = i
+				break
+			}
+			faultinject.Hit(faultinject.SiteGAEval)
+			isl.fit[i] = isl.eval.Evaluate(isl.pop[i])
+			isl.evals++
 		}
-		if o, f := bestOf(isl.pop, isl.fit); f < isl.bestF {
-			isl.best = append([]int(nil), o...)
-			isl.bestF = f
+		// Trust only the evaluated prefix: on a mid-generation stop the fit
+		// tail still scores the previous generation.
+		for i := 0; i < evaluated; i++ {
+			if isl.fit[i] < isl.bestF {
+				// Fresh copy: globalBest snapshots isl.best by reference.
+				isl.best = append([]int(nil), isl.pop[i]...)
+				isl.bestF = isl.fit[i]
+			}
+		}
+		if evaluated < popSize {
+			return
 		}
 	}
-	return evals
 }

@@ -17,6 +17,8 @@ import (
 	"strconv"
 	"strings"
 
+	"hypertree/internal/budget"
+	"hypertree/internal/budget/faultinject"
 	"hypertree/internal/decomp"
 	"hypertree/internal/hypergraph"
 )
@@ -27,6 +29,11 @@ type decomposer struct {
 	k     int
 	memo  map[string]*node // nil value = known failure
 	edges [][]int
+	b     *budget.B
+	// stopped latches once the budget runs out mid-search. From then on
+	// subproblems fail fast, and — crucially — nothing is memoized: a nil
+	// caused by exhaustion is "unknown", not "proven impossible".
+	stopped bool
 }
 
 // node is a constructed decomposition subtree.
@@ -40,34 +47,59 @@ type node struct {
 // k and returns one (as a validated GHD) when it does. For fixed k the
 // running time is polynomial in h.
 func DecideHW(h *hypergraph.Hypergraph, k int) (*decomp.GHD, bool) {
+	g, ok, _ := DecideHWBudget(h, k, nil)
+	return g, ok
+}
+
+// DecideHWBudget is DecideHW under a run budget. The third result reports
+// whether the search was cut short: when interrupted is true, ok=false
+// means "unknown", not "no width-k decomposition exists".
+func DecideHWBudget(h *hypergraph.Hypergraph, k int, b *budget.B) (g *decomp.GHD, ok, interrupted bool) {
 	if k < 1 {
-		return nil, false
+		return nil, false, false
 	}
 	if h.M() == 0 || !h.CoversAllVertices() {
-		return nil, false
+		return nil, false, false
 	}
-	d := &decomposer{h: h, k: k, memo: make(map[string]*node), edges: h.Edges()}
+	d := &decomposer{h: h, k: k, memo: make(map[string]*node), edges: h.Edges(), b: b}
 	all := make([]int, h.M())
 	for i := range all {
 		all[i] = i
 	}
 	root := d.decompose(all, nil, nil)
 	if root == nil {
-		return nil, false
+		return nil, false, d.stopped
 	}
-	return d.toGHD(root), true
+	return d.toGHD(root), true, false
 }
 
 // HypertreeWidth computes hw(h) by trying k = 1, 2, … up to maxK, returning
 // the width and a witnessing decomposition, or (-1, nil) if maxK is too
 // small.
 func HypertreeWidth(h *hypergraph.Hypergraph, maxK int) (int, *decomp.GHD) {
+	w, g, _ := HypertreeWidthBudget(h, maxK, nil)
+	return w, g
+}
+
+// HypertreeWidthBudget is HypertreeWidth under a run budget. provenLB is
+// the smallest k not yet refuted: every width below provenLB has been
+// proven impossible, so hw(h) ≥ provenLB. On a completed run with a
+// decomposition found, provenLB equals the returned width; on an
+// interrupted or exhausted run the width is -1 and provenLB is the
+// best-so-far lower bound on hw.
+func HypertreeWidthBudget(h *hypergraph.Hypergraph, maxK int, b *budget.B) (width int, g *decomp.GHD, provenLB int) {
+	provenLB = 1
 	for k := 1; k <= maxK; k++ {
-		if g, ok := DecideHW(h, k); ok {
-			return k, g
+		g, ok, interrupted := DecideHWBudget(h, k, b)
+		if ok {
+			return k, g, k
 		}
+		if interrupted {
+			return -1, nil, provenLB
+		}
+		provenLB = k + 1
 	}
-	return -1, nil
+	return -1, nil, provenLB
 }
 
 // decompose tries to decompose the edge component comp whose interface to
@@ -75,6 +107,11 @@ func HypertreeWidth(h *hypergraph.Hypergraph, maxK int) (int, *decomp.GHD) {
 // comp ∪ oldSep (the det-k-decomp candidate rule enforcing the hypertree
 // descendant condition).
 func (d *decomposer) decompose(comp, connector, oldSep []int) *node {
+	if d.stopped || !d.b.Tick() {
+		d.stopped = true
+		return nil
+	}
+	faultinject.Hit(faultinject.SiteSearchExpand)
 	key := memoKey(comp, connector)
 	if n, ok := d.memo[key]; ok {
 		return n
@@ -111,6 +148,12 @@ func (d *decomposer) decompose(comp, connector, oldSep []int) *node {
 		return false
 	}
 	choose = func(start, depth int) bool {
+		if d.stopped || !d.b.Tick() {
+			// Returning true unwinds the separator enumeration fast; result
+			// stays nil and the stopped flag keeps it out of the memo.
+			d.stopped = true
+			return true
+		}
 		if len(sep) > 0 {
 			// Try this separator when it covers the connector.
 			ok := true
@@ -140,7 +183,11 @@ func (d *decomposer) decompose(comp, connector, oldSep []int) *node {
 		return false
 	}
 	choose(0, 0)
-	d.memo[key] = result
+	// An exhausted search proves nothing: memoizing nil here would wrongly
+	// record this subproblem as unsolvable for later (or resumed) queries.
+	if !d.stopped {
+		d.memo[key] = result
+	}
 	return result
 }
 

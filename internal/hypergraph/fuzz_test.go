@@ -1,0 +1,99 @@
+package hypergraph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseHG checks that arbitrary input never panics the detkdecomp-format
+// parser: it must either return an error or a structurally sound hypergraph.
+func FuzzParseHG(f *testing.F) {
+	f.Add("c1(x1,x2,x3),\nc2(x3,x4).")
+	f.Add("% comment only\n")
+	f.Add("a(x)")
+	f.Add("a(x,")
+	f.Add("a()")
+	f.Add("(x1,x2)")
+	f.Add("a(x))b(y)")
+	f.Add("a(x1,x2),b(x2,x3),c(x3,x1).")
+	f.Add(".,.,.")
+	f.Add("a(\x00)")
+	f.Fuzz(func(t *testing.T, input string) {
+		h, err := ParseHG(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for e := 0; e < h.M(); e++ {
+			for _, v := range h.Edge(e) {
+				if v < 0 || v >= h.N() {
+					t.Fatalf("edge %d has out-of-range vertex %d (n=%d)", e, v, h.N())
+				}
+			}
+		}
+		// A parsed hypergraph must survive its own writer round-trip.
+		var sb strings.Builder
+		if err := WriteHG(&sb, h); err != nil {
+			t.Fatalf("WriteHG: %v", err)
+		}
+		if h.M() > 0 {
+			h2, err := ParseHG(strings.NewReader(sb.String()))
+			if err != nil {
+				t.Fatalf("re-parse of written output failed: %v\noutput:\n%s", err, sb.String())
+			}
+			if h2.N() != h.N() || h2.M() != h.M() {
+				t.Fatalf("round trip changed shape: (%d,%d) -> (%d,%d)", h.N(), h.M(), h2.N(), h2.M())
+			}
+		}
+	})
+}
+
+// FuzzParseDIMACS checks that arbitrary input never panics or over-allocates
+// in the DIMACS parser; declared vertex counts are capped.
+func FuzzParseDIMACS(f *testing.F) {
+	f.Add("p edge 3 2\ne 1 2\ne 2 3\n")
+	f.Add("c comment\np edge 0 0\n")
+	f.Add("p edge 1152921504606846976 0\n")
+	f.Add("p edge -1 0\n")
+	f.Add("e 1 2\n")
+	f.Add("p edge 2 1\ne 0 1\n")
+	f.Add("p edge 2 1\ne 1 3\n")
+	f.Add("p edge 2 1\np edge 2 1\n")
+	f.Add("x unknown\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ParseDIMACS(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if g.N() > maxParseVertices {
+			t.Fatalf("parser accepted %d vertices beyond the cap", g.N())
+		}
+		for _, e := range g.Edges() {
+			if e[0] < 0 || e[0] >= g.N() || e[1] < 0 || e[1] >= g.N() {
+				t.Fatalf("edge %v out of range (n=%d)", e, g.N())
+			}
+		}
+	})
+}
+
+// FuzzParseGr covers the PACE .gr parser with the same contract.
+func FuzzParseGr(f *testing.F) {
+	f.Add("p tw 3 2\n1 2\n2 3\n")
+	f.Add("c comment\np tw 0 0\n")
+	f.Add("p tw 99999999999999999999 0\n")
+	f.Add("1 2\n")
+	f.Add("p tw 2 1\n1 2 3\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ParseGr(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if g.N() > maxParseVertices {
+			t.Fatalf("parser accepted %d vertices beyond the cap", g.N())
+		}
+		for _, e := range g.Edges() {
+			if e[0] < 0 || e[0] >= g.N() || e[1] < 0 || e[1] >= g.N() {
+				t.Fatalf("edge %v out of range (n=%d)", e, g.N())
+			}
+		}
+	})
+}

@@ -3,18 +3,27 @@ package hypergraph
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Hypergraph is a finite hypergraph on vertices 0..n-1. Hyperedges are stored
 // as sorted vertex slices; duplicate edges are permitted by the type but the
 // constructors used in this repository never emit them.
+//
+// Concurrency: mutation (AddEdge, Set*Name) is not safe for concurrent use,
+// but all read methods are — including the first IncidentEdges call, which
+// builds its index under a lock. The SAIGA islands share one hypergraph
+// across goroutines and rely on this.
 type Hypergraph struct {
-	n          int
-	edges      [][]int
-	vnames     []string
-	enames     []string
+	n      int
+	edges  [][]int
+	vnames []string
+	enames []string
+
+	incidentMu sync.Mutex
+	incidentOK atomic.Bool
 	incident   [][]int // incident[v] = indices of edges containing v
-	incidentOK bool
 }
 
 // NewHypergraph returns a hypergraph with n vertices and no edges.
@@ -51,7 +60,7 @@ func (h *Hypergraph) AddEdge(vs ...int) int {
 	}
 	sort.Ints(edge)
 	h.edges = append(h.edges, edge)
-	h.incidentOK = false
+	h.incidentOK.Store(false)
 	return len(h.edges) - 1
 }
 
@@ -83,14 +92,22 @@ func (h *Hypergraph) EdgeContains(e, v int) bool {
 // The result is cached; the returned slice must not be mutated.
 func (h *Hypergraph) IncidentEdges(v int) []int {
 	h.check(v)
-	if !h.incidentOK {
-		h.incident = make([][]int, h.n)
-		for e, edge := range h.edges {
-			for _, u := range edge {
-				h.incident[u] = append(h.incident[u], e)
+	// Double-checked lazy build: concurrent readers (SAIGA islands) may all
+	// arrive before the index exists; exactly one builds it, and the atomic
+	// flag is only set after the slice is fully populated.
+	if !h.incidentOK.Load() {
+		h.incidentMu.Lock()
+		if !h.incidentOK.Load() {
+			incident := make([][]int, h.n)
+			for e, edge := range h.edges {
+				for _, u := range edge {
+					incident[u] = append(incident[u], e)
+				}
 			}
+			h.incident = incident
+			h.incidentOK.Store(true)
 		}
-		h.incidentOK = true
+		h.incidentMu.Unlock()
 	}
 	return h.incident[v]
 }

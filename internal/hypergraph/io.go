@@ -9,6 +9,12 @@ import (
 	"strings"
 )
 
+// maxParseVertices caps the vertex count a parser will allocate for. Header
+// counts are attacker-controlled in fuzzing (and typo-prone in practice): a
+// declared "p edge 1152921504606846976 0" must fail with an error, not take
+// the process down trying to allocate adjacency structures for it.
+const maxParseVertices = 1 << 22
+
 // ParseDIMACS reads a graph in DIMACS graph-coloring format:
 //
 //	c comment
@@ -40,6 +46,9 @@ func ParseDIMACS(r io.Reader) (*Graph, error) {
 			n, err := strconv.Atoi(fields[2])
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("dimacs line %d: bad vertex count %q", line, fields[2])
+			}
+			if n > maxParseVertices {
+				return nil, fmt.Errorf("dimacs line %d: vertex count %d exceeds limit %d", line, n, maxParseVertices)
 			}
 			g = NewGraph(n)
 		case "e":
@@ -235,6 +244,9 @@ func ParseEdgeList(r io.Reader) (*Hypergraph, error) {
 			v, err := strconv.Atoi(f)
 			if err != nil || v < 0 {
 				return nil, fmt.Errorf("edgelist line %d: bad vertex %q", line, f)
+			}
+			if v > maxParseVertices {
+				return nil, fmt.Errorf("edgelist line %d: vertex %d exceeds limit %d", line, v, maxParseVertices)
 			}
 			if v > maxV {
 				maxV = v

@@ -35,6 +35,9 @@ func ParseGr(r io.Reader) (*Graph, error) {
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("gr line %d: bad vertex count", line)
 			}
+			if n > maxParseVertices {
+				return nil, fmt.Errorf("gr line %d: vertex count %d exceeds limit %d", line, n, maxParseVertices)
+			}
 			g = NewGraph(n)
 			continue
 		}

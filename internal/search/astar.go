@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"hypertree/internal/budget/faultinject"
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/reduce"
 )
@@ -71,7 +72,7 @@ func (q *pq) Pop() interface{} {
 }
 
 func runAStar(m model, opts Options) Result {
-	b := newBudget(opts)
+	b := opts.budgetFor()
 	lb, ub, ordering := m.initial()
 	if opts.InitialUB > 0 && opts.InitialUB < ub {
 		ub = opts.InitialUB
@@ -80,7 +81,7 @@ func runAStar(m model, opts Options) Result {
 	e := m.graph()
 	if lb >= ub || e.N() == 0 {
 		return Result{Width: ub, LowerBound: ub, Exact: true, Ordering: ordering,
-			Nodes: 0, Elapsed: b.elapsed()}
+			Nodes: 0, Elapsed: b.Elapsed()}
 	}
 
 	queue := &pq{}
@@ -97,15 +98,16 @@ func runAStar(m model, opts Options) Result {
 	}
 
 	for queue.Len() > 0 {
-		if !b.tick() {
+		if !b.Tick() {
 			break
 		}
+		faultinject.Hit(faultinject.SiteSearchExpand)
 		s := heap.Pop(queue).(*state)
 		if int(s.f) >= ub {
 			// Everything left is at least as wide as the known solution.
 			maxPoppedF = ub
 			return Result{Width: ub, LowerBound: ub, Exact: true,
-				Ordering: ordering, Nodes: b.nodes, Elapsed: b.elapsed()}
+				Ordering: ordering, Nodes: b.Nodes(), Elapsed: b.Elapsed()}
 		}
 		if int(s.f) > maxPoppedF {
 			maxPoppedF = int(s.f) // new proved lower bound (thesis §5.3)
@@ -116,7 +118,7 @@ func runAStar(m model, opts Options) Result {
 		// Goal test: the remaining graph cannot charge more than g.
 		if m.completionCap() <= int(s.g) {
 			return Result{Width: int(s.g), LowerBound: int(s.g), Exact: true,
-				Ordering: completion(e, prefixBuf), Nodes: b.nodes, Elapsed: b.elapsed()}
+				Ordering: completion(e, prefixBuf), Nodes: b.Nodes(), Elapsed: b.Elapsed()}
 		}
 
 		// Children: forced reduction or all live vertices with PR2.
@@ -135,7 +137,7 @@ func runAStar(m model, opts Options) Result {
 		for _, v := range children {
 			// Child evaluations dominate the work; count them against the
 			// budget too.
-			if !b.tick() {
+			if !b.Tick() {
 				break
 			}
 			if !childReduced && !s.reduced && usePR2 && s.parent != nil && pr2Skip(m, v) {
@@ -174,15 +176,15 @@ func runAStar(m model, opts Options) Result {
 		}
 	}
 
-	if b.exceeded {
+	if b.Stopped() {
 		// Anytime result: ub from the heuristic, lb from the last expansion.
 		return Result{Width: ub, LowerBound: maxPoppedF, Exact: false,
-			Ordering: ordering, Nodes: b.nodes, Elapsed: b.elapsed()}
+			Ordering: ordering, Nodes: b.Nodes(), Elapsed: b.Elapsed(), Stop: b.Reason()}
 	}
 	// Queue exhausted without reaching a goal below ub: ub is optimal
 	// (thesis §5.1, final return).
 	return Result{Width: ub, LowerBound: ub, Exact: true, Ordering: ordering,
-		Nodes: b.nodes, Elapsed: b.elapsed()}
+		Nodes: b.Nodes(), Elapsed: b.Elapsed()}
 }
 
 // setKey encodes prefix ∪ {v} as an order-independent string.

@@ -3,6 +3,8 @@ package search
 import (
 	"sort"
 
+	"hypertree/internal/budget"
+	"hypertree/internal/budget/faultinject"
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/reduce"
 )
@@ -32,7 +34,7 @@ func BBGHWGreedy(h *hypergraph.Hypergraph, opts Options) Result {
 type bbSearch struct {
 	m      model
 	opts   Options
-	budget *budget
+	budget *budget.B
 	ub     int
 	lbRoot int
 	best   []int
@@ -40,7 +42,7 @@ type bbSearch struct {
 }
 
 func runBB(m model, opts Options) Result {
-	b := newBudget(opts)
+	b := opts.budgetFor()
 	lb, ub, ordering := m.initial()
 	if opts.InitialUB > 0 && opts.InitialUB < ub {
 		ub = opts.InitialUB
@@ -50,7 +52,7 @@ func runBB(m model, opts Options) Result {
 	if lb < ub && m.graph().N() > 0 {
 		s.dfs(0, lb, false)
 	}
-	exact := !b.exceeded
+	exact := !b.Stopped()
 	lbOut := s.lbRoot
 	if exact {
 		lbOut = s.ub
@@ -60,8 +62,9 @@ func runBB(m model, opts Options) Result {
 		LowerBound: lbOut,
 		Exact:      exact,
 		Ordering:   s.best,
-		Nodes:      b.nodes,
-		Elapsed:    b.elapsed(),
+		Nodes:      b.Nodes(),
+		Elapsed:    b.Elapsed(),
+		Stop:       b.Reason(),
 	}
 }
 
@@ -70,9 +73,10 @@ func runBB(m model, opts Options) Result {
 // lastReduced tells whether the previous elimination was a forced reduction
 // (suppressing PR2 for this node's children, per thesis Figure 5.1).
 func (s *bbSearch) dfs(g, f int, lastReduced bool) {
-	if !s.budget.tick() {
+	if !s.budget.Tick() {
 		return
 	}
+	faultinject.Hit(faultinject.SiteSearchExpand)
 	e := s.m.graph()
 	// PR1 (thesis §4.4.5): completing in any order costs at most
 	// max(g, completionCap); harvest it as an upper bound, and stop if the
@@ -111,7 +115,7 @@ func (s *bbSearch) dfs(g, f int, lastReduced bool) {
 	for _, c := range cc {
 		// Each evaluated child counts against the node budget: child
 		// evaluation (step cost + remainder lower bound) dominates the work.
-		if !s.budget.tick() {
+		if !s.budget.Tick() {
 			return
 		}
 		v, cost := c.v, c.cost

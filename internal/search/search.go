@@ -8,10 +8,12 @@
 package search
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
 	"hypertree/internal/bounds"
+	"hypertree/internal/budget"
 	"hypertree/internal/elim"
 	"hypertree/internal/elimgraph"
 	"hypertree/internal/hypergraph"
@@ -24,6 +26,14 @@ type Options struct {
 	// MaxNodes bounds the number of search-tree nodes expanded; zero means
 	// unlimited.
 	MaxNodes int64
+	// Ctx optionally cancels the search at the cooperative checkpoints
+	// (every 256 expansions); on cancellation the search returns its
+	// best-so-far anytime result.
+	Ctx context.Context
+	// Budget, when non-nil, supersedes Ctx/Timeout/MaxNodes: the search
+	// draws work units from it. core.Decompose shares one budget across an
+	// algorithm run and its post-processing.
+	Budget *budget.B
 	// Seed drives the tie-breaking randomness of the bound heuristics.
 	Seed int64
 	// InitialUB, when positive, primes the search with a known upper bound
@@ -67,6 +77,18 @@ type Result struct {
 	Nodes int64
 	// Elapsed is the wall-clock duration of the search.
 	Elapsed time.Duration
+	// Stop says why the search ended early (deadline, node budget,
+	// canceled); StopNone when it ran to completion and Exact holds.
+	Stop budget.StopReason
+}
+
+// budgetFor returns the run budget: the caller-supplied one, or a fresh
+// budget built from the legacy Timeout/MaxNodes fields.
+func (o Options) budgetFor() *budget.B {
+	if o.Budget != nil {
+		return o.Budget
+	}
+	return budget.New(o.Ctx, budget.Limits{Timeout: o.Timeout, MaxNodes: o.MaxNodes})
 }
 
 // model abstracts the cost structure shared by the treewidth and ghw
@@ -164,42 +186,6 @@ func (m *ghwModel) initial() (int, int, []int) {
 func (m *ghwModel) allowAlmostSimplicial() bool { return false }
 func (m *ghwModel) pr2Adjacent() bool           { return false }
 func (m *ghwModel) setCostCap(cap int)          { m.ev.Cap = cap }
-
-// budget tracks node and wall-clock limits.
-type budget struct {
-	deadline time.Time
-	maxNodes int64
-	nodes    int64
-	start    time.Time
-	exceeded bool
-}
-
-func newBudget(opts Options) *budget {
-	b := &budget{maxNodes: opts.MaxNodes, start: time.Now()}
-	if opts.Timeout > 0 {
-		b.deadline = b.start.Add(opts.Timeout)
-	}
-	return b
-}
-
-// tick counts one expanded node and reports whether the budget still holds.
-func (b *budget) tick() bool {
-	if b.exceeded {
-		return false
-	}
-	b.nodes++
-	if b.maxNodes > 0 && b.nodes > b.maxNodes {
-		b.exceeded = true
-		return false
-	}
-	if !b.deadline.IsZero() && b.nodes%256 == 0 && time.Now().After(b.deadline) {
-		b.exceeded = true
-		return false
-	}
-	return true
-}
-
-func (b *budget) elapsed() time.Duration { return time.Since(b.start) }
 
 // pr2Skip reports whether child v of the current state can be pruned by
 // pruning rule 2, given that `last` was eliminated immediately before and
