@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check fuzz clean
+.PHONY: all build vet test race check bench-smoke fuzz clean
 
 all: check
 
@@ -16,9 +16,20 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is the full verification gate: static analysis, a clean build, and
-# the test suite under the race detector (which subsumes plain `go test`).
-check: vet build race
+# check is the full verification gate: static analysis, a clean build, the
+# test suite under the race detector (which subsumes plain `go test`), and a
+# smoke run of the evaluator benchmarks.
+check: vet build race bench-smoke
+
+# bench-smoke reruns the ghw evaluator microbenchmarks (benchstat-compatible
+# output) into a scratch report and validates both it and the committed
+# BENCH_ghw.json. It is a smoke test: numbers vary by machine; only the
+# report shape and width agreement are checked.
+bench-smoke:
+	$(GO) run ./cmd/experiments -bench-json -bench-out BENCH_ghw.smoke.json
+	$(GO) run ./cmd/experiments -bench-check BENCH_ghw.smoke.json
+	$(GO) run ./cmd/experiments -bench-check BENCH_ghw.json
+	rm -f BENCH_ghw.smoke.json
 
 # fuzz runs each parser fuzzer briefly; extend -fuzztime for real campaigns.
 fuzz:

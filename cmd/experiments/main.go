@@ -4,9 +4,16 @@
 //
 //	experiments -table 5.1 -scale small
 //	experiments -table all -scale smoke
+//	experiments -bench-json -bench-out BENCH_ghw.json
+//	experiments -bench-check BENCH_ghw.json
 //
 // Scales: smoke (seconds), small (about a minute per table), full
 // (approximates the thesis's one-hour-per-instance protocol).
+//
+// -bench-json runs the ghw width-evaluator microbenchmarks (engine,
+// engine without cache, pre-engine slice path) over a fixed instance set,
+// prints benchstat-compatible lines, and writes a JSON report; -bench-check
+// validates such a report and exits.
 package main
 
 import (
@@ -23,10 +30,34 @@ import (
 
 func main() {
 	var (
-		table = flag.String("table", "all", "table id ("+strings.Join(bench.TableIDs(), ", ")+") or 'all'")
-		scale = flag.String("scale", "small", "scale: smoke | small | full")
+		table      = flag.String("table", "all", "table id ("+strings.Join(bench.TableIDs(), ", ")+") or 'all'")
+		scale      = flag.String("scale", "small", "scale: smoke | small | full")
+		benchJSON  = flag.Bool("bench-json", false, "run the ghw evaluator microbenchmarks and write a JSON report")
+		benchOut   = flag.String("bench-out", "BENCH_ghw.json", "output path for -bench-json")
+		benchCheck = flag.String("bench-check", "", "validate a -bench-json report at this path and exit")
 	)
 	flag.Parse()
+
+	if *benchCheck != "" {
+		if err := bench.CheckBenchJSON(*benchCheck); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("experiments: %s is a well-formed bench report\n", *benchCheck)
+		return
+	}
+	if *benchJSON {
+		report, err := bench.RunBenchJSON(nil, func(format string, args ...interface{}) {
+			fmt.Printf(format, args...)
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteBenchJSON(report, *benchOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("experiments: wrote %s (%d entries)\n", *benchOut, len(report.Entries))
+		return
+	}
 
 	sc, err := bench.ParseScale(*scale)
 	if err != nil {

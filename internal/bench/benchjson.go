@@ -1,0 +1,215 @@
+// The -bench-json harness: Go testing.B microbenchmarks of the ghw width
+// evaluator over named registry instances, run from cmd/experiments and
+// serialized to a JSON report (BENCH_ghw.json in the repository records the
+// reference run). Three modes per instance measure the layers of the cover
+// engine: the memoizing engine, the engine with its cache disabled (pure
+// bitset speed), and the pre-engine slice path that hands each bag's
+// incident hyperedges to the public set-cover API.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"testing"
+
+	"hypertree/internal/elim"
+	"hypertree/internal/elimgraph"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/setcover"
+)
+
+// DefaultBenchInstances are the registry hypergraphs the -bench-json mode
+// measures: the grid family the thesis evaluates throughout, plus two
+// circuit-shaped instances with different edge statistics.
+var DefaultBenchInstances = []string{"grid2d_10", "grid2d_20", "adder_25", "bridge_15"}
+
+// benchOrderings is how many fixed random orderings each measurement cycles
+// through (so the cached mode sees repeated bags, as searches do).
+const benchOrderings = 8
+
+// BenchEntry is one (instance, mode) measurement.
+type BenchEntry struct {
+	Instance string `json:"instance"`
+	// Mode is "engine" (memo cache on), "engine-nocache" (bitsets only),
+	// or "sliceapi" (the pre-engine evaluation path).
+	Mode        string  `json:"mode"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Width sanity-checks that every mode computed the same values.
+	Width int `json:"width"`
+	// Cache counters, for the "engine" mode only.
+	CacheHits   int64 `json:"cache_hits,omitempty"`
+	CacheMisses int64 `json:"cache_misses,omitempty"`
+}
+
+// BenchReport is the schema of BENCH_ghw.json.
+type BenchReport struct {
+	// Unit documents what one op is: a full GHWEvaluator.Width evaluation
+	// of one elimination ordering with greedy covers.
+	Unit    string       `json:"unit"`
+	Entries []BenchEntry `json:"entries"`
+}
+
+// RunBenchJSON benchmarks the given registry instances (nil selects
+// DefaultBenchInstances) and returns the report. Progress lines in
+// benchstat format go to w via fmt.Fprintf when logf is non-nil.
+func RunBenchJSON(instances []string, logf func(format string, args ...interface{})) (*BenchReport, error) {
+	if instances == nil {
+		instances = DefaultBenchInstances
+	}
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	report := &BenchReport{Unit: "GHWEvaluator.Width (greedy covers) of one ordering"}
+	for _, name := range instances {
+		inst, err := Hyper(name)
+		if err != nil {
+			return nil, err
+		}
+		h := inst.Build()
+		rng := rand.New(rand.NewSource(42))
+		orders := make([][]int, benchOrderings)
+		for i := range orders {
+			orders[i] = rng.Perm(h.N())
+		}
+		engEval := elim.NewGHWEvaluator(h, false, nil)
+		coldEval := elim.NewGHWEvaluatorWithEngine(setcover.NewEngine(h, 0), false, nil)
+		modes := []benchMode{
+			{"engine", engEval.Width, func() (int64, int64) {
+				s := engEval.CoverCacheStats()
+				return s.Hits, s.Misses
+			}},
+			{"engine-nocache", coldEval.Width, nil},
+			{"sliceapi", func(order []int) int { return sliceAPIWidth(h, order) }, nil},
+		}
+
+		for _, mode := range modes {
+			width := mode.width(orders[0])
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					mode.width(orders[i%len(orders)])
+				}
+			})
+			entry := BenchEntry{
+				Instance:    name,
+				Mode:        mode.name,
+				Iterations:  r.N,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				Width:       width,
+			}
+			if mode.stats != nil {
+				entry.CacheHits, entry.CacheMisses = mode.stats()
+			}
+			report.Entries = append(report.Entries, entry)
+			logf("BenchmarkGHWWidth/%s/%s\t%s\n", name, mode.name, r.String()+"\t"+r.MemString())
+		}
+	}
+	return report, nil
+}
+
+// benchMode is one measured evaluation path for an instance.
+type benchMode struct {
+	name  string
+	width func(order []int) int
+	stats func() (hits, misses int64)
+}
+
+// sliceAPIWidth replicates the pre-engine evaluation path: walk the
+// elimination cliques with the usual early exit and cover each bag by
+// handing its incident hyperedges as plain slices to the public set-cover
+// API (no precomputed edge bitsets, no memoization).
+func sliceAPIWidth(h *hypergraph.Hypergraph, order []int) int {
+	e := elimgraph.FromHypergraph(h)
+	defer e.Reset()
+	width := 0
+	var bag, cand []int
+	seen := make([]bool, h.M())
+	for _, v := range order {
+		if width >= e.Live() {
+			break
+		}
+		bag = append(e.Neighbors(v, bag[:0]), v)
+		cand = cand[:0]
+		for _, u := range bag {
+			for _, ei := range h.IncidentEdges(u) {
+				if !seen[ei] {
+					seen[ei] = true
+					cand = append(cand, ei)
+				}
+			}
+		}
+		sort.Ints(cand)
+		sets := make([][]int, len(cand))
+		for i, ei := range cand {
+			sets[i] = h.Edge(ei)
+			seen[ei] = false
+		}
+		k := setcover.GreedySize(bag, sets, nil)
+		if k < 0 {
+			return -1
+		}
+		if k > width {
+			width = k
+		}
+		e.Eliminate(v)
+	}
+	return width
+}
+
+// WriteBenchJSON writes the report to path with a trailing newline.
+func WriteBenchJSON(report *BenchReport, path string) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// CheckBenchJSON validates that path holds a well-formed, non-empty bench
+// report with plausible measurements; it is what `make bench-smoke` runs
+// against the committed BENCH_ghw.json.
+func CheckBenchJSON(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var report BenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		return fmt.Errorf("bench: %s is not valid JSON: %w", path, err)
+	}
+	if report.Unit == "" {
+		return fmt.Errorf("bench: %s is missing the unit field", path)
+	}
+	if len(report.Entries) == 0 {
+		return fmt.Errorf("bench: %s has no entries", path)
+	}
+	byInstance := map[string]map[string]BenchEntry{}
+	for i, e := range report.Entries {
+		if e.Instance == "" || e.Mode == "" {
+			return fmt.Errorf("bench: entry %d is missing instance/mode", i)
+		}
+		if e.Iterations <= 0 || e.NsPerOp <= 0 {
+			return fmt.Errorf("bench: entry %d (%s/%s) has non-positive measurements", i, e.Instance, e.Mode)
+		}
+		if byInstance[e.Instance] == nil {
+			byInstance[e.Instance] = map[string]BenchEntry{}
+		}
+		byInstance[e.Instance][e.Mode] = e
+	}
+	for inst, ms := range byInstance {
+		eng, okE := ms["engine"]
+		slice, okS := ms["sliceapi"]
+		if okE && okS && eng.Width != slice.Width {
+			return fmt.Errorf("bench: %s: engine width %d != sliceapi width %d", inst, eng.Width, slice.Width)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	for _, v := range []int{0, 63, 64, 65, 129} {
+		s.Add(v)
+	}
+	if s.Count() != 5 {
+		t.Fatalf("count = %d, want 5", s.Count())
+	}
+	if !s.Contains(64) || s.Contains(1) {
+		t.Fatal("membership wrong")
+	}
+	s.Remove(64)
+	if s.Contains(64) || s.Count() != 4 {
+		t.Fatal("remove failed")
+	}
+	got := s.AppendTo(nil)
+	want := []int{0, 63, 65, 129}
+	if len(got) != len(want) {
+		t.Fatalf("AppendTo = %v", got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("AppendTo = %v, want %v", got, want)
+		}
+	}
+	sum := 0
+	s.ForEach(func(v int) { sum += v })
+	if sum != 0+63+65+129 {
+		t.Fatalf("ForEach sum = %d", sum)
+	}
+}
+
+func TestEmptyAndClear(t *testing.T) {
+	s := New(0)
+	if s.Any() || s.Count() != 0 {
+		t.Fatal("empty-capacity set should be empty")
+	}
+	s = FromInts(100, []int{3, 99})
+	s.Clear()
+	if s.Any() {
+		t.Fatal("Clear left elements")
+	}
+}
+
+// Mirror set semantics against Go maps on random operation sequences.
+func TestAgainstMapModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		a, b := New(n), New(n)
+		ma, mb := map[int]bool{}, map[int]bool{}
+		for i := 0; i < 300; i++ {
+			v := rng.Intn(n)
+			switch rng.Intn(4) {
+			case 0:
+				a.Add(v)
+				ma[v] = true
+			case 1:
+				a.Remove(v)
+				delete(ma, v)
+			case 2:
+				b.Add(v)
+				mb[v] = true
+			case 3:
+				b.Remove(v)
+				delete(mb, v)
+			}
+		}
+		inter, uni, diff := 0, map[int]bool{}, 0
+		subset, intersects := true, false
+		for v := range ma {
+			uni[v] = true
+			if mb[v] {
+				inter++
+				intersects = true
+			} else {
+				diff++
+				subset = false
+			}
+		}
+		for v := range mb {
+			uni[v] = true
+		}
+		if a.AndCount(b) != inter || a.SubsetOf(b) != subset || a.Intersects(b) != intersects {
+			return false
+		}
+		c := a.Clone()
+		c.And(b)
+		if c.Count() != inter {
+			return false
+		}
+		c.CopyFrom(a)
+		c.AndNot(b)
+		if c.Count() != diff {
+			return false
+		}
+		c.CopyFrom(a)
+		c.Or(b)
+		if c.Count() != len(uni) {
+			return false
+		}
+		want := make([]int, 0, len(ma))
+		for v := range ma {
+			want = append(want, v)
+		}
+		sort.Ints(want)
+		got := a.AppendTo(nil)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyUniqueness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	seen := map[string]string{} // key -> canonical element string
+	var buf []byte
+	for i := 0; i < 2000; i++ {
+		s := New(300)
+		for j := 0; j < rng.Intn(12); j++ {
+			s.Add(rng.Intn(300))
+		}
+		buf = s.AppendKey(buf[:0])
+		elems := ""
+		s.ForEach(func(v int) { elems += "," + string(rune(v)) })
+		if prev, ok := seen[string(buf)]; ok && prev != elems {
+			t.Fatalf("key collision: %q vs %q", prev, elems)
+		}
+		seen[string(buf)] = elems
+	}
+	// Equal sets must produce equal keys even across capacities' zero tails.
+	a := FromInts(64, []int{1, 2})
+	b := FromInts(640, []int{1, 2})
+	if string(a.AppendKey(nil)) != string(b.AppendKey(nil)) {
+		t.Fatal("trailing-zero trim should make equal sets key-equal")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromInts(70, []int{0, 69})
+	b := FromInts(70, []int{0, 69})
+	if !a.Equal(b) {
+		t.Fatal("equal sets not Equal")
+	}
+	b.Add(5)
+	if a.Equal(b) {
+		t.Fatal("unequal sets Equal")
+	}
+	if a.Equal(New(10)) {
+		t.Fatal("different capacities should not be Equal")
+	}
+}
+
+func TestPool(t *testing.T) {
+	p := NewPool(100)
+	s := p.Get()
+	s.Add(42)
+	p.Put(s)
+	s2 := p.Get()
+	if s2.Any() {
+		t.Fatal("pooled set not cleared on Get")
+	}
+	if len(s2) != Words(100) {
+		t.Fatalf("pooled set has %d words", len(s2))
+	}
+	p.Put(s2)
+	if len(p.free) != 1 {
+		t.Fatalf("pool free list = %d, want 1", len(p.free))
+	}
+}

@@ -55,14 +55,32 @@ func (t *Tree) Validate() error {
 		if t.Parent[i] < 0 || t.Parent[i] >= n {
 			return fmt.Errorf("decomp: node %d has invalid parent %d", i, t.Parent[i])
 		}
-		// Walk up; cycle detection via step counter.
-		v, steps := i, 0
-		for v != t.Root {
+	}
+	// Single pass over parent chains with memoized reachability: state[v]
+	// is unknown, on the current chain, or proven to reach the root. Each
+	// node's chain link is traversed once overall, so validation is O(n)
+	// even on a path tree (the old per-node walk was quadratic there).
+	const (
+		unknown = iota
+		onChain
+		reachesRoot
+	)
+	state := make([]uint8, n)
+	state[t.Root] = reachesRoot
+	chain := make([]int, 0, 16)
+	for i := 0; i < n; i++ {
+		v := i
+		chain = chain[:0]
+		for state[v] == unknown {
+			state[v] = onChain
+			chain = append(chain, v)
 			v = t.Parent[v]
-			steps++
-			if steps > n {
-				return fmt.Errorf("decomp: cycle through node %d", i)
-			}
+		}
+		if state[v] == onChain {
+			return fmt.Errorf("decomp: cycle through node %d", v)
+		}
+		for _, u := range chain {
+			state[u] = reachesRoot
 		}
 	}
 	return nil
@@ -286,6 +304,15 @@ const (
 // breaking and may be nil. It returns an error if some bag is uncoverable
 // (possible only if h does not cover all its vertices).
 func FromTreeDecomposition(h *hypergraph.Hypergraph, td *TreeDecomposition, mode CoverMode, rng *rand.Rand) (*GHD, error) {
+	return FromTreeDecompositionWithEngine(setcover.NewEngine(h, 0), td, mode, rng)
+}
+
+// FromTreeDecompositionWithEngine is FromTreeDecomposition on a caller-
+// provided cover engine for h, so the searches can reuse the engine (and
+// its warmed-up memo cache) they already evaluated bags with. The engine
+// restricts each bag's candidates to its incident hyperedges; the old code
+// handed every hyperedge of h to the cover solver for every bag.
+func FromTreeDecompositionWithEngine(eng *setcover.Engine, td *TreeDecomposition, mode CoverMode, rng *rand.Rand) (*GHD, error) {
 	g := &GHD{
 		TreeDecomposition: TreeDecomposition{
 			Tree: Tree{Parent: append([]int(nil), td.Parent...), Root: td.Root},
@@ -293,14 +320,13 @@ func FromTreeDecomposition(h *hypergraph.Hypergraph, td *TreeDecomposition, mode
 		},
 		Lambdas: make([][]int, len(td.Bags)),
 	}
-	edges := h.Edges()
 	for i, b := range td.Bags {
 		g.Bags[i] = append([]int(nil), b...)
 		var cover []int
 		if mode == CoverExact {
-			cover = setcover.Exact(b, edges)
+			cover = eng.ExactCover(b)
 		} else {
-			cover = setcover.Greedy(b, edges, rng)
+			cover = eng.GreedyCover(b, rng)
 		}
 		if cover == nil {
 			return nil, fmt.Errorf("decomp: bag %d (%v) not coverable by hyperedges", i, b)

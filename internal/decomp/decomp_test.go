@@ -3,6 +3,7 @@ package decomp
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"hypertree/internal/hypergraph"
 )
@@ -239,5 +240,32 @@ func TestTreeChildren(t *testing.T) {
 	ch := tr.Children()
 	if len(ch[0]) != 2 || len(ch[1]) != 1 || len(ch[3]) != 0 {
 		t.Fatalf("children = %v", ch)
+	}
+}
+
+// Validate must handle degenerate deep trees in linear time: a 50k-node
+// path used to take quadratic parent-chain walks. The budget here is
+// generous (the old code needed ~1.25G steps; the new one 50k), so the test
+// fails by timeout only if the quadratic behavior comes back.
+func TestTreeValidateLinearOnDeepPath(t *testing.T) {
+	const n = 50000
+	parent := make([]int, n)
+	parent[0] = -1
+	for i := 1; i < n; i++ {
+		parent[i] = i - 1 // node i hangs off node i-1: one long path
+	}
+	tr := Tree{Parent: parent, Root: 0}
+	start := time.Now()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("path tree rejected: %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("Validate took %v on a 50k path; quadratic walk is back", d)
+	}
+	// A cycle far from the root must still be detected.
+	parent[n-1] = n / 2
+	parent[n/2] = n - 1
+	if err := tr.Validate(); err == nil {
+		t.Fatal("deep cycle not detected")
 	}
 }

@@ -64,8 +64,11 @@ func WidthOfGraph(g *hypergraph.Graph, order []int) int {
 
 // GHWEvaluator evaluates the generalized-hypertree width of orderings of a
 // fixed hypergraph (thesis Figure 7.1). It owns a reusable elimination
-// graph of the primal graph and per-bag cover scratch space; a single
-// evaluator is not safe for concurrent use.
+// graph of the primal graph and a per-evaluator cover scratch; bag covers
+// are solved by a shared setcover.Engine, whose memo cache makes repeated
+// bags (sibling search states, GA generations) near-free. A single
+// evaluator is not safe for concurrent use, but any number of evaluators
+// may share one engine across goroutines.
 type GHWEvaluator struct {
 	H     *hypergraph.Hypergraph
 	E     *elimgraph.ElimGraph
@@ -77,23 +80,39 @@ type GHWEvaluator struct {
 	// the per-bag set-cover search polynomial in practice.
 	Cap int
 
-	bag       []int
-	candidate []int
-	candSeen  []bool
-	sets      [][]int
+	eng *setcover.Engine
+	sc  *setcover.Scratch
+	bag []int
 }
 
-// NewGHWEvaluator builds an evaluator; rng (for greedy tie-breaking) may be
-// nil for deterministic lowest-index ties.
+// NewGHWEvaluator builds an evaluator with its own cover engine; rng (for
+// greedy tie-breaking) may be nil for deterministic lowest-index ties.
 func NewGHWEvaluator(h *hypergraph.Hypergraph, exact bool, rng *rand.Rand) *GHWEvaluator {
+	return NewGHWEvaluatorWithEngine(setcover.NewEngine(h, setcover.DefaultCacheCapacity), exact, rng)
+}
+
+// NewGHWEvaluatorWithEngine builds an evaluator on an existing cover
+// engine, sharing its memo cache with every other evaluator on the same
+// engine (e.g. the per-island evaluators of SAIGA, or a search and its
+// bound evaluators).
+func NewGHWEvaluatorWithEngine(eng *setcover.Engine, exact bool, rng *rand.Rand) *GHWEvaluator {
+	h := eng.Hypergraph()
 	return &GHWEvaluator{
-		H:        h,
-		E:        elimgraph.FromHypergraph(h),
-		Exact:    exact,
-		Rng:      rng,
-		candSeen: make([]bool, h.M()),
+		H:     h,
+		E:     elimgraph.FromHypergraph(h),
+		Exact: exact,
+		Rng:   rng,
+		eng:   eng,
+		sc:    eng.NewScratch(),
 	}
 }
+
+// Engine returns the evaluator's cover engine (to share it with further
+// evaluators, or to read its cache statistics).
+func (ev *GHWEvaluator) Engine() *setcover.Engine { return ev.eng }
+
+// CoverCacheStats reports the shared engine's bag-cover cache counters.
+func (ev *GHWEvaluator) CoverCacheStats() setcover.CacheStats { return ev.eng.CacheStats() }
 
 // Width returns the generalized hypertree width of the decomposition induced
 // by the ordering: the maximum, over elimination cliques, of the number of
@@ -127,32 +146,20 @@ func (ev *GHWEvaluator) BagCost(v int) int {
 	return ev.coverSize(ev.bag)
 }
 
-// coverSize covers bag with hyperedges of ev.H, restricting candidates to
-// edges incident to the bag (everything else is useless), and returns the
-// cover size, or -1 if uncoverable.
+// coverSize covers bag with hyperedges of ev.H through the shared engine
+// (which restricts candidates to edges incident to the bag and memoizes by
+// bag) and returns the cover size, or -1 if uncoverable.
 func (ev *GHWEvaluator) coverSize(bag []int) int {
 	faultinject.Hit(faultinject.SiteCover)
-	ev.candidate = ev.candidate[:0]
-	for _, v := range bag {
-		for _, e := range ev.H.IncidentEdges(v) {
-			if !ev.candSeen[e] {
-				ev.candSeen[e] = true
-				ev.candidate = append(ev.candidate, e)
-			}
-		}
-	}
-	ev.sets = ev.sets[:0]
-	for _, e := range ev.candidate {
-		ev.sets = append(ev.sets, ev.H.Edge(e))
-		ev.candSeen[e] = false
-	}
 	if ev.Exact {
 		if ev.Cap > 0 {
-			return setcover.ExactSizeCapped(bag, ev.sets, ev.Cap)
+			return ev.eng.ExactSizeCapped(ev.sc, bag, ev.Cap)
 		}
-		return setcover.ExactSize(bag, ev.sets)
+		// A coverable bag always has a cover of at most len(bag) edges, so
+		// this cap never censors: the result is the exact minimum.
+		return ev.eng.ExactSizeCapped(ev.sc, bag, len(bag)+1)
 	}
-	return setcover.GreedySize(bag, ev.sets, ev.Rng)
+	return ev.eng.GreedySize(ev.sc, bag, ev.Rng)
 }
 
 // TDFromOrdering builds the tree decomposition produced by vertex

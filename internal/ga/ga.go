@@ -4,6 +4,8 @@ import (
 	"context"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"hypertree/internal/budget"
@@ -11,6 +13,7 @@ import (
 	"hypertree/internal/elim"
 	"hypertree/internal/elimgraph"
 	"hypertree/internal/hypergraph"
+	"hypertree/internal/setcover"
 )
 
 // Evaluator scores an elimination ordering; lower is better. The two
@@ -39,13 +42,24 @@ type GHWEvaluator struct {
 	ev *elim.GHWEvaluator
 }
 
-// NewGHWEvaluator builds a greedy-cover ghw evaluator for h (thesis §7.1.2).
+// NewGHWEvaluator builds a greedy-cover ghw evaluator for h (thesis §7.1.2)
+// with its own cover engine.
 func NewGHWEvaluator(h *hypergraph.Hypergraph, rng *rand.Rand) *GHWEvaluator {
 	return &GHWEvaluator{ev: elim.NewGHWEvaluator(h, false, rng)}
 }
 
+// NewGHWEvaluatorWithEngine builds a greedy-cover ghw evaluator on a shared
+// cover engine, so parallel workers and SAIGA islands pool one bag-cover
+// memo cache.
+func NewGHWEvaluatorWithEngine(eng *setcover.Engine, rng *rand.Rand) *GHWEvaluator {
+	return &GHWEvaluator{ev: elim.NewGHWEvaluatorWithEngine(eng, false, rng)}
+}
+
 // Evaluate implements Evaluator.
 func (g *GHWEvaluator) Evaluate(order []int) int { return g.ev.Width(order) }
+
+// Engine returns the evaluator's cover engine.
+func (g *GHWEvaluator) Engine() *setcover.Engine { return g.ev.Engine() }
 
 // Config holds the control parameters of algorithm GA-tw / GA-ghw
 // (thesis Figure 6.1): population size n, crossover rate p_c, mutation rate
@@ -71,6 +85,13 @@ type Config struct {
 	// evaluation draws one work unit from it. core.Decompose shares one
 	// budget across the whole run.
 	Budget *budget.B
+	// Workers sets how many goroutines score a generation in parallel
+	// (RunParallel); 0 or 1 evaluates serially, exactly like Run. Parallel
+	// workers draw from the same Budget, so limits still hold globally,
+	// but each worker owns an evaluator: with randomized greedy covers,
+	// the assignment of individuals to workers (and hence tie-breaking)
+	// varies run to run.
+	Workers int
 }
 
 // budgetFor returns the run budget: the caller-supplied one, or a fresh
@@ -109,11 +130,102 @@ type Result struct {
 	// Stop says why the run ended early (deadline, node budget, canceled);
 	// StopNone when all generations ran or Target was reached.
 	Stop budget.StopReason
+	// CoverCacheHits and CoverCacheMisses report the shared cover engine's
+	// memo-cache counters for ghw runs (zero for treewidth runs, which do
+	// not cover bags).
+	CoverCacheHits   int64
+	CoverCacheMisses int64
 }
 
 // Run executes the genetic algorithm of thesis Figure 6.1 over orderings of
 // n vertices, scored by eval.
 func Run(n int, eval Evaluator, cfg Config) Result {
+	return runGA(n, []Evaluator{eval}, cfg)
+}
+
+// RunParallel is Run with cfg.Workers fitness workers scoring each
+// generation concurrently; newEval builds one evaluator per worker
+// (evaluators own scratch state and must not be shared across goroutines —
+// share a setcover.Engine between them instead). With Workers <= 1 it is
+// exactly Run(n, newEval(0), cfg).
+func RunParallel(n int, newEval func(worker int) Evaluator, cfg Config) Result {
+	w := cfg.Workers
+	if w < 1 {
+		w = 1
+	}
+	if w > cfg.PopulationSize {
+		w = cfg.PopulationSize
+	}
+	evs := make([]Evaluator, w)
+	for i := range evs {
+		evs[i] = newEval(i)
+	}
+	return runGA(n, evs, cfg)
+}
+
+// evalPop scores pop[start:] into fit, marking ok[i] for every index it
+// managed to evaluate before the budget ran out, and returns the number of
+// evaluations performed. One evaluator runs serially on the caller's
+// goroutine; several run as a worker pool drawing indices (and budget work
+// units) from shared atomics. A worker panic is captured and re-raised on
+// the caller after the pool drains, preserving the containment barrier in
+// core.Decompose.
+func evalPop(pop [][]int, fit []int, ok []bool, start int, evs []Evaluator, b *budget.B) int64 {
+	if len(evs) == 1 {
+		evals := int64(0)
+		for i := start; i < len(pop); i++ {
+			if !b.Tick() {
+				break
+			}
+			faultinject.Hit(faultinject.SiteGAEval)
+			fit[i] = evs[0].Evaluate(pop[i])
+			ok[i] = true
+			evals++
+		}
+		return evals
+	}
+	var next, evals atomic.Int64
+	next.Store(int64(start))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var pan *budget.PanicError
+	for _, ev := range evs {
+		ev := ev
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if pan == nil {
+						pan = budget.AsPanicError(r)
+					}
+					mu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pop) {
+					return
+				}
+				if !b.Tick() {
+					return
+				}
+				faultinject.Hit(faultinject.SiteGAEval)
+				fit[i] = ev.Evaluate(pop[i])
+				ok[i] = true
+				evals.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if pan != nil {
+		panic(pan)
+	}
+	return evals.Load()
+}
+
+func runGA(n int, evs []Evaluator, cfg Config) Result {
 	if cfg.PopulationSize < 2 {
 		panic("ga: population size must be at least 2")
 	}
@@ -126,6 +238,7 @@ func Run(n int, eval Evaluator, cfg Config) Result {
 
 	pop := make([][]int, cfg.PopulationSize)
 	fit := make([]int, cfg.PopulationSize)
+	ok := make([]bool, cfg.PopulationSize)
 	evals := int64(0)
 	for i := range pop {
 		pop[i] = rng.Perm(n)
@@ -133,17 +246,13 @@ func Run(n int, eval Evaluator, cfg Config) Result {
 	// The first individual is always evaluated — even on an exhausted
 	// budget the caller gets one valid scored ordering back.
 	faultinject.Hit(faultinject.SiteGAEval)
-	fit[0] = eval.Evaluate(pop[0])
+	fit[0] = evs[0].Evaluate(pop[0])
+	ok[0] = true
 	evals++
+	evals += evalPop(pop, fit, ok, 1, evs, b)
 	best, bestFit := pop[0], fit[0]
 	for i := 1; i < len(pop); i++ {
-		if !b.Tick() {
-			break
-		}
-		faultinject.Hit(faultinject.SiteGAEval)
-		fit[i] = eval.Evaluate(pop[i])
-		evals++
-		if fit[i] < bestFit {
+		if ok[i] && fit[i] < bestFit {
 			best, bestFit = pop[i], fit[i]
 		}
 	}
@@ -180,27 +289,26 @@ func Run(n int, eval Evaluator, cfg Config) Result {
 				Mutate(cfg.Mutation, next[i], rng)
 			}
 		}
-		// Evaluation. On budget exhaustion mid-generation only the already-
-		// evaluated prefix is trusted: the tail of fit still scores the
+		// Evaluation. On budget exhaustion mid-generation only the scored
+		// individuals (ok) are trusted: elsewhere fit still scores the
 		// previous generation's individuals.
 		pop = next
-		evaluated := len(pop)
-		for i := range pop {
-			if !b.Tick() {
-				evaluated = i
-				break
-			}
-			faultinject.Hit(faultinject.SiteGAEval)
-			fit[i] = eval.Evaluate(pop[i])
-			evals++
+		for i := range ok {
+			ok[i] = false
 		}
-		for i := 0; i < evaluated; i++ {
+		evals += evalPop(pop, fit, ok, 0, evs, b)
+		complete := true
+		for i := range pop {
+			if !ok[i] {
+				complete = false
+				continue
+			}
 			if fit[i] < bestFit {
 				best, bestFit = pop[i], fit[i]
 			}
 		}
 		history = append(history, bestFit)
-		if evaluated < len(pop) {
+		if !complete {
 			break
 		}
 	}
@@ -229,10 +337,18 @@ func TreewidthOfHypergraph(h *hypergraph.Hypergraph, cfg Config) Result {
 }
 
 // GHW runs GA-ghw (thesis §7.1) on a hypergraph and returns an upper bound
-// on its generalized hypertree width.
+// on its generalized hypertree width. With cfg.Workers > 1 the generations
+// are scored in parallel; all workers share one cover engine, whose cache
+// counters are reported in the result.
 func GHW(h *hypergraph.Hypergraph, cfg Config) Result {
-	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x9e3779b9))
-	return Run(h.N(), NewGHWEvaluator(h, rng), cfg)
+	eng := setcover.NewEngine(h, setcover.DefaultCacheCapacity)
+	res := RunParallel(h.N(), func(worker int) Evaluator {
+		rng := rand.New(rand.NewSource(cfg.Seed ^ 0x9e3779b9 + int64(worker)*1000003))
+		return NewGHWEvaluatorWithEngine(eng, rng)
+	}, cfg)
+	st := eng.CacheStats()
+	res.CoverCacheHits, res.CoverCacheMisses = st.Hits, st.Misses
+	return res
 }
 
 // tournament picks s random individuals and returns the fittest.

@@ -1,0 +1,98 @@
+package ga
+
+import (
+	"testing"
+
+	"hypertree/internal/budget"
+	"hypertree/internal/hypergraph"
+)
+
+// With a deterministic evaluator the GA's trajectory depends only on fit
+// values, so any worker count must reproduce the serial run exactly.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	g := hypergraph.Queen(5)
+	serial := Run(g.N(), NewTreewidthEvaluator(g), smallConfig(7))
+	for _, workers := range []int{1, 3, 8} {
+		cfg := smallConfig(7)
+		cfg.Workers = workers
+		par := RunParallel(g.N(), func(int) Evaluator { return NewTreewidthEvaluator(g) }, cfg)
+		if par.BestWidth != serial.BestWidth {
+			t.Fatalf("workers=%d: width %d, want %d", workers, par.BestWidth, serial.BestWidth)
+		}
+		if par.Generations != serial.Generations || par.Evaluations != serial.Evaluations {
+			t.Fatalf("workers=%d: gen/evals %d/%d, want %d/%d",
+				workers, par.Generations, par.Evaluations, serial.Generations, serial.Evaluations)
+		}
+		if len(par.History) != len(serial.History) {
+			t.Fatalf("workers=%d: history length %d, want %d", workers, len(par.History), len(serial.History))
+		}
+		for i := range par.History {
+			if par.History[i] != serial.History[i] {
+				t.Fatalf("workers=%d: history[%d] = %d, want %d", workers, i, par.History[i], serial.History[i])
+			}
+		}
+	}
+}
+
+// A parallel run under a tight evaluation budget must stop with the budget
+// reason and still return a validly scored ordering (anytime contract).
+func TestRunParallelAnytimeUnderBudget(t *testing.T) {
+	g := hypergraph.Queen(5)
+	cfg := smallConfig(8)
+	cfg.Workers = 4
+	cfg.Budget = budget.New(nil, budget.Limits{MaxNodes: 95}) // mid-generation cut
+	r := RunParallel(g.N(), func(int) Evaluator { return NewTreewidthEvaluator(g) }, cfg)
+	if r.Stop == budget.StopNone {
+		t.Fatal("expected a budget stop reason")
+	}
+	if len(r.BestOrdering) != g.N() {
+		t.Fatalf("ordering has %d entries", len(r.BestOrdering))
+	}
+	if w := NewTreewidthEvaluator(g).Evaluate(r.BestOrdering); w != r.BestWidth {
+		t.Fatalf("reported %d but ordering evaluates to %d", r.BestWidth, w)
+	}
+	if r.Evaluations > 95+4 {
+		// Each worker may finish the evaluation in flight when the budget
+		// trips, but nothing beyond that.
+		t.Fatalf("evaluations %d exceed the budget by more than the worker count", r.Evaluations)
+	}
+}
+
+// GHW with workers shares one cover engine: the run must produce a sound
+// width and report cache traffic.
+func TestGHWParallelSharesCoverCache(t *testing.T) {
+	tri := hypergraph.NewHypergraph(3)
+	tri.AddEdge(0, 1)
+	tri.AddEdge(1, 2)
+	tri.AddEdge(0, 2)
+	cfg := smallConfig(9)
+	cfg.Workers = 4
+	r := GHW(tri, cfg)
+	if r.BestWidth != 2 {
+		t.Fatalf("parallel GA ghw on triangle = %d, want 2", r.BestWidth)
+	}
+	if r.CoverCacheHits == 0 || r.CoverCacheMisses == 0 {
+		t.Fatalf("no cover cache traffic: %+v hits, %+v misses", r.CoverCacheHits, r.CoverCacheMisses)
+	}
+}
+
+// SAIGA's islands share one engine; the counters must land in the result.
+func TestSAIGAGHWReportsCoverCache(t *testing.T) {
+	tri := hypergraph.NewHypergraph(3)
+	tri.AddEdge(0, 1)
+	tri.AddEdge(1, 2)
+	tri.AddEdge(0, 2)
+	cfg := SAIGADefaults()
+	cfg.Islands = 3
+	cfg.IslandPop = 20
+	cfg.Epochs = 3
+	cfg.EpochLength = 4
+	cfg.Seed = 10
+	r := SAIGAGHW(tri, cfg)
+	if r.BestWidth != 2 {
+		t.Fatalf("SAIGA ghw on triangle = %d, want 2", r.BestWidth)
+	}
+	if r.CoverCacheHits == 0 {
+		t.Fatal("islands produced no cover cache hits")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"hypertree/internal/budget"
 	"hypertree/internal/budget/faultinject"
 	"hypertree/internal/hypergraph"
+	"hypertree/internal/setcover"
 )
 
 // SAIGAConfig controls SAIGA-ghw (thesis §7.2), the self-adaptive island
@@ -119,6 +120,10 @@ type SAIGAResult struct {
 	// Stop says why the run ended early; StopNone when all epochs ran or
 	// Target was reached.
 	Stop budget.StopReason
+	// CoverCacheHits and CoverCacheMisses report the islands' shared cover
+	// engine's memo-cache counters (ghw runs only).
+	CoverCacheHits   int64
+	CoverCacheMisses int64
 	// FinalParams holds each island's adapted parameters at termination,
 	// for inspection of what the self-adaptation converged to.
 	FinalParams []struct {
@@ -144,11 +149,17 @@ type island struct {
 }
 
 // SAIGAGHW runs SAIGA-ghw on a hypergraph and returns an upper bound on its
-// generalized hypertree width (the thesis's configuration, §7.2).
+// generalized hypertree width (the thesis's configuration, §7.2). The
+// islands evolve on separate goroutines but share one cover engine: a bag
+// scored on any island is memoized for all of them.
 func SAIGAGHW(h *hypergraph.Hypergraph, cfg SAIGAConfig) SAIGAResult {
-	return SAIGA(h.N(), func(i int) Evaluator {
-		return NewGHWEvaluator(h, rand.New(rand.NewSource(cfg.Seed^0x51a+int64(i)*1000003)))
+	eng := setcover.NewEngine(h, setcover.DefaultCacheCapacity)
+	res := SAIGA(h.N(), func(i int) Evaluator {
+		return NewGHWEvaluatorWithEngine(eng, rand.New(rand.NewSource(cfg.Seed^0x51a+int64(i)*1000003)))
 	}, cfg)
+	st := eng.CacheStats()
+	res.CoverCacheHits, res.CoverCacheMisses = st.Hits, st.Misses
+	return res
 }
 
 // SAIGATreewidth runs the self-adaptive island GA under the treewidth cost

@@ -71,6 +71,12 @@ func (q *pq) Pop() interface{} {
 	return x
 }
 
+// finish stamps the model's cover-cache counters onto a result.
+func finish(m model, r Result) Result {
+	r.CoverCacheHits, r.CoverCacheMisses = m.coverStats()
+	return r
+}
+
 func runAStar(m model, opts Options) Result {
 	b := opts.budgetFor()
 	lb, ub, ordering := m.initial()
@@ -80,8 +86,8 @@ func runAStar(m model, opts Options) Result {
 	}
 	e := m.graph()
 	if lb >= ub || e.N() == 0 {
-		return Result{Width: ub, LowerBound: ub, Exact: true, Ordering: ordering,
-			Nodes: 0, Elapsed: b.Elapsed()}
+		return finish(m, Result{Width: ub, LowerBound: ub, Exact: true, Ordering: ordering,
+			Nodes: 0, Elapsed: b.Elapsed()})
 	}
 
 	queue := &pq{}
@@ -106,8 +112,8 @@ func runAStar(m model, opts Options) Result {
 		if int(s.f) >= ub {
 			// Everything left is at least as wide as the known solution.
 			maxPoppedF = ub
-			return Result{Width: ub, LowerBound: ub, Exact: true,
-				Ordering: ordering, Nodes: b.Nodes(), Elapsed: b.Elapsed()}
+			return finish(m, Result{Width: ub, LowerBound: ub, Exact: true,
+				Ordering: ordering, Nodes: b.Nodes(), Elapsed: b.Elapsed()})
 		}
 		if int(s.f) > maxPoppedF {
 			maxPoppedF = int(s.f) // new proved lower bound (thesis §5.3)
@@ -117,8 +123,8 @@ func runAStar(m model, opts Options) Result {
 
 		// Goal test: the remaining graph cannot charge more than g.
 		if m.completionCap() <= int(s.g) {
-			return Result{Width: int(s.g), LowerBound: int(s.g), Exact: true,
-				Ordering: completion(e, prefixBuf), Nodes: b.Nodes(), Elapsed: b.Elapsed()}
+			return finish(m, Result{Width: int(s.g), LowerBound: int(s.g), Exact: true,
+				Ordering: completion(e, prefixBuf), Nodes: b.Nodes(), Elapsed: b.Elapsed()})
 		}
 
 		// Children: forced reduction or all live vertices with PR2.
@@ -178,13 +184,13 @@ func runAStar(m model, opts Options) Result {
 
 	if b.Stopped() {
 		// Anytime result: ub from the heuristic, lb from the last expansion.
-		return Result{Width: ub, LowerBound: maxPoppedF, Exact: false,
-			Ordering: ordering, Nodes: b.Nodes(), Elapsed: b.Elapsed(), Stop: b.Reason()}
+		return finish(m, Result{Width: ub, LowerBound: maxPoppedF, Exact: false,
+			Ordering: ordering, Nodes: b.Nodes(), Elapsed: b.Elapsed(), Stop: b.Reason()})
 	}
 	// Queue exhausted without reaching a goal below ub: ub is optimal
 	// (thesis §5.1, final return).
-	return Result{Width: ub, LowerBound: ub, Exact: true, Ordering: ordering,
-		Nodes: b.Nodes(), Elapsed: b.Elapsed()}
+	return finish(m, Result{Width: ub, LowerBound: ub, Exact: true, Ordering: ordering,
+		Nodes: b.Nodes(), Elapsed: b.Elapsed()})
 }
 
 // setKey encodes prefix ∪ {v} as an order-independent string.

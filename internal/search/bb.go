@@ -57,7 +57,7 @@ func runBB(m model, opts Options) Result {
 	if exact {
 		lbOut = s.ub
 	}
-	return Result{
+	return finish(m, Result{
 		Width:      s.ub,
 		LowerBound: lbOut,
 		Exact:      exact,
@@ -65,7 +65,7 @@ func runBB(m model, opts Options) Result {
 		Nodes:      b.Nodes(),
 		Elapsed:    b.Elapsed(),
 		Stop:       b.Reason(),
-	}
+	})
 }
 
 // dfs explores the subtree below the current elimination prefix.

@@ -80,6 +80,11 @@ type Result struct {
 	// Stop says why the search ended early (deadline, node budget,
 	// canceled); StopNone when it ran to completion and Exact holds.
 	Stop budget.StopReason
+	// CoverCacheHits and CoverCacheMisses report the bag-cover memo cache
+	// counters of the ghw cost model's engine (zero for the treewidth
+	// searches, which never cover bags).
+	CoverCacheHits   int64
+	CoverCacheMisses int64
 }
 
 // budgetFor returns the run budget: the caller-supplied one, or a fresh
@@ -119,6 +124,9 @@ type model interface {
 	// equivalent (they will be pruned), letting the ghw model bound its
 	// per-bag exact set-cover searches. No-op for the treewidth model.
 	setCostCap(cap int)
+	// coverStats reports the cover engine's cache counters (zeros for the
+	// treewidth model).
+	coverStats() (hits, misses int64)
 }
 
 // twModel is the treewidth cost model (thesis Chapters 4–5).
@@ -150,6 +158,7 @@ func (m *twModel) initial() (int, int, []int) {
 func (m *twModel) allowAlmostSimplicial() bool { return true }
 func (m *twModel) pr2Adjacent() bool           { return true }
 func (m *twModel) setCostCap(int)              {}
+func (m *twModel) coverStats() (int64, int64)  { return 0, 0 }
 
 // ghwModel is the generalized-hypertree-width cost model (Chapters 8–9).
 type ghwModel struct {
@@ -179,13 +188,19 @@ func (m *ghwModel) initial() (int, int, []int) {
 	lb := bounds.TwKscWidthFrom(bounds.MinorMinWidthElim(m.ev.E, m.rng), m.maxArity)
 	order := elim.MinFillOrdering(m.h.PrimalGraph(), m.rng)
 	// Greedy covers for the priming bound: always cheap, still an upper
-	// bound; the search's exact covers are capped by it from then on.
-	ub := elim.NewGHWEvaluator(m.h, false, m.rng).Width(order)
+	// bound; the search's exact covers are capped by it from then on. The
+	// priming evaluator shares the search's cover engine, so its bags seed
+	// the memo cache the search then hits.
+	ub := elim.NewGHWEvaluatorWithEngine(m.ev.Engine(), false, m.rng).Width(order)
 	return lb, ub, order
 }
 func (m *ghwModel) allowAlmostSimplicial() bool { return false }
 func (m *ghwModel) pr2Adjacent() bool           { return false }
 func (m *ghwModel) setCostCap(cap int)          { m.ev.Cap = cap }
+func (m *ghwModel) coverStats() (int64, int64) {
+	s := m.ev.CoverCacheStats()
+	return s.Hits, s.Misses
+}
 
 // pr2Skip reports whether child v of the current state can be pruned by
 // pruning rule 2, given that `last` was eliminated immediately before and

@@ -1,0 +1,428 @@
+// The bitset cover engine: per-hypergraph precomputed edge bitsets plus a
+// bounded, concurrency-safe memo cache of bag-cover results keyed by the
+// bag's vertex bitset. Every width evaluator in the repository bottoms out
+// here; the cache is what lets A*/BB sibling states and GA populations stop
+// re-solving identical bags.
+
+package setcover
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"hypertree/internal/bitset"
+	"hypertree/internal/hypergraph"
+)
+
+// DefaultCacheCapacity is the bag-cover cache bound used when callers do
+// not choose one: entries are a few words each, so 64k entries stay in the
+// low megabytes even on large instances.
+const DefaultCacheCapacity = 1 << 16
+
+// Engine is the bag-cover engine for one hypergraph: word-packed hyperedge
+// sets and a memo cache of cover sizes keyed by bag bitset. An Engine is
+// safe for concurrent use and is meant to be shared — across the states of
+// one search, across GA workers, across SAIGA islands. The per-call mutable
+// workspace lives in Scratch values, one per goroutine.
+type Engine struct {
+	h        *hypergraph.Hypergraph
+	nv       int
+	edgeBits []bitset.Set
+	cache    *coverCache
+	hits     atomic.Int64
+	misses   atomic.Int64
+}
+
+// NewEngine builds an engine for h. cacheCapacity bounds the number of
+// memoized bags; 0 disables memoization, negative selects
+// DefaultCacheCapacity.
+func NewEngine(h *hypergraph.Hypergraph, cacheCapacity int) *Engine {
+	nv := h.N()
+	m := h.M()
+	words := bitset.Words(nv)
+	backing := make([]uint64, words*m)
+	eb := make([]bitset.Set, m)
+	for e := 0; e < m; e++ {
+		s := bitset.Set(backing[e*words : (e+1)*words])
+		for _, v := range h.Edge(e) {
+			s.Add(v)
+		}
+		eb[e] = s
+	}
+	eng := &Engine{h: h, nv: nv, edgeBits: eb}
+	if cacheCapacity < 0 {
+		cacheCapacity = DefaultCacheCapacity
+	}
+	if cacheCapacity > 0 {
+		eng.cache = newCoverCache(cacheCapacity)
+	}
+	return eng
+}
+
+// Hypergraph returns the hypergraph the engine covers bags of.
+func (e *Engine) Hypergraph() *hypergraph.Hypergraph { return e.h }
+
+// EdgeBits returns edge ei's vertex set as a bitset. The set is shared and
+// must not be mutated.
+func (e *Engine) EdgeBits(ei int) bitset.Set { return e.edgeBits[ei] }
+
+// CacheStats reports the memo cache's hit/miss counters and current size.
+// A hit is a query answered entirely from the cache; partially useful
+// entries (e.g. a lower bound below the requested cap) count as misses.
+type CacheStats struct {
+	Hits, Misses int64
+	Size         int
+}
+
+// CacheStats returns the engine's cache counters (zeros when memoization is
+// disabled).
+func (e *Engine) CacheStats() CacheStats {
+	s := CacheStats{Hits: e.hits.Load(), Misses: e.misses.Load()}
+	if e.cache != nil {
+		s.Size = e.cache.size()
+	}
+	return s
+}
+
+// Scratch is the per-goroutine workspace of an engine's cover queries. It
+// draws its bag-sized bitsets from a pooled allocator and reuses the
+// candidate buffers, so the steady-state hot path performs no allocation.
+// A Scratch is not safe for concurrent use; each worker owns one.
+type Scratch struct {
+	pool      *bitset.Pool
+	bag       bitset.Set
+	uncovered bitset.Set
+	key       []byte
+	cand      []int
+	candSeen  []bool
+	candUsed  []bool
+	candBits  []bitset.Set
+	pos       []int32 // vertex -> bag position; -1 outside the bag
+	elems     []int
+}
+
+// NewScratch returns a fresh workspace for queries against e.
+func (e *Engine) NewScratch() *Scratch {
+	p := bitset.NewPool(e.nv)
+	sc := &Scratch{
+		pool:      p,
+		bag:       p.Get(),
+		uncovered: p.Get(),
+		candSeen:  make([]bool, e.h.M()),
+		pos:       make([]int32, e.nv),
+	}
+	for i := range sc.pos {
+		sc.pos[i] = -1
+	}
+	return sc
+}
+
+// loadBag fills sc.bag and sc.cand for the given bag: the bag's bitset and
+// the sorted indices of all hyperedges incident to it (the only useful
+// cover candidates).
+func (e *Engine) loadBag(sc *Scratch, bag []int) {
+	sc.bag.Clear()
+	sc.cand = sc.cand[:0]
+	for _, v := range bag {
+		sc.bag.Add(v)
+		for _, ei := range e.h.IncidentEdges(v) {
+			if !sc.candSeen[ei] {
+				sc.candSeen[ei] = true
+				sc.cand = append(sc.cand, ei)
+			}
+		}
+	}
+	for _, ei := range sc.cand {
+		sc.candSeen[ei] = false
+	}
+	// Canonical ascending order: greedy tie-breaking then depends only on
+	// the bag's vertex set, which keeps the memo cache consistent with
+	// recomputation.
+	insertionSortInts(sc.cand)
+}
+
+// GreedySize returns the size of a greedy cover of bag by hyperedges, or -1
+// if the bag is uncoverable. Results are memoized by bag; a cached size is
+// returned even when rng would have tie-broken differently (any greedy
+// cover size is a valid upper bound).
+func (e *Engine) GreedySize(sc *Scratch, bag []int, rng *rand.Rand) int {
+	if len(bag) == 0 {
+		return 0
+	}
+	e.loadBag(sc, bag)
+	if e.cache != nil {
+		sc.key = sc.bag.AppendKey(sc.key[:0])
+		if ent, ok := e.cache.lookup(sc.key); ok && ent.greedy != sizeUnknown {
+			e.hits.Add(1)
+			return int(ent.greedy)
+		}
+		e.misses.Add(1)
+	}
+	size := e.greedySizeUncached(sc, rng)
+	if e.cache != nil {
+		e.cache.update(sc.key, func(ent *coverEntry) {
+			ent.greedy = int32(size)
+			if size == -1 {
+				ent.exact = -1 // coverability does not depend on the mode
+			}
+		})
+	}
+	return size
+}
+
+// greedySizeUncached runs the bitset greedy over sc's loaded bag.
+func (e *Engine) greedySizeUncached(sc *Scratch, rng *rand.Rand) int {
+	sc.uncovered.CopyFrom(sc.bag)
+	if cap(sc.candUsed) < len(sc.cand) {
+		sc.candUsed = make([]bool, len(sc.cand))
+	}
+	used := sc.candUsed[:len(sc.cand)]
+	for i := range used {
+		used[i] = false
+	}
+	size := 0
+	for sc.uncovered.Any() {
+		best, bestGain, ties := -1, 0, 0
+		for i, ei := range sc.cand {
+			if used[i] {
+				continue
+			}
+			gain := e.edgeBits[ei].AndCount(sc.uncovered)
+			switch {
+			case gain > bestGain:
+				best, bestGain, ties = i, gain, 1
+			case gain == bestGain && gain > 0:
+				ties++
+				if rng != nil && rng.Intn(ties) == 0 {
+					best = i
+				}
+			}
+		}
+		if best < 0 {
+			return -1 // some bag vertex is in no hyperedge
+		}
+		used[best] = true
+		sc.uncovered.AndNot(e.edgeBits[sc.cand[best]])
+		size++
+	}
+	return size
+}
+
+// ExactSizeCapped returns the minimum number of hyperedges covering bag,
+// except that under a positive cap any minimum >= cap reports exactly cap
+// (the caller prunes such bags anyway, so the search stops early). It
+// returns -1 if the bag is uncoverable. Results — including cap-censored
+// lower bounds — are memoized by bag.
+func (e *Engine) ExactSizeCapped(sc *Scratch, bag []int, cap int) int {
+	if len(bag) == 0 {
+		return 0
+	}
+	e.loadBag(sc, bag)
+	if e.cache != nil {
+		sc.key = sc.bag.AppendKey(sc.key[:0])
+		if ent, ok := e.cache.lookup(sc.key); ok {
+			if ent.exact != sizeUnknown {
+				e.hits.Add(1)
+				if ent.exact >= 0 && cap > 0 && int(ent.exact) >= cap {
+					return cap
+				}
+				return int(ent.exact)
+			}
+			if cap > 0 && ent.exactLB != sizeUnknown && int(ent.exactLB) >= cap {
+				e.hits.Add(1)
+				return cap
+			}
+		}
+		e.misses.Add(1)
+	}
+	size := e.exactSizeUncached(sc, cap)
+	if e.cache != nil {
+		e.cache.update(sc.key, func(ent *coverEntry) {
+			switch {
+			case size == -1:
+				ent.exact, ent.greedy = -1, -1
+			case cap > 0 && size == cap:
+				// Only a censored bound: the true minimum is >= cap.
+				if ent.exactLB == sizeUnknown || int(ent.exactLB) < cap {
+					ent.exactLB = int32(cap)
+				}
+			default:
+				ent.exact = int32(size)
+			}
+		})
+	}
+	return size
+}
+
+// exactSizeUncached restricts the candidates to sc's loaded bag and runs
+// the shared branch-and-bound core.
+func (e *Engine) exactSizeUncached(sc *Scratch, cap int) int {
+	// Bag positions, ascending by vertex id.
+	sc.elems = sc.bag.AppendTo(sc.elems[:0])
+	ne := len(sc.elems)
+	for i, v := range sc.elems {
+		sc.pos[v] = int32(i)
+	}
+	// Restrict each candidate edge to the bag. Edges are sorted and the
+	// position map is monotone, so the position lists come out ascending.
+	cands := make([]candSet, 0, len(sc.cand))
+	sc.candBits = sc.candBits[:0]
+	for _, ei := range sc.cand {
+		b := sc.pool.Get()
+		sc.candBits = append(sc.candBits, b)
+		b.CopyFrom(e.edgeBits[ei])
+		b.And(sc.bag)
+		elems := make([]int, 0, 4)
+		for _, v := range e.h.Edge(ei) {
+			if p := sc.pos[v]; p >= 0 {
+				elems = append(elems, int(p))
+			}
+		}
+		cands = append(cands, candSet{bits: b, elems: elems, orig: ei})
+	}
+	chosen, capped := exactCore(sc.bag, ne, cands, cap)
+	// exactCore compacts cands in place during dedup/domination, so release
+	// the sets recorded at allocation time, not through cands.
+	for _, b := range sc.candBits {
+		sc.pool.Put(b)
+	}
+	for _, v := range sc.elems {
+		sc.pos[v] = -1
+	}
+	switch {
+	case capped:
+		return cap
+	case chosen == nil:
+		return -1
+	default:
+		return len(chosen)
+	}
+}
+
+// GreedyCover returns a greedy cover of bag as sorted hyperedge indices, or
+// nil if uncoverable. Unlike GreedySize it materializes the chosen edges
+// and bypasses the memo cache; it serves the decomposition builders, which
+// need λ-sets, not just widths.
+func (e *Engine) GreedyCover(bag []int, rng *rand.Rand) []int {
+	return e.coverIndices(bag, rng, false)
+}
+
+// ExactCover returns a minimum cover of bag as sorted hyperedge indices, or
+// nil if uncoverable.
+func (e *Engine) ExactCover(bag []int) []int {
+	return e.coverIndices(bag, nil, true)
+}
+
+func (e *Engine) coverIndices(bag []int, rng *rand.Rand, exact bool) []int {
+	if len(bag) == 0 {
+		return []int{}
+	}
+	sc := e.NewScratch()
+	e.loadBag(sc, bag)
+	sets := make([][]int, len(sc.cand))
+	for i, ei := range sc.cand {
+		sets[i] = e.h.Edge(ei)
+	}
+	var chosen []int
+	if exact {
+		chosen = Exact(bag, sets)
+	} else {
+		chosen = Greedy(bag, sets, rng)
+	}
+	if chosen == nil {
+		return nil
+	}
+	out := make([]int, len(chosen))
+	for i, ci := range chosen {
+		out[i] = sc.cand[ci]
+	}
+	return out
+}
+
+// insertionSortInts sorts small slices in place without sort.Ints's
+// interface overhead; candidate lists are usually tiny and nearly sorted
+// (incident-edge lists are ascending per vertex).
+func insertionSortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		x := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > x {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = x
+	}
+}
+
+// ---- the memo cache ----
+
+// sizeUnknown marks a coverEntry field that has not been computed yet
+// (-1 is taken: it means "uncoverable").
+const sizeUnknown = int32(-1 << 30)
+
+// coverEntry memoizes what is known about one bag: its greedy cover size,
+// its exact minimum, and — from cap-censored exact runs — a proven lower
+// bound on the minimum.
+type coverEntry struct {
+	greedy  int32
+	exact   int32
+	exactLB int32
+}
+
+// coverCache is a bounded map from bag keys to cover entries with FIFO
+// eviction. All methods are safe for concurrent use.
+type coverCache struct {
+	mu       sync.Mutex
+	capacity int
+	m        map[string]coverEntry
+	ring     []string
+	next     int
+}
+
+func newCoverCache(capacity int) *coverCache {
+	return &coverCache{
+		capacity: capacity,
+		m:        make(map[string]coverEntry, capacity/4),
+		ring:     make([]string, 0, capacity),
+	}
+}
+
+// lookup returns the entry for key, if present. The []byte-to-string
+// conversion in the map index compiles to a no-alloc lookup.
+func (c *coverCache) lookup(key []byte) (coverEntry, bool) {
+	c.mu.Lock()
+	ent, ok := c.m[string(key)]
+	c.mu.Unlock()
+	return ent, ok
+}
+
+// update applies fn to key's entry, inserting (and, at capacity, evicting
+// the oldest bag) if absent.
+func (c *coverCache) update(key []byte, fn func(*coverEntry)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ent, ok := c.m[string(key)]
+	if !ok {
+		ent = coverEntry{greedy: sizeUnknown, exact: sizeUnknown, exactLB: sizeUnknown}
+		k := string(key)
+		if len(c.ring) < c.capacity {
+			c.ring = append(c.ring, k)
+		} else {
+			delete(c.m, c.ring[c.next])
+			c.ring[c.next] = k
+			c.next = (c.next + 1) % c.capacity
+		}
+		fn(&ent)
+		c.m[k] = ent
+		return
+	}
+	fn(&ent)
+	c.m[string(key)] = ent
+}
+
+func (c *coverCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

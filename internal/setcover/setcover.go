@@ -6,42 +6,91 @@
 //
 // In every use in this repository the universe is a decomposition bag (a
 // χ-set) and the candidate sets are the hypergraph's hyperedges; only the
-// intersections of the hyperedges with the bag matter.
+// intersections of the hyperedges with the bag matter. Since the evaluators
+// re-solve the same bags thousands of times across search states and GA
+// generations, the hot paths are word-packed: elements live in
+// bitset.Set values, gains are popcounts, and domination is a subset test.
+// The original map/slice implementations are kept in reference.go as the
+// ground truth for the equivalence tests. The memoizing Engine (engine.go)
+// adds the per-hypergraph bag-cover cache on top.
 package setcover
 
 import (
-	"fmt"
 	"math/rand"
 	"sort"
+
+	"hypertree/internal/bitset"
 )
+
+// candSet is one candidate set restricted to the universe: its elements as a
+// bitset (for dedup, domination and greedy gains) and as a position list
+// (for the branch-and-bound's covered counts), plus the index the caller
+// knows it by.
+type candSet struct {
+	bits  bitset.Set
+	elems []int // universe positions, ascending
+	orig  int
+}
 
 // Greedy computes a cover of universe using the given sets, repeatedly
 // picking a set covering the maximum number of still-uncovered elements
 // (thesis Figure 7.2). Ties are broken by rng if non-nil, else by lowest
 // index. It returns the indices of the chosen sets, or nil if the universe
 // is not coverable.
+//
+// Duplicate elements inside a set count once toward its gain (sets are
+// treated as sets); the hyperedges this package covers with are always
+// duplicate-free.
 func Greedy(universe []int, sets [][]int, rng *rand.Rand) []int {
 	if len(universe) == 0 {
 		return []int{}
 	}
-	uncovered := make(map[int]struct{}, len(universe))
-	for _, v := range universe {
-		uncovered[v] = struct{}{}
+	pos, ne := positionsOf(universe)
+	uncovered := bitset.New(ne)
+	for p := 0; p < ne; p++ {
+		uncovered.Add(p)
 	}
+	// All sets stay candidates (even useless ones) so the tie-breaking and
+	// rng stream match the reference implementation exactly.
+	words := bitset.Words(ne)
+	backing := make([]uint64, words*len(sets))
+	cands := make([]candSet, len(sets))
+	for i, s := range sets {
+		b := bitset.Set(backing[i*words : (i+1)*words])
+		for _, v := range s {
+			if p, ok := pos[v]; ok {
+				b.Add(p)
+			}
+		}
+		cands[i] = candSet{bits: b, orig: i}
+	}
+	chosen := greedyBits(uncovered, cands, rng)
+	if chosen == nil {
+		return nil
+	}
+	out := make([]int, len(chosen))
+	for i, ci := range chosen {
+		out[i] = cands[ci].orig
+	}
+	sort.Ints(out)
+	return out
+}
+
+// greedyBits runs the greedy cover over candidate bitsets, consuming
+// uncovered in place. It returns indices into cands (in pick order), or nil
+// if some element is uncoverable. The candidate iteration order and the
+// reservoir tie-breaking replicate the reference implementation, so a
+// shared rng advances identically on both paths.
+func greedyBits(uncovered bitset.Set, cands []candSet, rng *rand.Rand) []int {
 	var chosen []int
-	used := make([]bool, len(sets))
-	for len(uncovered) > 0 {
+	used := make([]bool, len(cands))
+	for uncovered.Any() {
 		best, bestGain, ties := -1, 0, 0
-		for i, s := range sets {
+		for i := range cands {
 			if used[i] {
 				continue
 			}
-			gain := 0
-			for _, v := range s {
-				if _, ok := uncovered[v]; ok {
-					gain++
-				}
-			}
+			gain := cands[i].bits.AndCount(uncovered)
 			switch {
 			case gain > bestGain:
 				best, bestGain, ties = i, gain, 1
@@ -59,11 +108,8 @@ func Greedy(universe []int, sets [][]int, rng *rand.Rand) []int {
 		}
 		used[best] = true
 		chosen = append(chosen, best)
-		for _, v := range sets[best] {
-			delete(uncovered, v)
-		}
+		uncovered.AndNot(cands[best].bits)
 	}
-	sort.Ints(chosen)
 	return chosen
 }
 
@@ -80,10 +126,10 @@ func GreedySize(universe []int, sets [][]int, rng *rand.Rand) int {
 // chosen set indices, or nil if the universe is uncoverable. It substitutes
 // for the IP solver used in the thesis (§2.5.2): the optimum is identical.
 //
-// The search restricts sets to the universe, removes dominated candidates,
-// branches on an uncovered element with the fewest candidate sets, bounds
-// with current + ceil(remaining / maxGain), and is primed with the greedy
-// solution.
+// The search restricts sets to the universe, removes duplicate and dominated
+// candidates, branches on an uncovered element with the fewest candidate
+// sets, bounds with current + ceil(remaining / maxGain), and is primed with
+// a greedy cover of the restricted candidates.
 func Exact(universe []int, sets [][]int) []int {
 	if len(universe) == 0 {
 		return []int{}
@@ -114,65 +160,73 @@ func ExactSizeCapped(universe []int, sets [][]int, cap int) int {
 	return len(chosen)
 }
 
-// exactBB is the shared branch-and-bound core. cap <= 0 means uncapped.
-// It reports (nil, true) when the optimum is >= cap under a positive cap.
+// exactBB restricts the sets to the universe and runs the shared
+// branch-and-bound core. cap <= 0 means uncapped; (nil, true) reports that
+// the optimum is >= cap under a positive cap.
 func exactBB(universe []int, sets [][]int, cap int) (result []int, capped bool) {
-	// Deduplicate universe.
-	uniq := make(map[int]struct{}, len(universe))
-	for _, v := range universe {
-		uniq[v] = struct{}{}
-	}
-	elems := make([]int, 0, len(uniq))
-	for v := range uniq {
-		elems = append(elems, v)
-	}
-	sort.Ints(elems)
-	pos := make(map[int]int, len(elems))
-	for i, v := range elems {
-		pos[v] = i
-	}
-	ne := len(elems)
-
-	// Restrict each set to the universe, as element positions, dropping
-	// duplicates and dominated (subset-of-another) candidates: they can
-	// always be replaced by their dominator without growing the cover.
-	type cand struct {
-		elems []int
-		orig  int
-	}
-	var cands []cand
-	seenKey := make(map[string]struct{})
+	pos, ne := positionsOf(universe)
+	words := bitset.Words(ne)
+	backing := make([]uint64, 0, words*len(sets))
+	cands := make([]candSet, 0, len(sets))
 	for i, s := range sets {
-		var r []int
+		start := len(backing)
+		backing = backing[:start+words]
+		b := bitset.Set(backing[start : start+words])
 		for _, v := range s {
 			if p, ok := pos[v]; ok {
-				r = append(r, p)
+				b.Add(p)
 			}
 		}
-		if len(r) == 0 {
+		if !b.Any() {
+			backing = backing[:start]
 			continue
 		}
-		sort.Ints(r)
-		key := fmt.Sprint(r)
-		if _, dup := seenKey[key]; dup {
-			continue
-		}
-		seenKey[key] = struct{}{}
-		cands = append(cands, cand{r, i})
+		cands = append(cands, candSet{bits: b, elems: b.AppendTo(nil), orig: i})
 	}
-	// Remove dominated candidates (quadratic; candidate lists are small
-	// after restriction/dedup).
+	uni := bitset.New(ne)
+	for p := 0; p < ne; p++ {
+		uni.Add(p)
+	}
+	chosen, capped := exactCore(uni, ne, cands, cap)
+	if chosen != nil {
+		sort.Ints(chosen)
+	}
+	return chosen, capped
+}
+
+// exactCore is the branch-and-bound over restricted candidates shared by
+// the slice API and the Engine. universe holds the ne uncovered elements;
+// cands must be non-empty restrictions with elems listing each candidate's
+// element positions in 0..ne-1. It dedups equal candidates by bitset key,
+// drops dominated (strict-subset) candidates, primes the bound with a
+// greedy cover of the surviving candidates, and returns the chosen
+// candidates' orig fields (unsorted), or (nil, false) if some element is
+// uncoverable, or (nil, true) when cap > 0 and the optimum is >= cap.
+func exactCore(universe bitset.Set, ne int, cands []candSet, cap int) (result []int, capped bool) {
+	// Deduplicate by bitset key: equal restrictions are interchangeable.
+	seen := make(map[string]struct{}, len(cands))
+	var keyBuf []byte
 	kept := cands[:0]
+	for _, c := range cands {
+		keyBuf = c.bits.AppendKey(keyBuf[:0])
+		if _, dup := seen[string(keyBuf)]; dup {
+			continue
+		}
+		seen[string(keyBuf)] = struct{}{}
+		kept = append(kept, c)
+	}
+	cands = kept
+	// Remove dominated candidates: a strict subset can always be replaced by
+	// its superset without growing the cover. Equal sets were just deduped,
+	// so only strictly smaller candidates need the subset test.
+	kept = cands[:0]
 	for i := range cands {
 		dominated := false
 		for j := range cands {
-			if i == j || len(cands[i].elems) > len(cands[j].elems) {
+			if i == j || len(cands[i].elems) >= len(cands[j].elems) {
 				continue
 			}
-			if len(cands[i].elems) == len(cands[j].elems) && i < j {
-				continue // equal sets were deduped; guard for safety
-			}
-			if subsetInts(cands[i].elems, cands[j].elems) {
+			if cands[i].bits.SubsetOf(cands[j].bits) {
 				dominated = true
 				break
 			}
@@ -183,12 +237,14 @@ func exactBB(universe []int, sets [][]int, cap int) (result []int, capped bool) 
 	}
 	cands = kept
 
-	restricted := make([][]int, len(cands))
 	memberOf := make([][]int, ne)
-	for i, c := range cands {
-		restricted[i] = c.elems
-		for _, e := range c.elems {
+	maxSetSize := 0
+	for i := range cands {
+		for _, e := range cands[i].elems {
 			memberOf[e] = append(memberOf[e], i)
+		}
+		if len(cands[i].elems) > maxSetSize {
+			maxSetSize = len(cands[i].elems)
 		}
 	}
 	for e := 0; e < ne; e++ {
@@ -197,30 +253,25 @@ func exactBB(universe []int, sets [][]int, cap int) (result []int, capped bool) 
 		}
 	}
 
-	greedyCover := Greedy(universe, sets, nil)
-	if greedyCover == nil {
-		return nil, false
+	// Prime with a greedy cover of the restricted, deduplicated candidates
+	// (every element is coverable here, so greedy cannot fail).
+	prime := greedyBits(universe.Clone(), cands, nil)
+	bestLen := len(prime)
+	best := make([]int, 0, bestLen)
+	for _, ci := range prime {
+		best = append(best, cands[ci].orig)
 	}
-	bestLen := len(greedyCover)
-	best := append([]int(nil), greedyCover...)
 	if cap > 0 && bestLen > cap {
 		bestLen = cap
 		best = nil
 	}
+
 	// covered counts per element; coveredCount = elements with count > 0.
 	counts := make([]int, ne)
 	coveredCount := 0
 	var chosen []int
-
-	maxSetSize := 0
-	for _, r := range restricted {
-		if len(r) > maxSetSize {
-			maxSetSize = len(r)
-		}
-	}
-
 	add := func(i int) {
-		for _, e := range restricted[i] {
+		for _, e := range cands[i].elems {
 			if counts[e] == 0 {
 				coveredCount++
 			}
@@ -229,7 +280,7 @@ func exactBB(universe []int, sets [][]int, cap int) (result []int, capped bool) 
 		chosen = append(chosen, i)
 	}
 	undo := func(i int) {
-		for _, e := range restricted[i] {
+		for _, e := range cands[i].elems {
 			counts[e]--
 			if counts[e] == 0 {
 				coveredCount--
@@ -276,24 +327,22 @@ func exactBB(universe []int, sets [][]int, cap int) (result []int, capped bool) 
 		// Coverable (the memberOf check passed) but only at cap or above.
 		return nil, true
 	}
-	out := append([]int(nil), best...)
-	sort.Ints(out)
-	return out, false
+	return best, false
 }
 
-// subsetInts reports whether sorted slice a is a subset of sorted slice b.
-func subsetInts(a, b []int) bool {
-	i := 0
-	for _, x := range a {
-		for i < len(b) && b[i] < x {
-			i++
+// positionsOf maps the distinct universe elements, in ascending order, to
+// positions 0..ne-1.
+func positionsOf(universe []int) (pos map[int]int, ne int) {
+	sorted := append([]int(nil), universe...)
+	sort.Ints(sorted)
+	pos = make(map[int]int, len(sorted))
+	for _, v := range sorted {
+		if _, dup := pos[v]; !dup {
+			pos[v] = ne
+			ne++
 		}
-		if i >= len(b) || b[i] != x {
-			return false
-		}
-		i++
 	}
-	return true
+	return pos, ne
 }
 
 // ExactSize returns len(Exact(...)), or -1 if the universe is uncoverable.
