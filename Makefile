@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench-smoke fuzz clean
+.PHONY: all build vet test race check bench-smoke trace-smoke fuzz clean
 
 all: check
 
@@ -19,7 +19,7 @@ race:
 # check is the full verification gate: static analysis, a clean build, the
 # test suite under the race detector (which subsumes plain `go test`), and a
 # smoke run of the evaluator benchmarks.
-check: vet build race bench-smoke
+check: vet build race bench-smoke trace-smoke
 
 # bench-smoke reruns the ghw evaluator microbenchmarks (benchstat-compatible
 # output) into a scratch report and validates both it and the committed
@@ -30,6 +30,14 @@ bench-smoke:
 	$(GO) run ./cmd/experiments -bench-check BENCH_ghw.smoke.json
 	$(GO) run ./cmd/experiments -bench-check BENCH_ghw.json
 	rm -f BENCH_ghw.smoke.json
+
+# trace-smoke runs one budgeted search with -trace and validates the JSONL
+# event stream against the schema (see OBSERVABILITY.md): per-line JSON,
+# known kinds, run boundaries present, anytime-width monotonicity per run.
+trace-smoke:
+	$(GO) run ./cmd/decompose -algo bb-ghw -gen grid2d_10 -timeout 5s -trace trace.smoke.jsonl
+	$(GO) run ./cmd/decompose -trace-check trace.smoke.jsonl
+	rm -f trace.smoke.jsonl
 
 # fuzz runs each parser fuzzer briefly; extend -fuzztime for real campaigns.
 fuzz:

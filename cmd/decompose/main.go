@@ -26,6 +26,7 @@ import (
 	"hypertree/internal/core"
 	"hypertree/internal/decomp"
 	"hypertree/internal/hypergraph"
+	"hypertree/internal/obs"
 )
 
 func main() {
@@ -41,8 +42,23 @@ func main() {
 		show    = flag.Bool("show", false, "print the decomposition tree")
 		dotPath = flag.String("dot", "", "write the decomposition as Graphviz DOT to this file")
 		tdPath  = flag.String("td", "", "write the tree decomposition in PACE .td format to this file")
+
+		tracePath  = flag.String("trace", "", "write the run's instrumentation events as JSONL to this file")
+		stats      = flag.Bool("stats", false, "print the run's aggregated statistics (anytime-width timeline, effort, cache traffic)")
+		progress   = flag.Duration("progress", 0, "report run progress to stderr at this interval (0 = off)")
+		traceCheck = flag.String("trace-check", "", "validate a JSONL trace file and exit (no run)")
 	)
 	flag.Parse()
+
+	if *traceCheck != "" {
+		sum, err := obs.ValidateTraceFile(*traceCheck)
+		if err != nil {
+			fatal(fmt.Errorf("trace %s: %w", *traceCheck, err))
+		}
+		fmt.Printf("trace %s: valid (%d events, %d runs, %d improvements, %d checkpoints, algos %v)\n",
+			*traceCheck, sum.Events, sum.Starts, sum.Improvements, sum.Checkpoints, sum.Algos)
+		return
+	}
 
 	if *list {
 		fmt.Println("graphs:")
@@ -68,13 +84,36 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
+	var recorders []obs.Recorder
+	var trace *obs.JSONLWriter
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		trace = obs.NewJSONLWriter(f)
+		recorders = append(recorders, trace)
+	}
+	if *progress > 0 {
+		recorders = append(recorders, obs.NewProgress(os.Stderr, *progress))
+	}
+
 	d, err := core.Decompose(h, core.Options{
 		Algorithm: alg,
 		Ctx:       ctx,
 		Timeout:   *timeout,
 		MaxNodes:  *nodes,
 		Seed:      *seed,
+		Recorder:  obs.Tee(recorders...),
 	})
+	if trace != nil {
+		if cerr := trace.Close(); cerr != nil {
+			fatal(fmt.Errorf("writing trace %s: %w", *tracePath, cerr))
+		}
+		if err == nil {
+			fmt.Println("wrote", *tracePath)
+		}
+	}
 	if err != nil {
 		var pe *budget.PanicError
 		if errors.As(err, &pe) {
@@ -98,6 +137,9 @@ func main() {
 	fmt.Printf("effort: %d nodes, %d evaluations, %v\n", d.Nodes, d.Evaluations, d.Elapsed.Round(time.Millisecond))
 	if d.Interrupted {
 		fmt.Printf("run interrupted (%s): result is the best found within the budget\n", d.Stop)
+	}
+	if *stats && d.Stats != nil {
+		fmt.Print(d.Stats.Summary())
 	}
 
 	if err := d.TD.Validate(h); err != nil {

@@ -14,12 +14,18 @@
 // engine without cache, pre-engine slice path) over a fixed instance set,
 // prints benchstat-compatible lines, and writes a JSON report; -bench-check
 // validates such a report and exits.
+//
+// -metrics-addr serves runtime metrics while experiments run: expvar at
+// /debug/vars and pprof profiles at /debug/pprof/ (see OBSERVABILITY.md).
 package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -28,15 +34,31 @@ import (
 	"hypertree/internal/bench"
 )
 
+// tablesCompleted counts finished tables, exported at /debug/vars so a long
+// -table all run can be watched from outside.
+var tablesCompleted = expvar.NewInt("experiments_tables_completed")
+
 func main() {
 	var (
 		table      = flag.String("table", "all", "table id ("+strings.Join(bench.TableIDs(), ", ")+") or 'all'")
 		scale      = flag.String("scale", "small", "scale: smoke | small | full")
-		benchJSON  = flag.Bool("bench-json", false, "run the ghw evaluator microbenchmarks and write a JSON report")
-		benchOut   = flag.String("bench-out", "BENCH_ghw.json", "output path for -bench-json")
-		benchCheck = flag.String("bench-check", "", "validate a -bench-json report at this path and exit")
+		benchJSON   = flag.Bool("bench-json", false, "run the ghw evaluator microbenchmarks and write a JSON report")
+		benchOut    = flag.String("bench-out", "BENCH_ghw.json", "output path for -bench-json")
+		benchCheck  = flag.String("bench-check", "", "validate a -bench-json report at this path and exit")
+		metricsAddr = flag.String("metrics-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address, e.g. localhost:6060")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		// expvar and net/http/pprof register on the default mux at import.
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: metrics server:", err)
+			}
+		}()
+		fmt.Printf("experiments: serving metrics on http://%s/debug/vars and http://%s/debug/pprof/\n",
+			*metricsAddr, *metricsAddr)
+	}
 
 	if *benchCheck != "" {
 		if err := bench.CheckBenchJSON(*benchCheck); err != nil {
@@ -87,6 +109,7 @@ func main() {
 		}
 		ran[key] = true
 		fmt.Println(runner(sc).Format())
+		tablesCompleted.Add(1)
 		if ctx.Err() != nil {
 			fmt.Fprintln(os.Stderr, "experiments: interrupted; remaining tables skipped")
 			break

@@ -18,6 +18,7 @@ import (
 	"hypertree/internal/elim"
 	"hypertree/internal/elimgraph"
 	"hypertree/internal/hypergraph"
+	"hypertree/internal/obs"
 	"hypertree/internal/setcover"
 )
 
@@ -33,8 +34,10 @@ const benchOrderings = 8
 // BenchEntry is one (instance, mode) measurement.
 type BenchEntry struct {
 	Instance string `json:"instance"`
-	// Mode is "engine" (memo cache on), "engine-nocache" (bitsets only),
-	// or "sliceapi" (the pre-engine evaluation path).
+	// Mode is "engine" (memo cache on), "engine-nooprec" (memo cache on,
+	// a discarding obs recorder attached — the instrumentation-enabled
+	// dispatch cost), "engine-nocache" (bitsets only), or "sliceapi" (the
+	// pre-engine evaluation path).
 	Mode        string  `json:"mode"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -42,9 +45,10 @@ type BenchEntry struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	// Width sanity-checks that every mode computed the same values.
 	Width int `json:"width"`
-	// Cache counters, for the "engine" mode only.
-	CacheHits   int64 `json:"cache_hits,omitempty"`
-	CacheMisses int64 `json:"cache_misses,omitempty"`
+	// Cache counters, for the cached engine modes only.
+	CacheHits      int64 `json:"cache_hits,omitempty"`
+	CacheMisses    int64 `json:"cache_misses,omitempty"`
+	CacheEvictions int64 `json:"cache_evictions,omitempty"`
 }
 
 // BenchReport is the schema of BENCH_ghw.json.
@@ -78,12 +82,13 @@ func RunBenchJSON(instances []string, logf func(format string, args ...interface
 			orders[i] = rng.Perm(h.N())
 		}
 		engEval := elim.NewGHWEvaluator(h, false, nil)
+		noopEng := setcover.NewEngine(h, setcover.DefaultCacheCapacity)
+		noopEng.SetRecorder(obs.Noop, 1)
+		noopEval := elim.NewGHWEvaluatorWithEngine(noopEng, false, nil)
 		coldEval := elim.NewGHWEvaluatorWithEngine(setcover.NewEngine(h, 0), false, nil)
 		modes := []benchMode{
-			{"engine", engEval.Width, func() (int64, int64) {
-				s := engEval.CoverCacheStats()
-				return s.Hits, s.Misses
-			}},
+			{"engine", engEval.Width, engEval.CoverCacheStats},
+			{"engine-nooprec", noopEval.Width, noopEng.CacheStats},
 			{"engine-nocache", coldEval.Width, nil},
 			{"sliceapi", func(order []int) int { return sliceAPIWidth(h, order) }, nil},
 		}
@@ -106,7 +111,8 @@ func RunBenchJSON(instances []string, logf func(format string, args ...interface
 				Width:       width,
 			}
 			if mode.stats != nil {
-				entry.CacheHits, entry.CacheMisses = mode.stats()
+				s := mode.stats()
+				entry.CacheHits, entry.CacheMisses, entry.CacheEvictions = s.Hits, s.Misses, s.Evictions
 			}
 			report.Entries = append(report.Entries, entry)
 			logf("BenchmarkGHWWidth/%s/%s\t%s\n", name, mode.name, r.String()+"\t"+r.MemString())
@@ -119,7 +125,7 @@ func RunBenchJSON(instances []string, logf func(format string, args ...interface
 type benchMode struct {
 	name  string
 	width func(order []int) int
-	stats func() (hits, misses int64)
+	stats func() setcover.CacheStats
 }
 
 // sliceAPIWidth replicates the pre-engine evaluation path: walk the
@@ -164,13 +170,22 @@ func sliceAPIWidth(h *hypergraph.Hypergraph, order []int) int {
 	return width
 }
 
-// WriteBenchJSON writes the report to path with a trailing newline.
-func WriteBenchJSON(report *BenchReport, path string) error {
-	data, err := json.MarshalIndent(report, "", "  ")
+// WriteBenchJSON writes the report to path with a trailing newline. Encoding
+// and file-close errors both surface, so a report truncated by a full disk is
+// an error rather than a silently short file.
+func WriteBenchJSON(report *BenchReport, path string) (err error) {
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
 }
 
 // CheckBenchJSON validates that path holds a well-formed, non-empty bench
@@ -206,9 +221,15 @@ func CheckBenchJSON(path string) error {
 	}
 	for inst, ms := range byInstance {
 		eng, okE := ms["engine"]
-		slice, okS := ms["sliceapi"]
-		if okE && okS && eng.Width != slice.Width {
-			return fmt.Errorf("bench: %s: engine width %d != sliceapi width %d", inst, eng.Width, slice.Width)
+		if !okE {
+			continue
+		}
+		// Every mode evaluates the same orderings deterministically, so the
+		// widths must agree with the reference engine mode.
+		for mode, e := range ms {
+			if e.Width != eng.Width {
+				return fmt.Errorf("bench: %s: engine width %d != %s width %d", inst, eng.Width, mode, e.Width)
+			}
 		}
 	}
 	return nil

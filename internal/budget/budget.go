@@ -60,12 +60,24 @@ type B struct {
 	maxNodes   int64
 	checkEvery int64
 	start      time.Time
+	// onCheck, when set, is invoked at every passing cooperative checkpoint
+	// (see OnCheckpoint). Instrumentation piggybacks on the cancellation
+	// polls the algorithms already perform, so observing a run adds no new
+	// hot-path branches.
+	onCheck CheckpointFunc
 
 	nodes   atomic.Int64
 	stopped atomic.Bool
 	mu      sync.Mutex
 	reason  StopReason
 }
+
+// CheckpointFunc observes a cooperative checkpoint: the work units ticked so
+// far and the wall-clock time since New. It is called from whichever
+// goroutine hit the checkpoint (SAIGA islands and parallel GA workers call
+// concurrently), so implementations must be safe for concurrent use, and it
+// runs on the hot path's polling cadence — keep it cheap.
+type CheckpointFunc func(nodes int64, elapsed time.Duration)
 
 // New builds a budget from ctx (may be nil) and limits, starting its clock
 // now. A context deadline earlier than limits.Timeout wins.
@@ -136,7 +148,20 @@ func (b *B) Check() bool {
 		b.Stop(StopDeadline)
 		return false
 	}
+	if b.onCheck != nil {
+		b.onCheck(b.nodes.Load(), time.Since(b.start))
+	}
 	return true
+}
+
+// OnCheckpoint installs fn as the budget's checkpoint observer (nil removes
+// it). Install before handing the budget to concurrent workers: the field is
+// read without synchronization on the checkpoint path.
+func (b *B) OnCheckpoint(fn CheckpointFunc) {
+	if b == nil {
+		return
+	}
+	b.onCheck = fn
 }
 
 // Stop marks the budget stopped with the given reason. The first reason

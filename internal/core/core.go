@@ -30,6 +30,7 @@ import (
 	"hypertree/internal/ga"
 	"hypertree/internal/htd"
 	"hypertree/internal/hypergraph"
+	"hypertree/internal/obs"
 	"hypertree/internal/search"
 )
 
@@ -96,6 +97,12 @@ type Options struct {
 	GA ga.Config
 	// SAIGA configures saiga-ghw; zero-valued fields fall back to defaults.
 	SAIGA ga.SAIGAConfig
+	// Recorder, when non-nil, receives the run's instrumentation events
+	// (obs package): run start/stop, budget checkpoints, anytime width
+	// improvements, cover-cache snapshots. Several algorithms record from
+	// worker goroutines, so it must be safe for concurrent use. nil
+	// disables tracing; the run still aggregates Decomposition.Stats.
+	Recorder obs.Recorder
 }
 
 // Decomposition is the unified result: a validated decomposition plus the
@@ -124,6 +131,9 @@ type Decomposition struct {
 	// is the validated best found so far. Stop says which limit tripped.
 	Interrupted bool
 	Stop        budget.StopReason
+	// Stats aggregates the run's instrumentation events: the anytime-width
+	// timeline, effort counters, cover-cache traffic. Always populated.
+	Stats *obs.RunStats
 }
 
 // Decompose runs the selected algorithm on h. For the treewidth algorithms
@@ -166,8 +176,12 @@ func Decompose(h *hypergraph.Hypergraph, opts Options) (*Decomposition, error) {
 // decompose dispatches to the selected algorithm under the shared budget b
 // and post-processes the result into a validated decomposition.
 func decompose(h *hypergraph.Hypergraph, opts Options, b *budget.B) (*Decomposition, error) {
-	sopt := search.Options{Seed: opts.Seed, Budget: b}
+	sopt := search.Options{Seed: opts.Seed, Budget: b, Recorder: opts.Recorder}
 	var d *Decomposition
+	// pendingStop defers the algo_stop event of the core-level algorithms
+	// (greedy, interrupted hw-detk) to after post-processing, so the event
+	// reports the width the returned decomposition actually achieves.
+	pendingStop := ""
 	switch opts.Algorithm {
 	case AlgAStarTW:
 		d = fromSearch(search.AStarTreewidth(h.PrimalGraph(), sopt))
@@ -176,6 +190,9 @@ func decompose(h *hypergraph.Hypergraph, opts Options, b *budget.B) (*Decomposit
 	case AlgGATW:
 		cfg := gaDefaults(opts.GA, opts)
 		cfg.Budget = b
+		if cfg.Recorder == nil {
+			cfg.Recorder = opts.Recorder
+		}
 		r := ga.TreewidthOfHypergraph(h, cfg)
 		d = &Decomposition{
 			Width:       r.BestWidth,
@@ -183,6 +200,7 @@ func decompose(h *hypergraph.Hypergraph, opts Options, b *budget.B) (*Decomposit
 			Ordering:    r.BestOrdering,
 			Evaluations: r.Evaluations,
 			Elapsed:     r.Elapsed,
+			Stats:       r.Stats,
 		}
 	case AlgAStarGHW:
 		d = fromSearch(search.AStarGHW(h, sopt))
@@ -191,6 +209,9 @@ func decompose(h *hypergraph.Hypergraph, opts Options, b *budget.B) (*Decomposit
 	case AlgGAGHW:
 		cfg := gaDefaults(opts.GA, opts)
 		cfg.Budget = b
+		if cfg.Recorder == nil {
+			cfg.Recorder = opts.Recorder
+		}
 		r := ga.GHW(h, cfg)
 		d = &Decomposition{
 			Width:       r.BestWidth,
@@ -198,10 +219,14 @@ func decompose(h *hypergraph.Hypergraph, opts Options, b *budget.B) (*Decomposit
 			Ordering:    r.BestOrdering,
 			Evaluations: r.Evaluations,
 			Elapsed:     r.Elapsed,
+			Stats:       r.Stats,
 		}
 	case AlgSAIGAGHW:
 		cfg := saigaDefaults(opts.SAIGA, opts)
 		cfg.Budget = b
+		if cfg.Recorder == nil {
+			cfg.Recorder = opts.Recorder
+		}
 		r := ga.SAIGAGHW(h, cfg)
 		d = &Decomposition{
 			Width:       r.BestWidth,
@@ -209,24 +234,32 @@ func decompose(h *hypergraph.Hypergraph, opts Options, b *budget.B) (*Decomposit
 			Ordering:    r.BestOrdering,
 			Evaluations: r.Evaluations,
 			Elapsed:     r.Elapsed,
+			Stats:       r.Stats,
 		}
 	case AlgGreedy:
 		start := time.Now()
+		stats, rec := coreInstrument(opts, b, "greedy", h)
 		rng := rand.New(rand.NewSource(opts.Seed))
 		order := elim.MinFillOrderingBudget(h.PrimalGraph(), rng, b)
 		w := elim.NewGHWEvaluator(h, false, rng).Width(order)
+		rec.Record(obs.Event{Kind: obs.KindImprove, T: b.Elapsed(), Width: w, Nodes: b.Nodes()})
+		lb := bounds.TwKscWidth(h, rng)
+		rec.Record(obs.Event{Kind: obs.KindLowerBound, T: b.Elapsed(), LowerBound: lb, Nodes: b.Nodes()})
 		d = &Decomposition{
 			Width:      w,
-			LowerBound: bounds.TwKscWidth(h, rng),
+			LowerBound: lb,
 			Ordering:   order,
 			Elapsed:    time.Since(start),
+			Stats:      stats,
 		}
+		pendingStop = "greedy"
 	case AlgHW:
 		start := time.Now()
+		stats, rec := coreInstrument(opts, b, "hw-detk", h)
 		rng := rand.New(rand.NewSource(opts.Seed))
 		// hw ≤ tw+1 always, and the greedy ghw bound caps the search too.
 		maxK := bounds.MinFillUpperBound(h.PrimalGraph(), rng) + 1
-		w, g, provenLB := htd.HypertreeWidthBudget(h, maxK, b)
+		w, g, provenLB := htd.HypertreeWidthObserved(h, maxK, b, rec)
 		lb := bounds.TwKscWidth(h, rng)
 		if provenLB > lb {
 			lb = provenLB
@@ -238,11 +271,14 @@ func decompose(h *hypergraph.Hypergraph, opts Options, b *budget.B) (*Decomposit
 				Exact:      true, // exact hypertree width
 				Nodes:      b.Nodes(),
 				Elapsed:    time.Since(start),
+				Stats:      stats,
 			}
 			// det-k-decomp builds the decomposition directly, not from an
 			// ordering; attach it and derive the TD view from its bags.
 			d.GHD = g
 			d.TD = &g.TreeDecomposition
+			rec.Record(obs.Event{Kind: obs.KindStop, T: b.Elapsed(), Algo: "hw-detk",
+				Width: w, LowerBound: lb, Exact: true, Nodes: b.Nodes()})
 			return d, nil
 		}
 		if !b.Stopped() {
@@ -257,7 +293,9 @@ func decompose(h *hypergraph.Hypergraph, opts Options, b *budget.B) (*Decomposit
 			LowerBound: lb,
 			Nodes:      b.Nodes(),
 			Elapsed:    time.Since(start),
+			Stats:      stats,
 		}
+		pendingStop = "hw-detk"
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %q", opts.Algorithm)
 	}
@@ -283,6 +321,8 @@ func decompose(h *hypergraph.Hypergraph, opts Options, b *budget.B) (*Decomposit
 		if g.Width() < d.Width {
 			// Exact covers can beat the greedy width the heuristic reported.
 			d.Width = g.Width()
+			recordPost(d, opts, obs.Event{Kind: obs.KindImprove, T: b.Elapsed(),
+				Width: d.Width, Nodes: b.Nodes()})
 		} else if g.Width() > d.Width {
 			// Possible only on the fallback-ordering and greedy-cover paths:
 			// report what the returned decomposition actually achieves.
@@ -290,7 +330,36 @@ func decompose(h *hypergraph.Hypergraph, opts Options, b *budget.B) (*Decomposit
 			d.Exact = false
 		}
 	}
+	if pendingStop != "" {
+		recordPost(d, opts, obs.Event{Kind: obs.KindStop, T: b.Elapsed(), Algo: pendingStop,
+			Width: d.Width, LowerBound: d.LowerBound, Exact: d.Exact,
+			Nodes: b.Nodes(), Stop: string(b.Reason())})
+	}
 	return d, nil
+}
+
+// coreInstrument sets up instrumentation for the algorithms that run at the
+// core level (greedy, hw-detk): a fresh RunStats teed with the caller's
+// recorder, checkpoint piggybacking, and the algo_start event.
+func coreInstrument(opts Options, b *budget.B, label string, h *hypergraph.Hypergraph) (*obs.RunStats, obs.Recorder) {
+	stats := obs.NewRunStats()
+	rec := obs.Tee(stats, opts.Recorder)
+	b.OnCheckpoint(func(nodes int64, elapsed time.Duration) {
+		rec.Record(obs.Event{Kind: obs.KindCheckpoint, T: elapsed, Nodes: nodes})
+	})
+	rec.Record(obs.Event{Kind: obs.KindStart, T: b.Elapsed(), Algo: label, N: h.N(), M: h.M()})
+	return stats, rec
+}
+
+// recordPost emits a post-processing event into the run's aggregator and the
+// caller's recorder (the leaf algorithm's internal tee is out of reach here).
+func recordPost(d *Decomposition, opts Options, ev obs.Event) {
+	if d.Stats != nil {
+		d.Stats.Record(ev)
+	}
+	if opts.Recorder != nil {
+		opts.Recorder.Record(ev)
+	}
 }
 
 // Treewidth runs a treewidth algorithm directly on a graph.
@@ -309,6 +378,7 @@ func fromSearch(r search.Result) *Decomposition {
 		Ordering:   r.Ordering,
 		Nodes:      r.Nodes,
 		Elapsed:    r.Elapsed,
+		Stats:      r.Stats,
 	}
 }
 

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"hypertree/internal/ga"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/obs"
+)
+
+func obsGAConfig() ga.Config {
+	return ga.Config{
+		PopulationSize: 30, CrossoverRate: 1, MutationRate: 0.3,
+		TournamentSize: 2, MaxIterations: 25, Crossover: ga.POS, Mutation: ga.ISM, Seed: 1,
+	}
+}
+
+func obsSAIGAConfig() ga.SAIGAConfig {
+	return ga.SAIGAConfig{
+		Islands: 2, IslandPop: 15, TournamentSize: 2, Epochs: 3, EpochLength: 4, Seed: 1,
+	}
+}
+
+// Every Decomposition carries populated RunStats whose anytime-width timeline
+// honors the contract: non-empty, non-increasing in width, non-decreasing in
+// time. No external Recorder is attached — Stats must aggregate regardless.
+func TestDecompositionStatsTimelines(t *testing.T) {
+	h := hypergraph.Grid2D(8)
+	for _, alg := range []Algorithm{
+		AlgAStarTW, AlgBBTW, AlgAStarGHW, AlgBBGHW, AlgGATW, AlgGAGHW, AlgSAIGAGHW, AlgGreedy,
+	} {
+		t.Run(string(alg), func(t *testing.T) {
+			opts := Options{
+				Algorithm: alg, Seed: 1, Timeout: 10 * time.Second, MaxNodes: 50000,
+				GA: obsGAConfig(), SAIGA: obsSAIGAConfig(),
+			}
+			d, err := Decompose(h, opts)
+			if err != nil {
+				t.Fatalf("Decompose: %v", err)
+			}
+			if d.Stats == nil {
+				t.Fatal("nil Stats")
+			}
+			if err := d.Stats.CheckTimeline(); err != nil {
+				t.Fatal(err)
+			}
+			snap := d.Stats.Snapshot()
+			if snap.Algo == "" {
+				t.Fatal("Stats missing the algo label")
+			}
+			// M is model-specific (primal-graph edges for the tw searches,
+			// hyperedges for ghw, unknown to the GA core) — only N is universal.
+			if snap.N != h.N() {
+				t.Fatalf("Stats has N=%d, want %d", snap.N, h.N())
+			}
+			// On a completed run the timeline's last point is the width the
+			// returned decomposition achieves (post-processing re-records the
+			// final width when exact covers lower it). An interrupted run may
+			// legitimately return above its in-run best: the greedy re-cover
+			// of the best partial state is what validates, and the stop event
+			// describes the search, not the artifact.
+			if last := snap.Timeline[len(snap.Timeline)-1].Width; !d.Interrupted && last < d.Width {
+				t.Fatalf("timeline ends at width %d below the returned width %d", last, d.Width)
+			}
+		})
+	}
+}
+
+// The search and GA families must report their effort counters through Stats.
+func TestStatsEffortCounters(t *testing.T) {
+	h := hypergraph.Grid2D(8)
+	d, err := Decompose(h, Options{Algorithm: AlgBBGHW, Seed: 1, MaxNodes: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := d.Stats.Snapshot()
+	if snap.Expansions == 0 {
+		t.Fatalf("bb-ghw reported no expansions: %+v", snap)
+	}
+	if snap.CacheHits+snap.CacheMisses == 0 {
+		t.Fatalf("bb-ghw reported no cover-cache traffic: %+v", snap)
+	}
+	d, err = Decompose(h, Options{Algorithm: AlgGAGHW, Seed: 1, GA: obsGAConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap = d.Stats.Snapshot()
+	if snap.Evaluations == 0 || snap.Generations == 0 {
+		t.Fatalf("ga-ghw reported no evaluations/generations: %+v", snap)
+	}
+}
+
+// One JSONL trace across several runs validates against the schema and shows
+// at least one improvement for every anytime algorithm.
+func TestTraceAcrossAlgorithms(t *testing.T) {
+	h := hypergraph.Grid2D(6)
+	var buf bytes.Buffer
+	w := obs.NewJSONLWriter(&buf)
+	algs := []Algorithm{AlgAStarGHW, AlgBBGHW, AlgGAGHW, AlgSAIGAGHW, AlgGreedy, AlgHW}
+	improvements := map[Algorithm]int{}
+	for _, alg := range algs {
+		opts := Options{
+			Algorithm: alg, Seed: 1, Timeout: 20 * time.Second,
+			GA: obsGAConfig(), SAIGA: obsSAIGAConfig(), Recorder: w,
+		}
+		d, err := Decompose(h, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		improvements[alg] = len(d.Stats.Snapshot().Timeline)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := obs.ValidateTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Starts != len(algs) || sum.Stops != len(algs) {
+		t.Fatalf("trace has %d starts / %d stops, want %d each", sum.Starts, sum.Stops, len(algs))
+	}
+	want := map[string]bool{
+		"astar-ghw": true, "bb-ghw": true, "ga-ghw": true,
+		"saiga-ghw": true, "greedy": true, "hw-detk": true,
+	}
+	for _, a := range sum.Algos {
+		delete(want, a)
+	}
+	if len(want) != 0 {
+		t.Fatalf("trace is missing run labels %v (saw %v)", want, sum.Algos)
+	}
+	for alg, n := range improvements {
+		if n == 0 {
+			t.Fatalf("%s recorded no width improvements", alg)
+		}
+	}
+	if sum.Improvements == 0 {
+		t.Fatal("trace has no improve events")
+	}
+}
+
+// An external Recorder is optional: the same runs with Recorder nil must
+// still populate Stats (the tee always includes the run's own aggregator).
+func TestStatsWithoutRecorder(t *testing.T) {
+	h := hypergraph.Grid2D(6)
+	d, err := Decompose(h, Options{Algorithm: AlgAStarGHW, Seed: 1, Timeout: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats == nil || len(d.Stats.Snapshot().Timeline) == 0 {
+		t.Fatal("Stats not populated without an external recorder")
+	}
+}

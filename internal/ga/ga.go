@@ -13,6 +13,7 @@ import (
 	"hypertree/internal/elim"
 	"hypertree/internal/elimgraph"
 	"hypertree/internal/hypergraph"
+	"hypertree/internal/obs"
 	"hypertree/internal/setcover"
 )
 
@@ -92,6 +93,14 @@ type Config struct {
 	// the assignment of individuals to workers (and hence tie-breaking)
 	// varies run to run.
 	Workers int
+	// Recorder, when non-nil, receives the run's instrumentation events
+	// (budget checkpoints fire from worker goroutines, so it must be safe
+	// for concurrent use). nil disables external tracing; the run still
+	// aggregates its own RunStats.
+	Recorder obs.Recorder
+	// Label overrides the algorithm label on emitted events; the wrappers
+	// set "ga-tw"/"ga-ghw", plain "ga" otherwise.
+	Label string
 }
 
 // budgetFor returns the run budget: the caller-supplied one, or a fresh
@@ -135,6 +144,9 @@ type Result struct {
 	// not cover bags).
 	CoverCacheHits   int64
 	CoverCacheMisses int64
+	// Stats aggregates the run's event stream (anytime-width timeline,
+	// per-generation summaries, effort counters). Always populated.
+	Stats *obs.RunStats
 }
 
 // Run executes the genetic algorithm of thesis Figure 6.1 over orderings of
@@ -235,6 +247,16 @@ func runGA(n int, evs []Evaluator, cfg Config) Result {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	start := time.Now()
 	b := cfg.budgetFor()
+	label := cfg.Label
+	if label == "" {
+		label = "ga"
+	}
+	stats := obs.NewRunStats()
+	rec := obs.Tee(stats, cfg.Recorder)
+	b.OnCheckpoint(func(nodes int64, elapsed time.Duration) {
+		rec.Record(obs.Event{Kind: obs.KindCheckpoint, T: elapsed, Nodes: nodes})
+	})
+	rec.Record(obs.Event{Kind: obs.KindStart, T: b.Elapsed(), Algo: label, N: n})
 
 	pop := make([][]int, cfg.PopulationSize)
 	fit := make([]int, cfg.PopulationSize)
@@ -257,6 +279,7 @@ func runGA(n int, evs []Evaluator, cfg Config) Result {
 		}
 	}
 	history := []int{bestFit}
+	rec.Record(obs.Event{Kind: obs.KindImprove, T: b.Elapsed(), Width: bestFit, Evaluations: evals})
 
 	gen := 0
 	for ; gen < cfg.MaxIterations; gen++ {
@@ -298,21 +321,37 @@ func runGA(n int, evs []Evaluator, cfg Config) Result {
 		}
 		evals += evalPop(pop, fit, ok, 0, evs, b)
 		complete := true
+		prevBest := bestFit
+		scored, widthSum := 0, 0
 		for i := range pop {
 			if !ok[i] {
 				complete = false
 				continue
 			}
+			scored++
+			widthSum += fit[i]
 			if fit[i] < bestFit {
 				best, bestFit = pop[i], fit[i]
 			}
 		}
+		if bestFit < prevBest {
+			rec.Record(obs.Event{Kind: obs.KindImprove, T: b.Elapsed(),
+				Width: bestFit, Evaluations: evals, Generation: gen + 1})
+		}
+		mean := 0.0
+		if scored > 0 {
+			mean = float64(widthSum) / float64(scored)
+		}
+		rec.Record(obs.Event{Kind: obs.KindGeneration, T: b.Elapsed(), Generation: gen + 1,
+			Width: bestFit, MeanWidth: mean, Evaluations: evals})
 		history = append(history, bestFit)
 		if !complete {
 			break
 		}
 	}
 
+	rec.Record(obs.Event{Kind: obs.KindStop, T: b.Elapsed(), Algo: label,
+		Width: bestFit, Generation: gen, Evaluations: evals, Stop: string(b.Reason())})
 	return Result{
 		BestWidth:    bestFit,
 		BestOrdering: append([]int(nil), best...),
@@ -321,18 +360,25 @@ func runGA(n int, evs []Evaluator, cfg Config) Result {
 		Elapsed:      time.Since(start),
 		History:      history,
 		Stop:         b.Reason(),
+		Stats:        stats,
 	}
 }
 
 // Treewidth runs GA-tw (thesis Chapter 6) on a graph and returns an upper
 // bound on its treewidth.
 func Treewidth(g *hypergraph.Graph, cfg Config) Result {
+	if cfg.Label == "" {
+		cfg.Label = "ga-tw"
+	}
 	return Run(g.N(), NewTreewidthEvaluator(g), cfg)
 }
 
 // TreewidthOfHypergraph runs GA-tw on a hypergraph's primal graph
 // (Lemma 1: their tree decompositions coincide).
 func TreewidthOfHypergraph(h *hypergraph.Hypergraph, cfg Config) Result {
+	if cfg.Label == "" {
+		cfg.Label = "ga-tw"
+	}
 	return Run(h.N(), NewTreewidthEvaluator(h.PrimalGraph()), cfg)
 }
 
@@ -341,13 +387,26 @@ func TreewidthOfHypergraph(h *hypergraph.Hypergraph, cfg Config) Result {
 // are scored in parallel; all workers share one cover engine, whose cache
 // counters are reported in the result.
 func GHW(h *hypergraph.Hypergraph, cfg Config) Result {
+	if cfg.Label == "" {
+		cfg.Label = "ga-ghw"
+	}
 	eng := setcover.NewEngine(h, setcover.DefaultCacheCapacity)
+	// Sampled live snapshots go to the external recorder only; the final
+	// snapshot below lands in both it and the run's RunStats.
+	eng.SetRecorder(cfg.Recorder, 0)
 	res := RunParallel(h.N(), func(worker int) Evaluator {
 		rng := rand.New(rand.NewSource(cfg.Seed ^ 0x9e3779b9 + int64(worker)*1000003))
 		return NewGHWEvaluatorWithEngine(eng, rng)
 	}, cfg)
 	st := eng.CacheStats()
 	res.CoverCacheHits, res.CoverCacheMisses = st.Hits, st.Misses
+	ev := obs.Event{Kind: obs.KindCoverCache, T: res.Elapsed,
+		CacheHits: st.Hits, CacheMisses: st.Misses,
+		CacheEvictions: st.Evictions, CacheSize: st.Size}
+	res.Stats.Record(ev)
+	if cfg.Recorder != nil {
+		cfg.Recorder.Record(ev)
+	}
 	return res
 }
 

@@ -9,6 +9,7 @@ import (
 	"hypertree/internal/budget"
 	"hypertree/internal/budget/faultinject"
 	"hypertree/internal/hypergraph"
+	"hypertree/internal/obs"
 	"hypertree/internal/setcover"
 )
 
@@ -32,6 +33,14 @@ type SAIGAConfig struct {
 	// Budget, when non-nil, supersedes Ctx/Timeout: every fitness
 	// evaluation (on any island) draws one work unit from it.
 	Budget *budget.B
+	// Recorder, when non-nil, receives the run's instrumentation events.
+	// Budget checkpoints fire from island goroutines, so it must be safe
+	// for concurrent use; improvement and epoch summaries are emitted
+	// serially between epochs.
+	Recorder obs.Recorder
+	// Label overrides the algorithm label on emitted events; the wrappers
+	// set "saiga-ghw"/"saiga-tw", plain "saiga" otherwise.
+	Label string
 }
 
 func (c SAIGAConfig) budgetFor() *budget.B {
@@ -124,6 +133,9 @@ type SAIGAResult struct {
 	// engine's memo-cache counters (ghw runs only).
 	CoverCacheHits   int64
 	CoverCacheMisses int64
+	// Stats aggregates the run's event stream (anytime-width timeline,
+	// per-epoch island summaries, effort counters). Always populated.
+	Stats *obs.RunStats
 	// FinalParams holds each island's adapted parameters at termination,
 	// for inspection of what the self-adaptation converged to.
 	FinalParams []struct {
@@ -153,12 +165,25 @@ type island struct {
 // islands evolve on separate goroutines but share one cover engine: a bag
 // scored on any island is memoized for all of them.
 func SAIGAGHW(h *hypergraph.Hypergraph, cfg SAIGAConfig) SAIGAResult {
+	if cfg.Label == "" {
+		cfg.Label = "saiga-ghw"
+	}
 	eng := setcover.NewEngine(h, setcover.DefaultCacheCapacity)
+	// Sampled live snapshots go to the external recorder only; the final
+	// snapshot below lands in both it and the run's RunStats.
+	eng.SetRecorder(cfg.Recorder, 0)
 	res := SAIGA(h.N(), func(i int) Evaluator {
 		return NewGHWEvaluatorWithEngine(eng, rand.New(rand.NewSource(cfg.Seed^0x51a+int64(i)*1000003)))
 	}, cfg)
 	st := eng.CacheStats()
 	res.CoverCacheHits, res.CoverCacheMisses = st.Hits, st.Misses
+	ev := obs.Event{Kind: obs.KindCoverCache, T: res.Elapsed,
+		CacheHits: st.Hits, CacheMisses: st.Misses,
+		CacheEvictions: st.Evictions, CacheSize: st.Size}
+	res.Stats.Record(ev)
+	if cfg.Recorder != nil {
+		cfg.Recorder.Record(ev)
+	}
 	return res
 }
 
@@ -166,6 +191,9 @@ func SAIGAGHW(h *hypergraph.Hypergraph, cfg SAIGAConfig) SAIGAResult {
 // function — an extension beyond the thesis, which only pairs SAIGA with
 // ghw; the island machinery is evaluator-agnostic.
 func SAIGATreewidth(g *hypergraph.Graph, cfg SAIGAConfig) SAIGAResult {
+	if cfg.Label == "" {
+		cfg.Label = "saiga-tw"
+	}
 	return SAIGA(g.N(), func(int) Evaluator { return NewTreewidthEvaluator(g) }, cfg)
 }
 
@@ -179,6 +207,16 @@ func SAIGA(n int, newEval func(island int) Evaluator, cfg SAIGAConfig) SAIGAResu
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	start := time.Now()
 	b := cfg.budgetFor()
+	label := cfg.Label
+	if label == "" {
+		label = "saiga"
+	}
+	stats := obs.NewRunStats()
+	rec := obs.Tee(stats, cfg.Recorder)
+	b.OnCheckpoint(func(nodes int64, elapsed time.Duration) {
+		rec.Record(obs.Event{Kind: obs.KindCheckpoint, T: elapsed, Nodes: nodes})
+	})
+	rec.Record(obs.Event{Kind: obs.KindStart, T: b.Elapsed(), Algo: label, N: n})
 
 	isles := make([]*island, cfg.Islands)
 	for i := range isles {
@@ -216,6 +254,20 @@ func SAIGA(n int, newEval func(island int) Evaluator, cfg SAIGAConfig) SAIGAResu
 		}
 	})
 
+	// totalEvals and improve run only between epochs, after the island
+	// goroutines have joined, so the per-island counters are stable.
+	totalEvals := func() int64 {
+		var t int64
+		for _, isl := range isles {
+			t += isl.evals
+		}
+		return t
+	}
+	improve := func(w, epoch int) {
+		rec.Record(obs.Event{Kind: obs.KindImprove, T: b.Elapsed(),
+			Width: w, Evaluations: totalEvals(), Generation: epoch})
+	}
+
 	globalBest, globalF := isles[0].best, isles[0].bestF
 	for _, isl := range isles {
 		if isl.bestF < globalF {
@@ -231,6 +283,7 @@ func SAIGA(n int, newEval func(island int) Evaluator, cfg SAIGAConfig) SAIGAResu
 		isles[0].best = append([]int(nil), globalBest...)
 		isles[0].bestF = globalF
 	}
+	improve(globalF, 0)
 
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		if cfg.Target > 0 && globalF <= cfg.Target {
@@ -242,10 +295,27 @@ func SAIGA(n int, newEval func(island int) Evaluator, cfg SAIGAConfig) SAIGAResu
 		runIslands(isles, func(isl *island) {
 			evolveIsland(isl, cfg, b)
 		})
+		prevF := globalF
 		for _, isl := range isles {
 			if isl.bestF < globalF {
 				globalBest, globalF = isl.best, isl.bestF
 			}
+		}
+		if globalF < prevF {
+			improve(globalF, epoch+1)
+		}
+		for i, isl := range isles {
+			mean := 0.0
+			if len(isl.fit) > 0 {
+				sum := 0
+				for _, f := range isl.fit {
+					sum += f
+				}
+				mean = float64(sum) / float64(len(isl.fit))
+			}
+			rec.Record(obs.Event{Kind: obs.KindGeneration, T: b.Elapsed(),
+				Generation: epoch + 1, Island: i + 1, Width: isl.bestF,
+				MeanWidth: mean, Evaluations: isl.evals})
 		}
 		if b.Stopped() {
 			// An island cut mid-generation leaves fit scoring the previous
@@ -284,7 +354,10 @@ func SAIGA(n int, newEval func(island int) Evaluator, cfg SAIGAConfig) SAIGAResu
 		BestOrdering: append([]int(nil), globalBest...),
 		Elapsed:      time.Since(start),
 		Stop:         b.Reason(),
+		Stats:        stats,
 	}
+	rec.Record(obs.Event{Kind: obs.KindStop, T: b.Elapsed(), Algo: label,
+		Width: globalF, Evaluations: totalEvals(), Stop: string(b.Reason())})
 	for _, isl := range isles {
 		res.Evaluations += isl.evals
 		res.FinalParams = append(res.FinalParams, struct {

@@ -21,6 +21,7 @@ import (
 	"hypertree/internal/budget/faultinject"
 	"hypertree/internal/decomp"
 	"hypertree/internal/hypergraph"
+	"hypertree/internal/obs"
 )
 
 // Decomposer holds the memoization state for one hypergraph and width.
@@ -88,16 +89,35 @@ func HypertreeWidth(h *hypergraph.Hypergraph, maxK int) (int, *decomp.GHD) {
 // interrupted or exhausted run the width is -1 and provenLB is the
 // best-so-far lower bound on hw.
 func HypertreeWidthBudget(h *hypergraph.Hypergraph, maxK int, b *budget.B) (width int, g *decomp.GHD, provenLB int) {
+	return HypertreeWidthObserved(h, maxK, b, nil)
+}
+
+// HypertreeWidthObserved is HypertreeWidthBudget with instrumentation: each
+// width attempt emits a detk_attempt event, each refuted width a lower_bound
+// event, and a found decomposition an improve event. rec may be nil.
+func HypertreeWidthObserved(h *hypergraph.Hypergraph, maxK int, b *budget.B, rec obs.Recorder) (width int, g *decomp.GHD, provenLB int) {
 	provenLB = 1
 	for k := 1; k <= maxK; k++ {
 		g, ok, interrupted := DecideHWBudget(h, k, b)
+		if rec != nil {
+			rec.Record(obs.Event{Kind: obs.KindAttempt, T: b.Elapsed(),
+				K: k, Found: ok, Nodes: b.Nodes()})
+		}
 		if ok {
+			if rec != nil {
+				rec.Record(obs.Event{Kind: obs.KindImprove, T: b.Elapsed(),
+					Width: k, Nodes: b.Nodes()})
+			}
 			return k, g, k
 		}
 		if interrupted {
 			return -1, nil, provenLB
 		}
 		provenLB = k + 1
+		if rec != nil {
+			rec.Record(obs.Event{Kind: obs.KindLowerBound, T: b.Elapsed(),
+				LowerBound: provenLB, Nodes: b.Nodes()})
+		}
 	}
 	return -1, nil, provenLB
 }

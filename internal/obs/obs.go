@@ -1,0 +1,178 @@
+// Package obs is the unified instrumentation layer: every algorithm in this
+// repository emits the same typed events — run start/stop, budget checkpoint
+// ticks, anytime best-width improvements, per-generation GA summaries,
+// cover-cache traffic snapshots — through a Recorder, and every consumer
+// (the in-memory RunStats aggregator, the JSONL trace writer, the periodic
+// progress reporter) is just a Recorder implementation.
+//
+// The thesis's empirical chapters judge heuristics by trajectories (best
+// width over time, nodes expanded, generations to convergence), not only by
+// terminal results; this package is what makes those trajectories observable
+// without printf debugging.
+//
+// Design rules:
+//
+//   - A nil Recorder means "instrumentation disabled" and is the default
+//     everywhere. Hot paths guard emissions with a single nil check; the
+//     disabled cost is one branch (see BenchmarkNoopRecorder).
+//   - Events ride on existing control-flow edges — budget cooperative
+//     checkpoints, generation boundaries, best-so-far improvements — never
+//     on per-work-unit inner loops.
+//   - Recorder implementations must be safe for concurrent use: SAIGA
+//     islands, parallel GA workers and a shared cover engine all record
+//     into one Recorder.
+//   - The package depends only on the standard library and imports nothing
+//     from this repository, so every internal package can use it.
+package obs
+
+import "time"
+
+// Kind names an event type. The full taxonomy is documented in
+// OBSERVABILITY.md; ValidTrace enforces it.
+type Kind string
+
+// The event taxonomy.
+const (
+	// KindStart opens a run: algorithm label plus instance size (N vertices,
+	// M hyperedges).
+	KindStart Kind = "algo_start"
+	// KindStop closes a run: final width, lower bound, exactness, effort
+	// counters and the budget stop reason (empty = ran to completion).
+	KindStop Kind = "algo_stop"
+	// KindCheckpoint is a budget cooperative checkpoint tick (every
+	// CheckEvery work units): nodes so far and elapsed time. These are the
+	// heartbeat of a trace — a long gap between checkpoints is a stall.
+	KindCheckpoint Kind = "checkpoint"
+	// KindImprove records an anytime best-width improvement: the new width
+	// with the node/evaluation/generation counters at the moment it was
+	// found. Within one run, improvements are non-increasing in width and
+	// non-decreasing in time.
+	KindImprove Kind = "improve"
+	// KindLowerBound records an improved proven lower bound (A*'s max
+	// popped f, det-k-decomp's refuted widths).
+	KindLowerBound Kind = "lower_bound"
+	// KindGeneration is a GA/SAIGA per-generation (per-epoch, for islands)
+	// fitness summary.
+	KindGeneration Kind = "generation"
+	// KindCoverCache is a cumulative snapshot of a cover engine's memo
+	// cache counters (hits, misses, evictions, size), sampled every
+	// SampleEvery-th cover query.
+	KindCoverCache Kind = "cover_cache"
+	// KindAttempt is one det-k-decomp width attempt: K is the width tried,
+	// Found whether a decomposition of that width exists.
+	KindAttempt Kind = "detk_attempt"
+)
+
+// Event is one instrumentation record. Fields are kind-specific; unset
+// fields marshal away under omitempty. T is the only universally present
+// field besides Kind: nanoseconds since the run's budget started (or since
+// the recorder was created, for budget-less runs).
+type Event struct {
+	Kind Kind `json:"kind"`
+	// T is the elapsed time into the run at which the event was emitted.
+	T time.Duration `json:"t_ns"`
+	// Algo labels the run ("astar-tw", "ga-ghw", ...). Present on
+	// algo_start/algo_stop; other events inherit the label of the run that
+	// contains them.
+	Algo string `json:"algo,omitempty"`
+	// N and M are the instance size (vertices, hyperedges) on algo_start.
+	N int `json:"n,omitempty"`
+	M int `json:"m,omitempty"`
+	// Width is the best width achieved (improve, algo_stop) or the
+	// generation's best fitness (generation).
+	Width int `json:"width,omitempty"`
+	// LowerBound is the best proven lower bound so far.
+	LowerBound int `json:"lower_bound,omitempty"`
+	// Exact reports a width proved optimal (algo_stop).
+	Exact bool `json:"exact,omitempty"`
+	// Nodes and Evaluations are the effort counters at emission time:
+	// search-tree expansions and fitness evaluations.
+	Nodes       int64 `json:"nodes,omitempty"`
+	Evaluations int64 `json:"evaluations,omitempty"`
+	// Generation is the 1-based GA generation (SAIGA: epoch) the event
+	// belongs to.
+	Generation int `json:"generation,omitempty"`
+	// Island is the 1-based SAIGA island an event belongs to (0 = not an
+	// island event).
+	Island int `json:"island,omitempty"`
+	// MeanWidth is the generation's mean fitness over the evaluated
+	// individuals (generation events; 0 when unknown).
+	MeanWidth float64 `json:"mean_width,omitempty"`
+	// K and Found describe a det-k-decomp attempt.
+	K     int  `json:"k,omitempty"`
+	Found bool `json:"found,omitempty"`
+	// Open and MaxOpen are the A* open-list size at emission and its
+	// high-water mark.
+	Open    int `json:"open,omitempty"`
+	MaxOpen int `json:"max_open,omitempty"`
+	// Cache counters are cumulative cover-engine totals at emission time.
+	CacheHits      int64 `json:"cache_hits,omitempty"`
+	CacheMisses    int64 `json:"cache_misses,omitempty"`
+	CacheEvictions int64 `json:"cache_evictions,omitempty"`
+	CacheSize      int   `json:"cache_size,omitempty"`
+	// Stop is the budget stop reason on algo_stop (empty = completed).
+	Stop string `json:"stop,omitempty"`
+}
+
+// Kinds lists the full event taxonomy, for validation.
+var Kinds = []Kind{
+	KindStart, KindStop, KindCheckpoint, KindImprove, KindLowerBound,
+	KindGeneration, KindCoverCache, KindAttempt,
+}
+
+// ValidKind reports whether k is part of the taxonomy.
+func ValidKind(k Kind) bool {
+	for _, known := range Kinds {
+		if k == known {
+			return true
+		}
+	}
+	return false
+}
+
+// Recorder consumes events. Implementations must be safe for concurrent
+// use; Record must not retain e (it is reused by some emitters).
+//
+// A nil Recorder disables instrumentation; emitters guard with a nil check,
+// so the disabled cost is one branch per emission site.
+type Recorder interface {
+	Record(e Event)
+}
+
+// noop discards every event. It exists for callers that need a non-nil
+// Recorder (e.g. to measure the enabled-but-idle dispatch cost); library
+// code treats nil as the disabled default instead.
+type noop struct{}
+
+func (noop) Record(Event) {}
+
+// Noop is a Recorder that discards everything.
+var Noop Recorder = noop{}
+
+// multi fans events out to several recorders in order.
+type multi []Recorder
+
+func (m multi) Record(e Event) {
+	for _, r := range m {
+		r.Record(e)
+	}
+}
+
+// Tee combines recorders, skipping nils. It returns nil when every argument
+// is nil, so emitters keep their single nil-check fast path, and returns the
+// sole survivor unwrapped when only one is non-nil.
+func Tee(rs ...Recorder) Recorder {
+	var live multi
+	for _, r := range rs {
+		if r != nil {
+			live = append(live, r)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}

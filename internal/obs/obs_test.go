@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTeeNilHandling(t *testing.T) {
+	if Tee() != nil {
+		t.Fatal("Tee() should be nil")
+	}
+	if Tee(nil, nil) != nil {
+		t.Fatal("Tee(nil, nil) should be nil")
+	}
+	s := NewRunStats()
+	if got := Tee(nil, s, nil); got != Recorder(s) {
+		t.Fatalf("Tee with one live recorder should return it unwrapped, got %T", got)
+	}
+	a, b := NewRunStats(), NewRunStats()
+	Tee(a, nil, b).Record(Event{Kind: KindStart, Algo: "x", N: 3, M: 4})
+	if a.Snapshot().Algo != "x" || b.Snapshot().Algo != "x" {
+		t.Fatal("Tee did not fan out to all live recorders")
+	}
+}
+
+func TestValidKind(t *testing.T) {
+	for _, k := range Kinds {
+		if !ValidKind(k) {
+			t.Fatalf("%q should be valid", k)
+		}
+	}
+	if ValidKind("bogus") {
+		t.Fatal("bogus kind accepted")
+	}
+}
+
+func TestRunStatsAggregation(t *testing.T) {
+	s := NewRunStats()
+	if err := s.CheckTimeline(); err == nil {
+		t.Fatal("empty timeline should fail the check")
+	}
+	s.Record(Event{Kind: KindStart, Algo: "bb-ghw", N: 10, M: 12})
+	s.Record(Event{Kind: KindImprove, T: time.Millisecond, Width: 7, Nodes: 5})
+	s.Record(Event{Kind: KindCheckpoint, T: 2 * time.Millisecond, Nodes: 256})
+	s.Record(Event{Kind: KindImprove, T: 3 * time.Millisecond, Width: 5, Nodes: 400})
+	s.Record(Event{Kind: KindLowerBound, T: 3 * time.Millisecond, LowerBound: 3})
+	s.Record(Event{Kind: KindCoverCache, CacheHits: 90, CacheMisses: 10, CacheEvictions: 2, CacheSize: 8})
+	s.Record(Event{Kind: KindAttempt, K: 2})
+	s.Record(Event{Kind: KindStop, T: 4 * time.Millisecond, Algo: "bb-ghw",
+		Width: 5, LowerBound: 3, Nodes: 500, Stop: "deadline"})
+
+	snap := s.Snapshot()
+	if snap.Algo != "bb-ghw" || snap.N != 10 || snap.M != 12 {
+		t.Fatalf("start fields lost: %+v", snap)
+	}
+	if len(snap.Timeline) != 2 || snap.Timeline[1].Width != 5 {
+		t.Fatalf("timeline wrong: %+v", snap.Timeline)
+	}
+	if len(snap.LowerBounds) != 1 || snap.LowerBounds[0].Width != 3 {
+		t.Fatalf("lower bounds wrong: %+v", snap.LowerBounds)
+	}
+	if snap.Checkpoints != 1 || snap.Expansions != 500 || snap.Attempts != 1 {
+		t.Fatalf("effort counters wrong: %+v", snap)
+	}
+	if snap.CacheHits != 90 || snap.CacheEvictions != 2 || snap.CacheSize != 8 {
+		t.Fatalf("cache counters wrong: %+v", snap)
+	}
+	if snap.FinalWidth != 5 || snap.Stop != "deadline" || snap.Elapsed != 4*time.Millisecond {
+		t.Fatalf("stop fields wrong: %+v", snap)
+	}
+	if err := s.CheckTimeline(); err != nil {
+		t.Fatalf("monotone timeline rejected: %v", err)
+	}
+	out := s.Summary()
+	for _, want := range []string{"bb-ghw", "width=5", "cover cache", "det-k attempts"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCheckTimelineViolations(t *testing.T) {
+	up := NewRunStats()
+	up.Record(Event{Kind: KindImprove, T: 1, Width: 5})
+	up.Record(Event{Kind: KindImprove, T: 2, Width: 6})
+	if err := up.CheckTimeline(); err == nil {
+		t.Fatal("width increase not caught")
+	}
+	back := NewRunStats()
+	back.Record(Event{Kind: KindImprove, T: 2, Width: 5})
+	back.Record(Event{Kind: KindImprove, T: 1, Width: 4})
+	if err := back.CheckTimeline(); err == nil {
+		t.Fatal("time decrease not caught")
+	}
+}
+
+func TestJSONLRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	w.Record(Event{Kind: KindStart, T: 0, Algo: "astar-ghw", N: 5, M: 6})
+	w.Record(Event{Kind: KindImprove, T: time.Millisecond, Width: 4})
+	w.Record(Event{Kind: KindCheckpoint, T: 2 * time.Millisecond, Nodes: 256})
+	w.Record(Event{Kind: KindImprove, T: 3 * time.Millisecond, Width: 3})
+	w.Record(Event{Kind: KindStop, T: 4 * time.Millisecond, Algo: "astar-ghw", Width: 3, Exact: true})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ValidateTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Events != 5 || sum.Starts != 1 || sum.Stops != 1 || sum.Improvements != 2 || sum.Checkpoints != 1 {
+		t.Fatalf("summary wrong: %+v", sum)
+	}
+	if len(sum.Algos) != 1 || sum.Algos[0] != "astar-ghw" {
+		t.Fatalf("algos wrong: %v", sum.Algos)
+	}
+}
+
+func TestValidateTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"garbage":        "not json\n",
+		"unknown kind":   `{"kind":"mystery","t_ns":1}` + "\n",
+		"negative time":  `{"kind":"algo_start","t_ns":-1,"algo":"x"}` + "\n",
+		"no start":       `{"kind":"algo_stop","t_ns":1,"algo":"x"}` + "\n",
+		"no stop":        `{"kind":"algo_start","t_ns":1,"algo":"x"}` + "\n",
+		"width increase": lines(`{"kind":"algo_start","t_ns":0,"algo":"x"}`, `{"kind":"improve","t_ns":1,"width":3}`, `{"kind":"improve","t_ns":2,"width":4}`, `{"kind":"algo_stop","t_ns":3,"algo":"x"}`),
+		"time decrease":  lines(`{"kind":"algo_start","t_ns":0,"algo":"x"}`, `{"kind":"improve","t_ns":5,"width":3}`, `{"kind":"improve","t_ns":4,"width":3}`, `{"kind":"algo_stop","t_ns":6,"algo":"x"}`),
+	}
+	for name, trace := range cases {
+		if _, err := ValidateTrace(strings.NewReader(trace)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+	// Two runs of the same kind reset nothing — monotonicity is per label,
+	// so a second algorithm may start above the first one's final width.
+	ok := lines(
+		`{"kind":"algo_start","t_ns":0,"algo":"a"}`,
+		`{"kind":"improve","t_ns":1,"width":3}`,
+		`{"kind":"algo_stop","t_ns":2,"algo":"a"}`,
+		`{"kind":"algo_start","t_ns":3,"algo":"b"}`,
+		`{"kind":"improve","t_ns":4,"width":9}`,
+		`{"kind":"algo_stop","t_ns":5,"algo":"b"}`,
+	)
+	if _, err := ValidateTrace(strings.NewReader(ok)); err != nil {
+		t.Fatalf("per-label monotonicity too strict: %v", err)
+	}
+}
+
+func lines(ls ...string) string { return strings.Join(ls, "\n") + "\n" }
+
+func TestProgressOutput(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, time.Hour) // throttle everything but the always-print events
+	p.Record(Event{Kind: KindStart, Algo: "ga-ghw", N: 20, M: 25})
+	p.Record(Event{Kind: KindImprove, T: time.Second, Width: 6, Evaluations: 100})
+	p.Record(Event{Kind: KindCheckpoint, T: 2 * time.Second, Nodes: 512}) // throttled away
+	p.Record(Event{Kind: KindStop, T: 3 * time.Second, Width: 6, LowerBound: 2, Stop: "deadline"})
+	out := buf.String()
+	for _, want := range []string{"[ga-ghw] start", "new best width 6", "done in 3s", "stopped: deadline"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("progress output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "\n") != 3 {
+		t.Fatalf("throttled checkpoint still printed:\n%s", out)
+	}
+}

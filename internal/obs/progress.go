@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress is the periodic reporter sink for long runs: it rides the event
+// stream (no goroutine, no timer) and prints one status line to w whenever
+// at least Every of run time has passed since the last line. Improvements
+// and run boundaries always print immediately — on an hour-long search those
+// are exactly the lines worth seeing.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	every time.Duration
+
+	algo      string
+	last      time.Duration
+	width     int
+	widthSet  bool
+	lb        int
+	nodes     int64
+	evals     int64
+	gen       int
+	cacheHits int64
+	cacheMiss int64
+}
+
+// NewProgress reports to w at most every interval (plus one line per
+// improvement and per run start/stop). A non-positive interval defaults to
+// 10 seconds.
+func NewProgress(w io.Writer, every time.Duration) *Progress {
+	if every <= 0 {
+		every = 10 * time.Second
+	}
+	return &Progress{w: w, every: every}
+}
+
+// Record implements Recorder.
+func (p *Progress) Record(e Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e.Nodes > p.nodes {
+		p.nodes = e.Nodes
+	}
+	if e.Evaluations > p.evals {
+		p.evals = e.Evaluations
+	}
+	if e.Generation > p.gen {
+		p.gen = e.Generation
+	}
+	switch e.Kind {
+	case KindStart:
+		p.algo = e.Algo
+		p.last = e.T
+		p.widthSet = false
+		p.lb, p.nodes, p.evals, p.gen = 0, 0, 0, 0
+		fmt.Fprintf(p.w, "[%s] start: %d vertices, %d edges\n", p.algo, e.N, e.M)
+	case KindImprove:
+		p.width, p.widthSet = e.Width, true
+		p.last = e.T
+		fmt.Fprintf(p.w, "[%s] t=%v new best width %d%s\n",
+			p.algo, e.T.Round(time.Millisecond), e.Width, p.effort())
+	case KindLowerBound:
+		if e.LowerBound > p.lb {
+			p.lb = e.LowerBound
+		}
+	case KindCoverCache:
+		p.cacheHits, p.cacheMiss = e.CacheHits, e.CacheMisses
+	case KindCheckpoint, KindGeneration:
+		if e.T-p.last >= p.every {
+			p.last = e.T
+			fmt.Fprintf(p.w, "[%s] t=%v %s%s\n",
+				p.algo, e.T.Round(time.Millisecond), p.best(), p.effort())
+		}
+	case KindAttempt:
+		fmt.Fprintf(p.w, "[%s] t=%v det-k attempt k=%d found=%v\n",
+			p.algo, e.T.Round(time.Millisecond), e.K, e.Found)
+	case KindStop:
+		status := "upper bound"
+		if e.Exact {
+			status = "exact"
+		}
+		stop := ""
+		if e.Stop != "" {
+			stop = fmt.Sprintf(" (stopped: %s)", e.Stop)
+		}
+		fmt.Fprintf(p.w, "[%s] done in %v: width %d (%s), lower bound %d%s\n",
+			p.algo, e.T.Round(time.Millisecond), e.Width, status, e.LowerBound, stop)
+	}
+}
+
+// best renders the running best width / lower bound.
+func (p *Progress) best() string {
+	if !p.widthSet {
+		return fmt.Sprintf("lb=%d", p.lb)
+	}
+	return fmt.Sprintf("best=%d lb=%d", p.width, p.lb)
+}
+
+// effort renders the effort counters that are non-zero.
+func (p *Progress) effort() string {
+	s := ""
+	if p.nodes > 0 {
+		s += fmt.Sprintf(" nodes=%d", p.nodes)
+	}
+	if p.evals > 0 {
+		s += fmt.Sprintf(" evals=%d", p.evals)
+	}
+	if p.gen > 0 {
+		s += fmt.Sprintf(" gen=%d", p.gen)
+	}
+	if p.cacheHits+p.cacheMiss > 0 {
+		s += fmt.Sprintf(" cache=%d/%d", p.cacheHits, p.cacheMiss)
+	}
+	return s
+}

@@ -8,6 +8,7 @@ import (
 
 	"hypertree/internal/budget/faultinject"
 	"hypertree/internal/hypergraph"
+	"hypertree/internal/obs"
 	"hypertree/internal/reduce"
 )
 
@@ -17,14 +18,14 @@ import (
 // On budget exhaustion it returns the best proved lower bound (the maximum
 // f-value expanded, thesis §5.3) with Exact=false.
 func AStarTreewidth(g *hypergraph.Graph, opts Options) Result {
-	return runAStar(newTWModel(g, opts.Seed), opts)
+	return runAStar(newTWModel(g, opts.Seed), opts, "astar-tw")
 }
 
 // AStarGHW runs A*-ghw (thesis Chapter 9, Figure 9.1): the same best-first
 // search under the generalized-hypertree-width cost model with exact set
 // covers and the tw-ksc-width heuristic.
 func AStarGHW(h *hypergraph.Hypergraph, opts Options) Result {
-	return runAStar(newGHWModel(h, opts.Seed, true), opts)
+	return runAStar(newGHWModel(h, opts.Seed, true), opts, "astar-ghw")
 }
 
 // state is an A* search node. Prefixes are reconstructed by following
@@ -73,24 +74,51 @@ func (q *pq) Pop() interface{} {
 
 // finish stamps the model's cover-cache counters onto a result.
 func finish(m model, r Result) Result {
-	r.CoverCacheHits, r.CoverCacheMisses = m.coverStats()
+	s := m.cacheStats()
+	r.CoverCacheHits, r.CoverCacheMisses = s.Hits, s.Misses
 	return r
 }
 
-func runAStar(m model, opts Options) Result {
+func runAStar(m model, opts Options, defaultLabel string) Result {
 	b := opts.budgetFor()
+	stats, rec, label := instrument(m, opts, b, defaultLabel)
+	queue := &pq{}
+	maxOpen := 0
+	// ret finalizes any exit path: cover-cache snapshot, algo_stop event,
+	// stats attachment.
+	ret := func(r Result) Result {
+		r = finish(m, r)
+		if s := m.cacheStats(); s.Hits+s.Misses > 0 {
+			rec.Record(obs.Event{Kind: obs.KindCoverCache, T: b.Elapsed(),
+				CacheHits: s.Hits, CacheMisses: s.Misses,
+				CacheEvictions: s.Evictions, CacheSize: s.Size})
+		}
+		rec.Record(obs.Event{Kind: obs.KindStop, T: b.Elapsed(), Algo: label,
+			Width: r.Width, LowerBound: r.LowerBound, Exact: r.Exact,
+			Nodes: r.Nodes, Open: queue.Len(), MaxOpen: maxOpen, Stop: string(r.Stop)})
+		r.Stats = stats
+		return r
+	}
+	improve := func(w int) {
+		rec.Record(obs.Event{Kind: obs.KindImprove, T: b.Elapsed(), Width: w, Nodes: b.Nodes()})
+	}
+	lowerBound := func(l int) {
+		rec.Record(obs.Event{Kind: obs.KindLowerBound, T: b.Elapsed(), LowerBound: l, Nodes: b.Nodes()})
+	}
+
 	lb, ub, ordering := m.initial()
 	if opts.InitialUB > 0 && opts.InitialUB < ub {
 		ub = opts.InitialUB
 		ordering = nil
 	}
+	improve(ub)
+	lowerBound(lb)
 	e := m.graph()
 	if lb >= ub || e.N() == 0 {
-		return finish(m, Result{Width: ub, LowerBound: ub, Exact: true, Ordering: ordering,
+		return ret(Result{Width: ub, LowerBound: ub, Exact: true, Ordering: ordering,
 			Nodes: 0, Elapsed: b.Elapsed()})
 	}
 
-	queue := &pq{}
 	heap.Push(queue, &state{parent: nil, vertex: -1, g: 0, f: int32(lb)})
 	maxPoppedF := lb
 	var prefixBuf []int
@@ -112,18 +140,21 @@ func runAStar(m model, opts Options) Result {
 		if int(s.f) >= ub {
 			// Everything left is at least as wide as the known solution.
 			maxPoppedF = ub
-			return finish(m, Result{Width: ub, LowerBound: ub, Exact: true,
+			lowerBound(ub)
+			return ret(Result{Width: ub, LowerBound: ub, Exact: true,
 				Ordering: ordering, Nodes: b.Nodes(), Elapsed: b.Elapsed()})
 		}
 		if int(s.f) > maxPoppedF {
 			maxPoppedF = int(s.f) // new proved lower bound (thesis §5.3)
+			lowerBound(maxPoppedF)
 		}
 		prefixBuf = s.prefix(prefixBuf)
 		e.SetPrefix(prefixBuf)
 
 		// Goal test: the remaining graph cannot charge more than g.
 		if m.completionCap() <= int(s.g) {
-			return finish(m, Result{Width: int(s.g), LowerBound: int(s.g), Exact: true,
+			improve(int(s.g))
+			return ret(Result{Width: int(s.g), LowerBound: int(s.g), Exact: true,
 				Ordering: completion(e, prefixBuf), Nodes: b.Nodes(), Elapsed: b.Elapsed()})
 		}
 
@@ -179,17 +210,21 @@ func runAStar(m model, opts Options) Result {
 				f:       int32(f2),
 				reduced: childReduced,
 			})
+			if queue.Len() > maxOpen {
+				maxOpen = queue.Len()
+			}
 		}
 	}
 
 	if b.Stopped() {
 		// Anytime result: ub from the heuristic, lb from the last expansion.
-		return finish(m, Result{Width: ub, LowerBound: maxPoppedF, Exact: false,
+		return ret(Result{Width: ub, LowerBound: maxPoppedF, Exact: false,
 			Ordering: ordering, Nodes: b.Nodes(), Elapsed: b.Elapsed(), Stop: b.Reason()})
 	}
 	// Queue exhausted without reaching a goal below ub: ub is optimal
 	// (thesis §5.1, final return).
-	return finish(m, Result{Width: ub, LowerBound: ub, Exact: true, Ordering: ordering,
+	lowerBound(ub)
+	return ret(Result{Width: ub, LowerBound: ub, Exact: true, Ordering: ordering,
 		Nodes: b.Nodes(), Elapsed: b.Elapsed()})
 }
 

@@ -6,6 +6,7 @@ import (
 	"hypertree/internal/budget"
 	"hypertree/internal/budget/faultinject"
 	"hypertree/internal/hypergraph"
+	"hypertree/internal/obs"
 	"hypertree/internal/reduce"
 )
 
@@ -13,7 +14,7 @@ import (
 // review of BB-tw / QuickBB, §4.4, with PR1, PR2, reductions and per-node
 // minor-min-width bounds). The result is exact unless a budget was hit.
 func BBTreewidth(g *hypergraph.Graph, opts Options) Result {
-	return runBB(newTWModel(g, opts.Seed), opts)
+	return runBB(newTWModel(g, opts.Seed), opts, "bb-tw")
 }
 
 // BBGHW runs BB-ghw (thesis Chapter 8, Figure 8.3): branch and bound over
@@ -21,34 +22,44 @@ func BBTreewidth(g *hypergraph.Graph, opts Options) Result {
 // covers for bag costs, the tw-ksc-width lower bound at interior nodes,
 // simplicial reductions and the non-adjacent case of PR2.
 func BBGHW(h *hypergraph.Hypergraph, opts Options) Result {
-	return runBB(newGHWModel(h, opts.Seed, true), opts)
+	return runBB(newGHWModel(h, opts.Seed, true), opts, "bb-ghw")
 }
 
 // BBGHWGreedy is BB-ghw with greedy instead of exact set covers: faster,
 // still an upper-bound-producing anytime algorithm, but its "exact" result
 // is only exact with respect to greedy covers.
 func BBGHWGreedy(h *hypergraph.Hypergraph, opts Options) Result {
-	return runBB(newGHWModel(h, opts.Seed, false), opts)
+	return runBB(newGHWModel(h, opts.Seed, false), opts, "bb-ghw-greedy")
 }
 
 type bbSearch struct {
 	m      model
 	opts   Options
 	budget *budget.B
+	rec    obs.Recorder
 	ub     int
 	lbRoot int
 	best   []int
 	prefix []int
 }
 
-func runBB(m model, opts Options) Result {
+// improve records a best-width improvement event.
+func (s *bbSearch) improve(w int) {
+	s.rec.Record(obs.Event{Kind: obs.KindImprove, T: s.budget.Elapsed(),
+		Width: w, Nodes: s.budget.Nodes()})
+}
+
+func runBB(m model, opts Options, defaultLabel string) Result {
 	b := opts.budgetFor()
+	stats, rec, label := instrument(m, opts, b, defaultLabel)
 	lb, ub, ordering := m.initial()
 	if opts.InitialUB > 0 && opts.InitialUB < ub {
 		ub = opts.InitialUB
 		ordering = nil
 	}
-	s := &bbSearch{m: m, opts: opts, budget: b, ub: ub, lbRoot: lb, best: ordering}
+	s := &bbSearch{m: m, opts: opts, budget: b, rec: rec, ub: ub, lbRoot: lb, best: ordering}
+	s.improve(ub)
+	rec.Record(obs.Event{Kind: obs.KindLowerBound, T: b.Elapsed(), LowerBound: lb, Nodes: b.Nodes()})
 	if lb < ub && m.graph().N() > 0 {
 		s.dfs(0, lb, false)
 	}
@@ -56,8 +67,9 @@ func runBB(m model, opts Options) Result {
 	lbOut := s.lbRoot
 	if exact {
 		lbOut = s.ub
+		rec.Record(obs.Event{Kind: obs.KindLowerBound, T: b.Elapsed(), LowerBound: lbOut, Nodes: b.Nodes()})
 	}
-	return finish(m, Result{
+	r := finish(m, Result{
 		Width:      s.ub,
 		LowerBound: lbOut,
 		Exact:      exact,
@@ -66,6 +78,16 @@ func runBB(m model, opts Options) Result {
 		Elapsed:    b.Elapsed(),
 		Stop:       b.Reason(),
 	})
+	if cs := m.cacheStats(); cs.Hits+cs.Misses > 0 {
+		rec.Record(obs.Event{Kind: obs.KindCoverCache, T: b.Elapsed(),
+			CacheHits: cs.Hits, CacheMisses: cs.Misses,
+			CacheEvictions: cs.Evictions, CacheSize: cs.Size})
+	}
+	rec.Record(obs.Event{Kind: obs.KindStop, T: b.Elapsed(), Algo: label,
+		Width: r.Width, LowerBound: r.LowerBound, Exact: r.Exact,
+		Nodes: r.Nodes, Stop: string(r.Stop)})
+	r.Stats = stats
+	return r
 }
 
 // dfs explores the subtree below the current elimination prefix.
@@ -85,6 +107,7 @@ func (s *bbSearch) dfs(g, f int, lastReduced bool) {
 	if w := max2(g, cap); w < s.ub {
 		s.ub = w
 		s.best = completion(e, s.prefix)
+		s.improve(w)
 	}
 	if cap <= g {
 		return

@@ -17,6 +17,8 @@ import (
 	"hypertree/internal/elim"
 	"hypertree/internal/elimgraph"
 	"hypertree/internal/hypergraph"
+	"hypertree/internal/obs"
+	"hypertree/internal/setcover"
 )
 
 // Options controls a search run.
@@ -49,6 +51,14 @@ type Options struct {
 	// width at interior nodes). Disabling degrades to plain depth-first
 	// branch and bound on g alone.
 	DisableNodeLB bool
+	// Recorder, when non-nil, receives the run's instrumentation events
+	// (improvements, checkpoints, cover-cache snapshots; see internal/obs).
+	// Every run additionally aggregates into the RunStats attached to its
+	// Result, whether or not a Recorder is set.
+	Recorder obs.Recorder
+	// Label names the run in instrumentation events; the entry points
+	// default it ("astar-tw", "bb-ghw", ...).
+	Label string
 	// DedupeStates enables A* duplicate detection: two prefixes eliminating
 	// the same vertex set leave the same residual graph, so only the one
 	// with the smaller g needs expanding. An extension beyond the thesis's
@@ -85,6 +95,10 @@ type Result struct {
 	// searches, which never cover bags).
 	CoverCacheHits   int64
 	CoverCacheMisses int64
+	// Stats aggregates the run's instrumentation events: the anytime-width
+	// timeline, proven-lower-bound trajectory, open-list high-water mark and
+	// cover-cache traffic. Always populated.
+	Stats *obs.RunStats
 }
 
 // budgetFor returns the run budget: the caller-supplied one, or a fresh
@@ -94,6 +108,27 @@ func (o Options) budgetFor() *budget.B {
 		return o.Budget
 	}
 	return budget.New(o.Ctx, budget.Limits{Timeout: o.Timeout, MaxNodes: o.MaxNodes})
+}
+
+// instrument sets up a run's recorder stack: every search aggregates into a
+// fresh RunStats (attached to its Result), teed with the caller's Recorder;
+// checkpoint events piggyback on the budget's cancellation polls and
+// sampled cover_cache events on the ghw engine's queries. It emits the
+// algo_start event.
+func instrument(m model, opts Options, b *budget.B, defaultLabel string) (*obs.RunStats, obs.Recorder, string) {
+	stats := obs.NewRunStats()
+	rec := obs.Tee(stats, opts.Recorder)
+	label := opts.Label
+	if label == "" {
+		label = defaultLabel
+	}
+	m.setRecorder(rec)
+	b.OnCheckpoint(func(nodes int64, elapsed time.Duration) {
+		rec.Record(obs.Event{Kind: obs.KindCheckpoint, T: elapsed, Nodes: nodes})
+	})
+	n, edges := m.size()
+	rec.Record(obs.Event{Kind: obs.KindStart, T: b.Elapsed(), Algo: label, N: n, M: edges})
+	return stats, rec, label
 }
 
 // model abstracts the cost structure shared by the treewidth and ghw
@@ -124,9 +159,14 @@ type model interface {
 	// equivalent (they will be pruned), letting the ghw model bound its
 	// per-bag exact set-cover searches. No-op for the treewidth model.
 	setCostCap(cap int)
-	// coverStats reports the cover engine's cache counters (zeros for the
+	// cacheStats reports the cover engine's cache counters (zeros for the
 	// treewidth model).
-	coverStats() (hits, misses int64)
+	cacheStats() setcover.CacheStats
+	// setRecorder attaches the run's recorder to the model's cover engine
+	// for sampled cover_cache events. No-op for the treewidth model.
+	setRecorder(rec obs.Recorder)
+	// size reports the instance dimensions (vertices, edges or hyperedges).
+	size() (n, m int)
 }
 
 // twModel is the treewidth cost model (thesis Chapters 4–5).
@@ -155,10 +195,12 @@ func (m *twModel) initial() (int, int, []int) {
 	ub := elim.WidthOfGraph(m.g, order)
 	return lb, ub, order
 }
-func (m *twModel) allowAlmostSimplicial() bool { return true }
-func (m *twModel) pr2Adjacent() bool           { return true }
-func (m *twModel) setCostCap(int)              {}
-func (m *twModel) coverStats() (int64, int64)  { return 0, 0 }
+func (m *twModel) allowAlmostSimplicial() bool    { return true }
+func (m *twModel) pr2Adjacent() bool              { return true }
+func (m *twModel) setCostCap(int)                 {}
+func (m *twModel) cacheStats() setcover.CacheStats { return setcover.CacheStats{} }
+func (m *twModel) setRecorder(obs.Recorder)       {}
+func (m *twModel) size() (int, int)               { return m.g.N(), m.g.M() }
 
 // ghwModel is the generalized-hypertree-width cost model (Chapters 8–9).
 type ghwModel struct {
@@ -194,13 +236,12 @@ func (m *ghwModel) initial() (int, int, []int) {
 	ub := elim.NewGHWEvaluatorWithEngine(m.ev.Engine(), false, m.rng).Width(order)
 	return lb, ub, order
 }
-func (m *ghwModel) allowAlmostSimplicial() bool { return false }
-func (m *ghwModel) pr2Adjacent() bool           { return false }
-func (m *ghwModel) setCostCap(cap int)          { m.ev.Cap = cap }
-func (m *ghwModel) coverStats() (int64, int64) {
-	s := m.ev.CoverCacheStats()
-	return s.Hits, s.Misses
-}
+func (m *ghwModel) allowAlmostSimplicial() bool     { return false }
+func (m *ghwModel) pr2Adjacent() bool               { return false }
+func (m *ghwModel) setCostCap(cap int)              { m.ev.Cap = cap }
+func (m *ghwModel) cacheStats() setcover.CacheStats { return m.ev.CoverCacheStats() }
+func (m *ghwModel) setRecorder(rec obs.Recorder)    { m.ev.Engine().SetRecorder(rec, 0) }
+func (m *ghwModel) size() (int, int)                { return m.h.N(), m.h.M() }
 
 // pr2Skip reports whether child v of the current state can be pruned by
 // pruning rule 2, given that `last` was eliminated immediately before and

@@ -10,15 +10,23 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hypertree/internal/bitset"
 	"hypertree/internal/hypergraph"
+	"hypertree/internal/obs"
 )
 
 // DefaultCacheCapacity is the bag-cover cache bound used when callers do
 // not choose one: entries are a few words each, so 64k entries stay in the
 // low megabytes even on large instances.
 const DefaultCacheCapacity = 1 << 16
+
+// DefaultCoverSampleEvery is how many cover queries pass between the
+// cover_cache trace events an observed engine emits. Per-query events would
+// swamp a trace (searches issue millions); one cumulative snapshot every few
+// thousand queries reconstructs the same hit-rate curve.
+const DefaultCoverSampleEvery = 1 << 12
 
 // Engine is the bag-cover engine for one hypergraph: word-packed hyperedge
 // sets and a memo cache of cover sizes keyed by bag bitset. An Engine is
@@ -32,6 +40,15 @@ type Engine struct {
 	cache    *coverCache
 	hits     atomic.Int64
 	misses   atomic.Int64
+
+	// rec, when non-nil, receives sampled cover_cache events (cumulative
+	// counter snapshots every sampleEvery queries). Set via SetRecorder
+	// before the engine is shared across goroutines; the disabled cost on
+	// the cover hot path is a single nil check.
+	rec         obs.Recorder
+	sampleEvery int64
+	queries     atomic.Int64
+	recStart    time.Time
 }
 
 // NewEngine builds an engine for h. cacheCapacity bounds the number of
@@ -70,19 +87,56 @@ func (e *Engine) EdgeBits(ei int) bitset.Set { return e.edgeBits[ei] }
 // CacheStats reports the memo cache's hit/miss counters and current size.
 // A hit is a query answered entirely from the cache; partially useful
 // entries (e.g. a lower bound below the requested cap) count as misses.
+// Evictions counts bags displaced by the FIFO bound — a high eviction rate
+// means the working set outgrew the capacity and hits are being lost.
 type CacheStats struct {
 	Hits, Misses int64
+	Evictions    int64
 	Size         int
 }
 
 // CacheStats returns the engine's cache counters (zeros when memoization is
-// disabled).
+// disabled). Safe to call concurrently with cover queries from any
+// goroutine: the counters are atomics and the size/eviction reads take the
+// cache lock.
 func (e *Engine) CacheStats() CacheStats {
 	s := CacheStats{Hits: e.hits.Load(), Misses: e.misses.Load()}
 	if e.cache != nil {
-		s.Size = e.cache.size()
+		s.Size, s.Evictions = e.cache.sizeAndEvictions()
 	}
 	return s
+}
+
+// SetRecorder attaches rec to the engine: every sampleEvery-th cover query
+// emits one cumulative cover_cache event (non-positive sampleEvery selects
+// DefaultCoverSampleEvery). Attach before sharing the engine across
+// goroutines — the field is read unsynchronized on the query path. A nil
+// rec detaches.
+func (e *Engine) SetRecorder(rec obs.Recorder, sampleEvery int64) {
+	if sampleEvery <= 0 {
+		sampleEvery = DefaultCoverSampleEvery
+	}
+	e.rec = rec
+	e.sampleEvery = sampleEvery
+	e.recStart = time.Now()
+}
+
+// observe counts one cover query against the sampling interval and emits a
+// cover_cache snapshot when it completes. The disabled path is the nil
+// check alone; BenchmarkNoopRecorder guards its cost.
+func (e *Engine) observe() {
+	if e.rec == nil {
+		return
+	}
+	if e.queries.Add(1)%e.sampleEvery != 0 {
+		return
+	}
+	s := e.CacheStats()
+	e.rec.Record(obs.Event{
+		Kind: obs.KindCoverCache, T: time.Since(e.recStart),
+		CacheHits: s.Hits, CacheMisses: s.Misses,
+		CacheEvictions: s.Evictions, CacheSize: s.Size,
+	})
 }
 
 // Scratch is the per-goroutine workspace of an engine's cover queries. It
@@ -150,6 +204,7 @@ func (e *Engine) GreedySize(sc *Scratch, bag []int, rng *rand.Rand) int {
 	if len(bag) == 0 {
 		return 0
 	}
+	e.observe()
 	e.loadBag(sc, bag)
 	if e.cache != nil {
 		sc.key = sc.bag.AppendKey(sc.key[:0])
@@ -218,6 +273,7 @@ func (e *Engine) ExactSizeCapped(sc *Scratch, bag []int, cap int) int {
 	if len(bag) == 0 {
 		return 0
 	}
+	e.observe()
 	e.loadBag(sc, bag)
 	if e.cache != nil {
 		sc.key = sc.bag.AppendKey(sc.key[:0])
@@ -373,11 +429,12 @@ type coverEntry struct {
 // coverCache is a bounded map from bag keys to cover entries with FIFO
 // eviction. All methods are safe for concurrent use.
 type coverCache struct {
-	mu       sync.Mutex
-	capacity int
-	m        map[string]coverEntry
-	ring     []string
-	next     int
+	mu        sync.Mutex
+	capacity  int
+	m         map[string]coverEntry
+	ring      []string
+	next      int
+	evictions int64
 }
 
 func newCoverCache(capacity int) *coverCache {
@@ -412,6 +469,7 @@ func (c *coverCache) update(key []byte, fn func(*coverEntry)) {
 			delete(c.m, c.ring[c.next])
 			c.ring[c.next] = k
 			c.next = (c.next + 1) % c.capacity
+			c.evictions++
 		}
 		fn(&ent)
 		c.m[k] = ent
@@ -421,8 +479,8 @@ func (c *coverCache) update(key []byte, fn func(*coverEntry)) {
 	c.m[string(key)] = ent
 }
 
-func (c *coverCache) size() int {
+func (c *coverCache) sizeAndEvictions() (int, int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.m)
+	return len(c.m), c.evictions
 }
