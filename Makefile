@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench-smoke trace-smoke fuzz clean
+.PHONY: all build vet test race check bench-smoke bench-diff trace-smoke tracestat-smoke fuzz clean
 
 all: check
 
@@ -17,26 +17,45 @@ race:
 	$(GO) test -race ./...
 
 # check is the full verification gate: static analysis, a clean build, the
-# test suite under the race detector (which subsumes plain `go test`), and a
-# smoke run of the evaluator benchmarks.
-check: vet build race bench-smoke trace-smoke
+# test suite under the race detector (which subsumes plain `go test`), a
+# smoke run of the evaluator benchmarks with a regression diff against the
+# committed report, and trace emission + analysis smoke runs.
+check: vet build race bench-smoke bench-diff trace-smoke tracestat-smoke
 
 # bench-smoke reruns the ghw evaluator microbenchmarks (benchstat-compatible
 # output) into a scratch report and validates both it and the committed
 # BENCH_ghw.json. It is a smoke test: numbers vary by machine; only the
-# report shape and width agreement are checked.
+# report shape and width agreement are checked. The scratch report is left
+# on disk for bench-diff, which removes it.
 bench-smoke:
 	$(GO) run ./cmd/experiments -bench-json -bench-out BENCH_ghw.smoke.json
 	$(GO) run ./cmd/experiments -bench-check BENCH_ghw.smoke.json
 	$(GO) run ./cmd/experiments -bench-check BENCH_ghw.json
+
+# bench-diff gates on the smoke report not regressing against the committed
+# BENCH_ghw.json (exit 1 on regression). The threshold is deliberately loose:
+# the committed numbers come from a different machine, and this catches
+# order-of-magnitude regressions (a lost cache, an accidental O(n^2)), not
+# percent-level drift — benchstat on two local reports does that.
+bench-diff: bench-smoke
+	$(GO) run ./cmd/experiments -bench-diff BENCH_ghw.json BENCH_ghw.smoke.json -bench-diff-threshold 4.0
 	rm -f BENCH_ghw.smoke.json
 
 # trace-smoke runs one budgeted search with -trace and validates the JSONL
 # event stream against the schema (see OBSERVABILITY.md): per-line JSON,
 # known kinds, run boundaries present, anytime-width monotonicity per run.
+# The trace is left on disk for tracestat-smoke, which removes it.
 trace-smoke:
 	$(GO) run ./cmd/decompose -algo bb-ghw -gen grid2d_10 -timeout 5s -trace trace.smoke.jsonl
-	$(GO) run ./cmd/decompose -trace-check trace.smoke.jsonl
+	$(GO) run ./cmd/decompose -trace-check trace.smoke.jsonl -strict
+
+# tracestat-smoke gates on the analysis pipeline accepting a real trace:
+# strict schema validation plus a rendered per-run profile (stall detection,
+# cadence, anytime timeline). Exit codes gate; the profile itself is
+# informational.
+tracestat-smoke: trace-smoke
+	$(GO) run ./cmd/tracestat check -strict trace.smoke.jsonl
+	$(GO) run ./cmd/tracestat summary trace.smoke.jsonl
 	rm -f trace.smoke.jsonl
 
 # fuzz runs each parser fuzzer briefly; extend -fuzztime for real campaigns.

@@ -47,16 +47,25 @@ func main() {
 		stats      = flag.Bool("stats", false, "print the run's aggregated statistics (anytime-width timeline, effort, cache traffic)")
 		progress   = flag.Duration("progress", 0, "report run progress to stderr at this interval (0 = off)")
 		traceCheck = flag.String("trace-check", "", "validate a JSONL trace file and exit (no run)")
+		strict     = flag.Bool("strict", false, "with -trace-check: also reject unknown event kinds and non-monotonic timestamps (single-threaded traces only)")
 	)
 	flag.Parse()
 
 	if *traceCheck != "" {
-		sum, err := obs.ValidateTraceFile(*traceCheck)
+		validate := obs.ValidateTraceFile
+		if *strict {
+			validate = obs.ValidateTraceFileStrict
+		}
+		sum, err := validate(*traceCheck)
 		if err != nil {
 			fatal(fmt.Errorf("trace %s: %w", *traceCheck, err))
 		}
-		fmt.Printf("trace %s: valid (%d events, %d runs, %d improvements, %d checkpoints, algos %v)\n",
-			*traceCheck, sum.Events, sum.Starts, sum.Improvements, sum.Checkpoints, sum.Algos)
+		unknown := ""
+		if sum.Unknown > 0 {
+			unknown = fmt.Sprintf(", %d unknown kinds", sum.Unknown)
+		}
+		fmt.Printf("trace %s: valid (%d events, %d runs, %d improvements, %d checkpoints%s, algos %v)\n",
+			*traceCheck, sum.Events, sum.Starts, sum.Improvements, sum.Checkpoints, unknown, sum.Algos)
 		return
 	}
 
@@ -94,8 +103,10 @@ func main() {
 		trace = obs.NewJSONLWriter(f)
 		recorders = append(recorders, trace)
 	}
+	var prog *obs.Progress
 	if *progress > 0 {
-		recorders = append(recorders, obs.NewProgress(os.Stderr, *progress))
+		prog = obs.NewProgress(os.Stderr, *progress)
+		recorders = append(recorders, prog)
 	}
 
 	d, err := core.Decompose(h, core.Options{
@@ -106,6 +117,11 @@ func main() {
 		Seed:      *seed,
 		Recorder:  obs.Tee(recorders...),
 	})
+	if prog != nil {
+		// A run cut down by a contained panic never emits algo_stop; flush
+		// the reporter's last known state so the terminal line still lands.
+		prog.Finish()
+	}
 	if trace != nil {
 		if cerr := trace.Close(); cerr != nil {
 			fatal(fmt.Errorf("writing trace %s: %w", *tracePath, cerr))

@@ -13,10 +13,14 @@
 // -bench-json runs the ghw width-evaluator microbenchmarks (engine,
 // engine without cache, pre-engine slice path) over a fixed instance set,
 // prints benchstat-compatible lines, and writes a JSON report; -bench-check
-// validates such a report and exits.
+// validates such a report and exits; -bench-diff old.json new.json compares
+// two reports and exits 1 when any entry slowed beyond
+// -bench-diff-threshold (make bench-diff runs it as a regression gate).
 //
-// -metrics-addr serves runtime metrics while experiments run: expvar at
-// /debug/vars and pprof profiles at /debug/pprof/ (see OBSERVABILITY.md).
+// -metrics-addr serves runtime metrics while experiments run: per-kind obs
+// event counters and the cover-cache hit ratio in OpenMetrics text at
+// /metrics, expvar at /debug/vars and pprof profiles at /debug/pprof/ (see
+// OBSERVABILITY.md).
 package main
 
 import (
@@ -32,6 +36,7 @@ import (
 	"syscall"
 
 	"hypertree/internal/bench"
+	"hypertree/internal/obs"
 )
 
 // tablesCompleted counts finished tables, exported at /debug/vars so a long
@@ -40,26 +45,58 @@ var tablesCompleted = expvar.NewInt("experiments_tables_completed")
 
 func main() {
 	var (
-		table      = flag.String("table", "all", "table id ("+strings.Join(bench.TableIDs(), ", ")+") or 'all'")
-		scale      = flag.String("scale", "small", "scale: smoke | small | full")
-		benchJSON   = flag.Bool("bench-json", false, "run the ghw evaluator microbenchmarks and write a JSON report")
-		benchOut    = flag.String("bench-out", "BENCH_ghw.json", "output path for -bench-json")
-		benchCheck  = flag.String("bench-check", "", "validate a -bench-json report at this path and exit")
-		metricsAddr = flag.String("metrics-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof/) on this address, e.g. localhost:6060")
+		table              = flag.String("table", "all", "table id ("+strings.Join(bench.TableIDs(), ", ")+") or 'all'")
+		scale              = flag.String("scale", "small", "scale: smoke | small | full")
+		benchJSON          = flag.Bool("bench-json", false, "run the ghw evaluator microbenchmarks and write a JSON report")
+		benchOut           = flag.String("bench-out", "BENCH_ghw.json", "output path for -bench-json")
+		benchCheck         = flag.String("bench-check", "", "validate a -bench-json report at this path and exit")
+		benchDiff          = flag.String("bench-diff", "", "old -bench-json report; compare against the new report given as the next argument and exit 1 on regression")
+		benchDiffThreshold = flag.Float64("bench-diff-threshold", bench.DefaultDiffThreshold,
+			"relative ns/op slowdown tolerated by -bench-diff (0.5 = 50%)")
+		metricsAddr = flag.String("metrics-addr", "", "serve OpenMetrics event counters (/metrics), expvar (/debug/vars) and pprof (/debug/pprof/) on this address, e.g. localhost:6060")
 	)
 	flag.Parse()
 
+	// obsCounters aggregates every table run's instrumentation events for the
+	// metrics endpoints; nil when no endpoint is serving (the nil-Recorder
+	// contract keeps the runs unobserved and uninstrumented in that case).
+	var obsCounters *obs.EventCounters
 	if *metricsAddr != "" {
-		// expvar and net/http/pprof register on the default mux at import.
+		obsCounters = obs.NewEventCounters()
+		expvar.Publish("obs_events", expvar.Func(func() interface{} { return obsCounters.Counts() }))
+		// expvar and net/http/pprof register on the default mux at import;
+		// /metrics serves the same counters in OpenMetrics text for scrapers.
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := obsCounters.WriteOpenMetrics(w); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: /metrics:", err)
+			}
+		})
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "experiments: metrics server:", err)
 			}
 		}()
-		fmt.Printf("experiments: serving metrics on http://%s/debug/vars and http://%s/debug/pprof/\n",
-			*metricsAddr, *metricsAddr)
+		fmt.Printf("experiments: serving metrics on http://%s/metrics, /debug/vars and /debug/pprof/\n",
+			*metricsAddr)
 	}
 
+	if *benchDiff != "" {
+		if flag.NArg() != 1 {
+			fatal(fmt.Errorf("-bench-diff needs the new report as its only positional argument: experiments -bench-diff old.json new.json"))
+		}
+		out, regressed, err := bench.CompareBenchJSON(*benchDiff, flag.Arg(0), *benchDiffThreshold)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+		if regressed {
+			fmt.Fprintln(os.Stderr, "experiments: bench regression detected")
+			os.Exit(1)
+		}
+		fmt.Println("experiments: no bench regression")
+		return
+	}
 	if *benchCheck != "" {
 		if err := bench.CheckBenchJSON(*benchCheck); err != nil {
 			fatal(err)
@@ -90,6 +127,9 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	sc.Ctx = ctx
+	if obsCounters != nil {
+		sc.Recorder = obsCounters
+	}
 
 	ids := bench.TableIDs()
 	if *table != "all" {

@@ -1,0 +1,268 @@
+// Command tracestat analyzes JSONL instrumentation traces written by
+// cmd/decompose -trace: per-run anytime profiles with stall detection
+// (summary), cross-trace regression diffs (compare), and schema validation
+// (check). See OBSERVABILITY.md for the trace format and workflow.
+//
+// Exit codes: 0 success, 1 regression or invalid trace, 2 usage or I/O error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"hypertree/internal/obs"
+	"hypertree/internal/obs/analyze"
+)
+
+const usage = `usage: tracestat <command> [flags] <trace.jsonl>...
+
+commands:
+  summary [-json] [-stall-gap d] [-stall-frac f] trace.jsonl
+      per-run anytime profiles: width timeline, time to first/best solution,
+      checkpoint cadence, progress-gap stall detection, memory telemetry
+  compare [-json] [-time-threshold f] [-min-elapsed d] old.jsonl new.jsonl
+      diff two traces of the same instance run by run; exits 1 when a run's
+      width regressed or it slowed beyond the threshold
+  check [-strict] trace.jsonl...
+      validate traces against the event schema; -strict also rejects unknown
+      event kinds and non-monotonic timestamps (single-threaded traces only)
+`
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprint(stderr, usage)
+		return 2
+	}
+	switch args[0] {
+	case "summary":
+		return runSummary(args[1:], stdout, stderr)
+	case "compare":
+		return runCompare(args[1:], stdout, stderr)
+	case "check":
+		return runCheck(args[1:], stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		fmt.Fprint(stdout, usage)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "tracestat: unknown command %q\n%s", args[0], usage)
+		return 2
+	}
+}
+
+func runSummary(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("summary", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit profiles as JSON")
+	stallGap := fs.Duration("stall-gap", analyze.DefaultStallOptions().MinGap,
+		"smallest progress gap that can count as a stall")
+	stallFrac := fs.Float64("stall-frac", analyze.DefaultStallOptions().Fraction,
+		"fraction of the run the longest gap must cover to count as a stall")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "tracestat summary: expected exactly one trace file")
+		return 2
+	}
+	tr, err := analyze.LoadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "tracestat: %v\n", err)
+		return 2
+	}
+	profiles := analyze.Profiles(tr, analyze.StallOptions{MinGap: *stallGap, Fraction: *stallFrac})
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(profiles); err != nil {
+			fmt.Fprintf(stderr, "tracestat: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+	for i, p := range profiles {
+		if i > 0 {
+			fmt.Fprintln(stdout)
+		}
+		writeProfile(stdout, p)
+	}
+	if tr.Unknown > 0 {
+		fmt.Fprintf(stdout, "\n%d events with unknown kind (newer writer?)\n", tr.Unknown)
+	}
+	return 0
+}
+
+func writeProfile(w io.Writer, p *analyze.Profile) {
+	algo := p.Algo
+	if algo == "" {
+		algo = "(unlabeled)"
+	}
+	fmt.Fprintf(w, "run %s: %d vertices / %d edges, %d events\n", algo, p.N, p.M, p.Events)
+	status := "completed"
+	if !p.Stopped {
+		status = "trace cut before algo_stop"
+	} else if p.Stop != "" {
+		status = "stopped: " + p.Stop
+	}
+	exact := ""
+	if p.Exact {
+		exact = " (exact)"
+	}
+	fmt.Fprintf(w, "  result: width %d%s, lower bound %d, %s in %v\n",
+		p.FinalWidth, exact, p.FinalLowerBound, status, p.Elapsed.Round(time.Millisecond))
+	if len(p.Timeline) > 0 {
+		fmt.Fprintf(w, "  anytime: %d improvements, first solution at %v, best reached at %v\n",
+			len(p.Timeline), p.TimeToFirst.Round(time.Microsecond), p.TimeToBest.Round(time.Microsecond))
+	}
+	if p.Checkpoints > 1 {
+		fmt.Fprintf(w, "  cadence: %d checkpoints, mean gap %v, max gap %v\n",
+			p.Checkpoints, p.MeanCheckpointGap.Round(time.Microsecond), p.MaxCheckpointGap.Round(time.Microsecond))
+	}
+	stall := "no stall"
+	if p.StallDetected {
+		stall = "STALL"
+	}
+	fmt.Fprintf(w, "  progress: longest gap %v starting at %v (%s)\n",
+		p.LongestProgressGap.Round(time.Millisecond), p.GapStart.Round(time.Millisecond), stall)
+	if p.MaxOpen > 0 || p.MaxDepth > 0 || p.Backtracks > 0 {
+		fmt.Fprintf(w, "  shape: max open %d, max closed %d, max depth %d, %d backtracks\n",
+			p.MaxOpen, p.MaxClosed, p.MaxDepth, p.Backtracks)
+	}
+	if p.DistinctWidths > 0 {
+		fmt.Fprintf(w, "  diversity: width stddev %.2f, %d distinct widths (last generation)\n",
+			p.WidthStd, p.DistinctWidths)
+	}
+	if p.MemSamples > 0 {
+		fmt.Fprintf(w, "  memory: peak heap %.1f MiB in use / %.1f MiB from OS, %d GC cycles (%d samples)\n",
+			float64(p.MaxHeapAlloc)/(1<<20), float64(p.MaxHeapSys)/(1<<20), p.NumGC, p.MemSamples)
+	}
+	if hr := p.CacheHitRate(); hr >= 0 {
+		fmt.Fprintf(w, "  cover cache: %d hits / %d misses (%.1f%% hit rate)\n",
+			p.CacheHits, p.CacheMisses, 100*hr)
+	}
+	fmt.Fprintf(w, "  events:")
+	for _, k := range obs.Kinds {
+		if n := p.ByKind[k]; n > 0 {
+			fmt.Fprintf(w, " %s=%d", k, n)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+func runCompare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit the comparison as JSON")
+	timeThreshold := fs.Float64("time-threshold", analyze.DefaultCompareOptions().TimeThreshold,
+		"relative slowdown tolerated before a run counts as regressed")
+	minElapsed := fs.Duration("min-elapsed", analyze.DefaultCompareOptions().MinElapsed,
+		"runs faster than this on both sides are never time regressions")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "tracestat compare: expected old.jsonl new.jsonl")
+		return 2
+	}
+	oldT, err := analyze.LoadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "tracestat: %v\n", err)
+		return 2
+	}
+	newT, err := analyze.LoadFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "tracestat: %v\n", err)
+		return 2
+	}
+	cmp := analyze.Compare(oldT, newT, analyze.CompareOptions{
+		TimeThreshold: *timeThreshold, MinElapsed: *minElapsed,
+	})
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cmp); err != nil {
+			fmt.Fprintf(stderr, "tracestat: %v\n", err)
+			return 2
+		}
+	} else {
+		writeComparison(stdout, cmp)
+	}
+	if cmp.Regressed() {
+		fmt.Fprintln(stderr, "tracestat: regression detected")
+		return 1
+	}
+	return 0
+}
+
+func writeComparison(w io.Writer, c *analyze.Comparison) {
+	for _, d := range c.Deltas {
+		verdict := "ok"
+		if d.Regressed {
+			verdict = "REGRESSED"
+		}
+		fmt.Fprintf(w, "%-16s width %d -> %d, elapsed %v -> %v (%.2fx): %s\n",
+			d.Algo, d.OldWidth, d.NewWidth,
+			d.OldElapsed.Round(time.Millisecond), d.NewElapsed.Round(time.Millisecond),
+			d.TimeRatio, verdict)
+		for _, r := range d.Reasons {
+			fmt.Fprintf(w, "  reason: %s\n", r)
+		}
+		for _, n := range d.Notes {
+			fmt.Fprintf(w, "  note: %s\n", n)
+		}
+	}
+	for _, a := range c.OldOnly {
+		fmt.Fprintf(w, "%-16s only in old trace\n", a)
+	}
+	for _, a := range c.NewOnly {
+		fmt.Fprintf(w, "%-16s only in new trace\n", a)
+	}
+	if len(c.Deltas) == 0 {
+		fmt.Fprintln(w, "no matching runs to compare")
+	}
+}
+
+func runCheck(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	strict := fs.Bool("strict", false, "also reject unknown event kinds and non-monotonic timestamps")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "tracestat check: expected at least one trace file")
+		return 2
+	}
+	bad := false
+	for _, path := range fs.Args() {
+		var sum *obs.TraceSummary
+		var err error
+		if *strict {
+			sum, err = obs.ValidateTraceFileStrict(path)
+		} else {
+			sum, err = obs.ValidateTraceFile(path)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: INVALID: %v\n", path, err)
+			bad = true
+			continue
+		}
+		fmt.Fprintf(stdout, "%s: ok: %d events, %d runs (%d improvements, %d checkpoints",
+			path, sum.Events, sum.Starts, sum.Improvements, sum.Checkpoints)
+		if sum.Unknown > 0 {
+			fmt.Fprintf(stdout, ", %d unknown kinds", sum.Unknown)
+		}
+		fmt.Fprintln(stdout, ")")
+	}
+	if bad {
+		return 1
+	}
+	return 0
+}

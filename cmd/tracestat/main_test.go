@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"hypertree/internal/budget/faultinject"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/obs"
+	"hypertree/internal/search"
+)
+
+// writeTrace records a real bb-ghw run on a small grid into a JSONL file.
+func writeTrace(t *testing.T, path string, opts search.Options) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := obs.NewJSONLWriter(f)
+	opts.Recorder = w
+	search.BBGHW(hypergraph.Grid2D(6), opts)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestSummaryOnRealTrace(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "run.jsonl")
+	writeTrace(t, trace, search.Options{Seed: 1})
+	code, out, errw := runCLI(t, "summary", trace)
+	if code != 0 {
+		t.Fatalf("summary exit %d, stderr: %s", code, errw)
+	}
+	for _, want := range []string{"run bb-ghw", "result: width", "anytime:", "progress: longest gap", "events:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// JSON mode emits a parseable array.
+	code, out, _ = runCLI(t, "summary", "-json", trace)
+	if code != 0 || !strings.HasPrefix(strings.TrimSpace(out), "[") {
+		t.Fatalf("json summary wrong (exit %d):\n%s", code, out)
+	}
+}
+
+// TestSummaryFlagsFaultInjectedStall is the acceptance test for the stall
+// detector: a run hung mid-flight by fault injection must show up as STALL
+// in tracestat summary, while the same run unhung must not.
+func TestSummaryFlagsFaultInjectedStall(t *testing.T) {
+	// The instance solves in well under a second even on a loaded machine,
+	// but the exact duration varies, so the gap threshold is explicit: far
+	// above any healthy run of this instance, comfortably below the
+	// injected hang.
+	const stallGap = "-stall-gap=2s"
+	dir := t.TempDir()
+	healthy := filepath.Join(dir, "healthy.jsonl")
+	writeTrace(t, healthy, search.Options{Seed: 1})
+	code, out, _ := runCLI(t, "summary", stallGap, healthy)
+	if code != 0 {
+		t.Fatalf("summary exit %d", code)
+	}
+	if strings.Contains(out, "STALL") {
+		t.Fatalf("healthy run flagged as stalled:\n%s", out)
+	}
+
+	// Hang the run at its first budget checkpoint. All the search's
+	// improvements land in the first few milliseconds on this instance, so
+	// the injected sleep dominates the run's elapsed time without any
+	// progress events inside it — the stall signature.
+	defer faultinject.Reset()
+	faultinject.Arm(faultinject.SiteCheckpoint, 1, func() { time.Sleep(2500 * time.Millisecond) })
+	hung := filepath.Join(dir, "hung.jsonl")
+	writeTrace(t, hung, search.Options{Seed: 1})
+	code, out, _ = runCLI(t, "summary", stallGap, hung)
+	if code != 0 {
+		t.Fatalf("summary exit %d", code)
+	}
+	if !strings.Contains(out, "STALL") {
+		t.Fatalf("fault-injected hung run not flagged as stalled:\n%s", out)
+	}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := filepath.Join(dir, "old.jsonl")
+	if err := os.WriteFile(old, []byte(syntheticRun("bb-ghw", 4, 100_000_000)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	same := filepath.Join(dir, "same.jsonl")
+	if err := os.WriteFile(same, []byte(syntheticRun("bb-ghw", 4, 110_000_000)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	worse := filepath.Join(dir, "worse.jsonl")
+	if err := os.WriteFile(worse, []byte(syntheticRun("bb-ghw", 5, 400_000_000)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, out, _ := runCLI(t, "compare", old, same)
+	if code != 0 || !strings.Contains(out, "ok") {
+		t.Fatalf("near-identical traces flagged (exit %d):\n%s", code, out)
+	}
+	code, out, errw := runCLI(t, "compare", old, worse)
+	if code != 1 {
+		t.Fatalf("regression exit = %d, want 1; stderr: %s", code, errw)
+	}
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "width 4 -> 5") {
+		t.Fatalf("regression report wrong:\n%s", out)
+	}
+}
+
+func syntheticRun(algo string, width int, elapsedNS int64) string {
+	var b strings.Builder
+	b.WriteString(`{"kind":"algo_start","t_ns":0,"algo":"` + algo + `"}` + "\n")
+	b.WriteString(`{"kind":"improve","t_ns":1000000,"width":` + itoa(width) + `}` + "\n")
+	b.WriteString(`{"kind":"algo_stop","t_ns":` + itoa64(elapsedNS) + `,"algo":"` + algo + `","width":` + itoa(width) + `}` + "\n")
+	return b.String()
+}
+
+func TestCheckSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.jsonl")
+	writeTrace(t, good, search.Options{Seed: 1})
+	if code, out, _ := runCLI(t, "check", good); code != 0 || !strings.Contains(out, "ok:") {
+		t.Fatalf("valid trace rejected (exit %d):\n%s", code, out)
+	}
+	// bb-ghw traces are single-threaded, so strict mode must pass too.
+	if code, _, errw := runCLI(t, "check", "-strict", good); code != 0 {
+		t.Fatalf("strict check of single-threaded trace failed: %s", errw)
+	}
+
+	unknown := filepath.Join(dir, "unknown.jsonl")
+	content := `{"kind":"algo_start","t_ns":0,"algo":"x"}` + "\n" +
+		`{"kind":"mystery","t_ns":1}` + "\n" +
+		`{"kind":"algo_stop","t_ns":2,"algo":"x"}` + "\n"
+	if err := os.WriteFile(unknown, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, out, _ := runCLI(t, "check", unknown); code != 0 || !strings.Contains(out, "1 unknown kinds") {
+		t.Fatalf("default check should tolerate unknown kinds (exit %d):\n%s", code, out)
+	}
+	if code, _, errw := runCLI(t, "check", "-strict", unknown); code != 1 || !strings.Contains(errw, "INVALID") {
+		t.Fatalf("strict check should reject unknown kinds (exit %d): %s", code, errw)
+	}
+}
+
+func TestUsageAndBadArgs(t *testing.T) {
+	if code, _, errw := runCLI(t); code != 2 || !strings.Contains(errw, "usage:") {
+		t.Fatalf("no-args exit %d: %s", code, errw)
+	}
+	if code, _, _ := runCLI(t, "bogus"); code != 2 {
+		t.Fatalf("unknown command exit %d", code)
+	}
+	if code, _, _ := runCLI(t, "summary", "/nonexistent/trace.jsonl"); code != 2 {
+		t.Fatalf("missing file exit %d", code)
+	}
+}
+
+func itoa(v int) string     { return strconv.Itoa(v) }
+func itoa64(v int64) string { return strconv.FormatInt(v, 10) }

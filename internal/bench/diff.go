@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// DefaultDiffThreshold is the relative ns/op slowdown tolerated before an
+// entry counts as regressed when DiffReports is called with threshold <= 0.
+// Microbenchmark timings move with machine load, so gates that run on shared
+// CI should pass a larger value (make bench-diff does).
+const DefaultDiffThreshold = 0.5
+
+// ReadBenchJSON loads and validates a -bench-json report.
+func ReadBenchJSON(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var report BenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		return nil, fmt.Errorf("bench: %s is not valid JSON: %w", path, err)
+	}
+	if len(report.Entries) == 0 {
+		return nil, fmt.Errorf("bench: %s has no entries", path)
+	}
+	return &report, nil
+}
+
+// DiffEntry is the comparison of one (instance, mode) measurement across two
+// reports.
+type DiffEntry struct {
+	Instance string `json:"instance"`
+	Mode     string `json:"mode"`
+	// Verdict is "ok", "regressed", "improved", "added" (only in new) or
+	// "removed" (only in old).
+	Verdict string `json:"verdict"`
+	// OldNsPerOp/NewNsPerOp are zero for added/removed entries.
+	OldNsPerOp float64 `json:"old_ns_per_op,omitempty"`
+	NewNsPerOp float64 `json:"new_ns_per_op,omitempty"`
+	// Ratio is new/old ns_per_op (0 for added/removed).
+	Ratio float64 `json:"ratio,omitempty"`
+	// Notes carry observations that inform but never gate: width changes
+	// (a correctness signal for the instance registry, not a perf one) and
+	// allocation shifts.
+	Notes []string `json:"notes,omitempty"`
+}
+
+// BenchDiff is the full report comparison.
+type BenchDiff struct {
+	// Threshold is the relative slowdown gate the verdicts used.
+	Threshold float64     `json:"threshold"`
+	Entries   []DiffEntry `json:"entries"`
+}
+
+// Regressed reports whether any entry's verdict is "regressed". Added and
+// removed entries do not gate: a new benchmark mode must not fail the first
+// run that introduces it.
+func (d *BenchDiff) Regressed() bool {
+	for _, e := range d.Entries {
+		if e.Verdict == "regressed" {
+			return true
+		}
+	}
+	return false
+}
+
+// DiffReports compares two bench reports entry by entry, keyed on
+// (instance, mode). An entry regresses when its ns/op grew by more than the
+// relative threshold (new > old*(1+threshold)); it improves when it shrank by
+// the mirrored factor (new < old/(1+threshold)). threshold <= 0 selects
+// DefaultDiffThreshold.
+func DiffReports(oldR, newR *BenchReport, threshold float64) *BenchDiff {
+	if threshold <= 0 {
+		threshold = DefaultDiffThreshold
+	}
+	d := &BenchDiff{Threshold: threshold}
+	type key struct{ instance, mode string }
+	oldBy := map[key]BenchEntry{}
+	for _, e := range oldR.Entries {
+		oldBy[key{e.Instance, e.Mode}] = e
+	}
+	newBy := map[key]BenchEntry{}
+	for _, e := range newR.Entries {
+		newBy[key{e.Instance, e.Mode}] = e
+	}
+
+	// Old-report order first (matched + removed), then new-only entries.
+	for _, oe := range oldR.Entries {
+		k := key{oe.Instance, oe.Mode}
+		ne, ok := newBy[k]
+		if !ok {
+			d.Entries = append(d.Entries, DiffEntry{
+				Instance: oe.Instance, Mode: oe.Mode, Verdict: "removed",
+				OldNsPerOp: oe.NsPerOp,
+			})
+			continue
+		}
+		e := DiffEntry{
+			Instance: oe.Instance, Mode: oe.Mode,
+			OldNsPerOp: oe.NsPerOp, NewNsPerOp: ne.NsPerOp,
+		}
+		if oe.NsPerOp > 0 {
+			e.Ratio = ne.NsPerOp / oe.NsPerOp
+		}
+		switch {
+		case ne.NsPerOp > oe.NsPerOp*(1+threshold):
+			e.Verdict = "regressed"
+		case ne.NsPerOp < oe.NsPerOp/(1+threshold):
+			e.Verdict = "improved"
+		default:
+			e.Verdict = "ok"
+		}
+		if ne.Width != oe.Width {
+			e.Notes = append(e.Notes, fmt.Sprintf("width changed %d -> %d (check the instance registry)", oe.Width, ne.Width))
+		}
+		if oe.AllocsPerOp > 0 && ne.AllocsPerOp > 2*oe.AllocsPerOp {
+			e.Notes = append(e.Notes, fmt.Sprintf("allocs/op %d -> %d", oe.AllocsPerOp, ne.AllocsPerOp))
+		}
+		d.Entries = append(d.Entries, e)
+	}
+	var added []DiffEntry
+	for _, ne := range newR.Entries {
+		if _, ok := oldBy[key{ne.Instance, ne.Mode}]; !ok {
+			added = append(added, DiffEntry{
+				Instance: ne.Instance, Mode: ne.Mode, Verdict: "added",
+				NewNsPerOp: ne.NsPerOp,
+			})
+		}
+	}
+	sort.SliceStable(added, func(i, j int) bool {
+		if added[i].Instance != added[j].Instance {
+			return added[i].Instance < added[j].Instance
+		}
+		return added[i].Mode < added[j].Mode
+	})
+	d.Entries = append(d.Entries, added...)
+	return d
+}
+
+// Format renders the diff as an aligned text table.
+func (d *BenchDiff) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bench diff (threshold: %.0f%% slowdown)\n", 100*d.Threshold)
+	for _, e := range d.Entries {
+		verdict := e.Verdict
+		if verdict == "regressed" {
+			verdict = "REGRESSED"
+		}
+		switch e.Verdict {
+		case "added":
+			fmt.Fprintf(&b, "  %-12s %-16s %10s -> %10.0f ns/op  %s\n", e.Instance, e.Mode, "-", e.NewNsPerOp, verdict)
+		case "removed":
+			fmt.Fprintf(&b, "  %-12s %-16s %10.0f -> %10s ns/op  %s\n", e.Instance, e.Mode, e.OldNsPerOp, "-", verdict)
+		default:
+			fmt.Fprintf(&b, "  %-12s %-16s %10.0f -> %10.0f ns/op (%.2fx)  %s\n",
+				e.Instance, e.Mode, e.OldNsPerOp, e.NewNsPerOp, e.Ratio, verdict)
+		}
+		for _, n := range e.Notes {
+			fmt.Fprintf(&b, "    note: %s\n", n)
+		}
+	}
+	return b.String()
+}
+
+// CompareBenchJSON is the end-to-end gate behind `experiments -bench-diff`:
+// load both reports, diff at threshold, and return the rendered table plus
+// whether the gate failed.
+func CompareBenchJSON(oldPath, newPath string, threshold float64) (string, bool, error) {
+	oldR, err := ReadBenchJSON(oldPath)
+	if err != nil {
+		return "", false, err
+	}
+	newR, err := ReadBenchJSON(newPath)
+	if err != nil {
+		return "", false, err
+	}
+	d := DiffReports(oldR, newR, threshold)
+	return d.Format(), d.Regressed(), nil
+}

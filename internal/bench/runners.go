@@ -9,6 +9,7 @@ import (
 	"hypertree/internal/bounds"
 	"hypertree/internal/ga"
 	"hypertree/internal/hypergraph"
+	"hypertree/internal/obs"
 	"hypertree/internal/search"
 )
 
@@ -30,6 +31,10 @@ type Scale struct {
 	// each per-instance run then returns its anytime result, and the table
 	// drivers stop between instances.
 	Ctx context.Context
+	// Recorder, when non-nil, receives every table run's instrumentation
+	// events (cmd/experiments points it at the /metrics event counters). It
+	// must be safe for concurrent use.
+	Recorder obs.Recorder
 }
 
 // Smoke is the tiny preset used by the go test benchmarks.
@@ -62,7 +67,8 @@ func ParseScale(s string) (Scale, error) {
 }
 
 func (s Scale) searchOpts(seed int64) search.Options {
-	return search.Options{MaxNodes: s.SearchNodes, Timeout: s.SearchTimeout, Seed: seed, Ctx: s.Ctx}
+	return search.Options{MaxNodes: s.SearchNodes, Timeout: s.SearchTimeout, Seed: seed, Ctx: s.Ctx,
+		Recorder: s.Recorder}
 }
 
 func (s Scale) gaConfig(seed int64) ga.Config {
@@ -76,6 +82,7 @@ func (s Scale) gaConfig(seed int64) ga.Config {
 		Mutation:       ga.ISM,
 		Seed:           seed,
 		Ctx:            s.Ctx,
+		Recorder:       s.Recorder,
 	}
 }
 
@@ -394,6 +401,7 @@ func RunTable72(s Scale) *Table {
 				EpochLength:    10,
 				Seed:           int64(20 + r),
 				Ctx:            s.Ctx,
+				Recorder:       s.Recorder,
 			}
 			res := ga.SAIGAGHW(h, cfg)
 			sum += res.BestWidth

@@ -207,6 +207,17 @@ func (b *B) Elapsed() time.Duration {
 	return time.Since(b.start)
 }
 
+// StartTime returns the instant the budget's clock started. Instrumentation
+// emitters with their own clocks (the cover engine's sampled snapshots) pin
+// themselves to it so every event in a trace shares one time base; a nil
+// budget starts now.
+func (b *B) StartTime() time.Time {
+	if b == nil {
+		return time.Now()
+	}
+	return b.start
+}
+
 // PanicError is the typed error a contained panic converts into: the
 // recovered value plus the stack of the panicking goroutine, so one bad
 // instance in a batch run surfaces as a diagnosable error instead of

@@ -344,9 +344,7 @@ func decompose(h *hypergraph.Hypergraph, opts Options, b *budget.B) (*Decomposit
 func coreInstrument(opts Options, b *budget.B, label string, h *hypergraph.Hypergraph) (*obs.RunStats, obs.Recorder) {
 	stats := obs.NewRunStats()
 	rec := obs.Tee(stats, opts.Recorder)
-	b.OnCheckpoint(func(nodes int64, elapsed time.Duration) {
-		rec.Record(obs.Event{Kind: obs.KindCheckpoint, T: elapsed, Nodes: nodes})
-	})
+	b.OnCheckpoint(obs.Checkpointer(rec))
 	rec.Record(obs.Event{Kind: obs.KindStart, T: b.Elapsed(), Algo: label, N: h.N(), M: h.M()})
 	return stats, rec
 }

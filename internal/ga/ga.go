@@ -2,6 +2,7 @@ package ga
 
 import (
 	"context"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -253,9 +254,7 @@ func runGA(n int, evs []Evaluator, cfg Config) Result {
 	}
 	stats := obs.NewRunStats()
 	rec := obs.Tee(stats, cfg.Recorder)
-	b.OnCheckpoint(func(nodes int64, elapsed time.Duration) {
-		rec.Record(obs.Event{Kind: obs.KindCheckpoint, T: elapsed, Nodes: nodes})
-	})
+	b.OnCheckpoint(obs.Checkpointer(rec))
 	rec.Record(obs.Event{Kind: obs.KindStart, T: b.Elapsed(), Algo: label, N: n})
 
 	pop := make([][]int, cfg.PopulationSize)
@@ -322,14 +321,11 @@ func runGA(n int, evs []Evaluator, cfg Config) Result {
 		evals += evalPop(pop, fit, ok, 0, evs, b)
 		complete := true
 		prevBest := bestFit
-		scored, widthSum := 0, 0
 		for i := range pop {
 			if !ok[i] {
 				complete = false
 				continue
 			}
-			scored++
-			widthSum += fit[i]
 			if fit[i] < bestFit {
 				best, bestFit = pop[i], fit[i]
 			}
@@ -338,12 +334,10 @@ func runGA(n int, evs []Evaluator, cfg Config) Result {
 			rec.Record(obs.Event{Kind: obs.KindImprove, T: b.Elapsed(),
 				Width: bestFit, Evaluations: evals, Generation: gen + 1})
 		}
-		mean := 0.0
-		if scored > 0 {
-			mean = float64(widthSum) / float64(scored)
-		}
+		mean, std, distinct, _ := diversity(fit, ok)
 		rec.Record(obs.Event{Kind: obs.KindGeneration, T: b.Elapsed(), Generation: gen + 1,
-			Width: bestFit, MeanWidth: mean, Evaluations: evals})
+			Width: bestFit, MeanWidth: mean, WidthStd: std, DistinctWidths: distinct,
+			Evaluations: evals})
 		history = append(history, bestFit)
 		if !complete {
 			break
@@ -408,6 +402,35 @@ func GHW(h *hypergraph.Hypergraph, cfg Config) Result {
 		cfg.Recorder.Record(ev)
 	}
 	return res
+}
+
+// diversity summarizes the scored widths of one generation — mean, standard
+// deviation and the number of distinct values — the population-diversity
+// fields of generation events. A collapsed population (every individual the
+// same ordering cost) has std near 0 and distinct 1; that is the GA plateau
+// signature the trace analytics look for. A nil ok treats every index as
+// scored.
+func diversity(fit []int, ok []bool) (mean, std float64, distinct, scored int) {
+	var sum, sumSq float64
+	seen := make(map[int]struct{}, 8)
+	for i, f := range fit {
+		if ok != nil && !ok[i] {
+			continue
+		}
+		scored++
+		x := float64(f)
+		sum += x
+		sumSq += x * x
+		seen[f] = struct{}{}
+	}
+	if scored == 0 {
+		return 0, 0, 0, 0
+	}
+	mean = sum / float64(scored)
+	if v := sumSq/float64(scored) - mean*mean; v > 0 {
+		std = math.Sqrt(v)
+	}
+	return mean, std, len(seen), scored
 }
 
 // tournament picks s random individuals and returns the fittest.

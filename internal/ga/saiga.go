@@ -213,9 +213,7 @@ func SAIGA(n int, newEval func(island int) Evaluator, cfg SAIGAConfig) SAIGAResu
 	}
 	stats := obs.NewRunStats()
 	rec := obs.Tee(stats, cfg.Recorder)
-	b.OnCheckpoint(func(nodes int64, elapsed time.Duration) {
-		rec.Record(obs.Event{Kind: obs.KindCheckpoint, T: elapsed, Nodes: nodes})
-	})
+	b.OnCheckpoint(obs.Checkpointer(rec))
 	rec.Record(obs.Event{Kind: obs.KindStart, T: b.Elapsed(), Algo: label, N: n})
 
 	isles := make([]*island, cfg.Islands)
@@ -305,17 +303,11 @@ func SAIGA(n int, newEval func(island int) Evaluator, cfg SAIGAConfig) SAIGAResu
 			improve(globalF, epoch+1)
 		}
 		for i, isl := range isles {
-			mean := 0.0
-			if len(isl.fit) > 0 {
-				sum := 0
-				for _, f := range isl.fit {
-					sum += f
-				}
-				mean = float64(sum) / float64(len(isl.fit))
-			}
+			mean, std, distinct, _ := diversity(isl.fit, nil)
 			rec.Record(obs.Event{Kind: obs.KindGeneration, T: b.Elapsed(),
 				Generation: epoch + 1, Island: i + 1, Width: isl.bestF,
-				MeanWidth: mean, Evaluations: isl.evals})
+				MeanWidth: mean, WidthStd: std, DistinctWidths: distinct,
+				Evaluations: isl.evals})
 		}
 		if b.Stopped() {
 			// An island cut mid-generation leaves fit scoring the previous

@@ -1,0 +1,329 @@
+// Package analyze is the consumption layer over the obs trace format: it
+// loads JSONL traces back into typed run models and computes the derived
+// diagnostics the emit side cannot — anytime-width profiles, time to first
+// and best solution, checkpoint cadence, stall detection, and cross-run
+// regression deltas. cmd/tracestat is its CLI.
+//
+// The split mirrors the thesis's empirical methodology: algorithms are
+// compared by trajectories (best width over time), not only endpoints, and a
+// run that stops improving long before its budget expires is a different
+// finding from one still making progress when cut off.
+package analyze
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"hypertree/internal/obs"
+)
+
+// Run is one algorithm run reconstructed from a trace: the events from an
+// algo_start up to (but excluding) the next algo_start. Post-processing
+// events emitted after the run's algo_stop (tree verification improvements,
+// final cover-cache snapshots) belong to the run that produced them.
+type Run struct {
+	// Algo is the run label from algo_start ("" for events preceding the
+	// first start marker).
+	Algo string
+	// N and M are the instance size from algo_start.
+	N, M int
+	// Events is the run's event stream in file order.
+	Events []obs.Event
+}
+
+// Trace is a loaded JSONL trace.
+type Trace struct {
+	Runs []*Run
+	// Unknown counts events whose kind is outside this build's taxonomy;
+	// they are kept in their run's Events (the format is forward-compatible)
+	// but excluded from profile aggregation.
+	Unknown int
+}
+
+// Load parses a JSONL event stream into runs. Unlike obs.ValidateTrace it
+// does not enforce schema invariants — feed it through the validator first
+// when provenance is doubtful — but it still rejects non-JSON lines.
+func Load(r io.Reader) (*Trace, error) {
+	tr := &Trace{}
+	var cur *Run
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var e obs.Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("analyze: trace line %d is not a JSON event: %w", line, err)
+		}
+		if !obs.ValidKind(e.Kind) {
+			tr.Unknown++
+		}
+		if e.Kind == obs.KindStart || cur == nil {
+			cur = &Run{Algo: e.Algo, N: e.N, M: e.M}
+			tr.Runs = append(tr.Runs, cur)
+		}
+		cur.Events = append(cur.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("analyze: reading trace: %w", err)
+	}
+	if len(tr.Runs) == 0 {
+		return nil, fmt.Errorf("analyze: trace is empty")
+	}
+	return tr, nil
+}
+
+// LoadFile is Load over a file path.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// StallOptions tunes the stall detector.
+type StallOptions struct {
+	// MinGap is the smallest progress gap worth calling a stall; gaps below
+	// it are normal event cadence, not pathology. Default 50ms.
+	MinGap time.Duration
+	// Fraction is the share of the run's elapsed time the longest gap must
+	// cover to count as a stall: a 60ms silence in a 50ms run is the whole
+	// run, in a 10s run it is noise. Default 0.5.
+	Fraction float64
+}
+
+// DefaultStallOptions returns the thresholds used when a zero StallOptions
+// is passed.
+func DefaultStallOptions() StallOptions {
+	return StallOptions{MinGap: 50 * time.Millisecond, Fraction: 0.5}
+}
+
+func (o StallOptions) withDefaults() StallOptions {
+	d := DefaultStallOptions()
+	if o.MinGap <= 0 {
+		o.MinGap = d.MinGap
+	}
+	if o.Fraction <= 0 {
+		o.Fraction = d.Fraction
+	}
+	return o
+}
+
+// Profile is the derived per-run report.
+type Profile struct {
+	Algo   string `json:"algo"`
+	N      int    `json:"n,omitempty"`
+	M      int    `json:"m,omitempty"`
+	Events int    `json:"events"`
+	// ByKind is the per-kind event census.
+	ByKind map[obs.Kind]int `json:"by_kind"`
+
+	// Terminal state, from the run's algo_stop (zero values when the trace
+	// was cut before the stop event landed).
+	FinalWidth      int           `json:"final_width"`
+	FinalLowerBound int           `json:"final_lower_bound,omitempty"`
+	Exact           bool          `json:"exact"`
+	Stop            string        `json:"stop,omitempty"`
+	Stopped         bool          `json:"stopped"` // an algo_stop event was seen
+	Elapsed         time.Duration `json:"elapsed_ns"`
+
+	// Anytime profile.
+	Timeline    []obs.WidthPoint `json:"timeline,omitempty"`
+	LowerBounds []obs.WidthPoint `json:"lower_bounds,omitempty"`
+	// TimeToFirst and TimeToBest are the timestamps of the first improve
+	// event and of the improve that reached the final best width.
+	TimeToFirst time.Duration `json:"time_to_first_ns,omitempty"`
+	TimeToBest  time.Duration `json:"time_to_best_ns,omitempty"`
+
+	// Effort counters (maxima over checkpoint/stop events).
+	Nodes       int64 `json:"nodes,omitempty"`
+	Evaluations int64 `json:"evaluations,omitempty"`
+	Generations int   `json:"generations,omitempty"`
+
+	// Checkpoint cadence: number of checkpoints and the mean/max gap between
+	// consecutive ones. A healthy run checkpoints steadily; a widening max
+	// gap means work units got expensive (or the run hung).
+	Checkpoints       int           `json:"checkpoints"`
+	MeanCheckpointGap time.Duration `json:"mean_checkpoint_gap_ns,omitempty"`
+	MaxCheckpointGap  time.Duration `json:"max_checkpoint_gap_ns,omitempty"`
+
+	// Stall detection: the longest interval without an improve or
+	// lower_bound event (measured from run start, between progress events,
+	// and from the last progress to the run's end), where that silence began,
+	// and the verdict under the profile's StallOptions.
+	LongestProgressGap time.Duration `json:"longest_progress_gap_ns"`
+	GapStart           time.Duration `json:"gap_start_ns"`
+	StallDetected      bool          `json:"stall_detected"`
+
+	// Resource telemetry (from mem_sample events; zero when sampling never
+	// triggered).
+	MemSamples   int    `json:"mem_samples,omitempty"`
+	MaxHeapAlloc uint64 `json:"max_heap_alloc,omitempty"`
+	MaxHeapSys   uint64 `json:"max_heap_sys,omitempty"`
+	NumGC        uint32 `json:"num_gc,omitempty"`
+
+	// Search-shape and diversity gauges, as aggregated by obs.RunStats.
+	MaxOpen        int     `json:"max_open,omitempty"`
+	MaxClosed      int     `json:"max_closed,omitempty"`
+	MaxDepth       int     `json:"max_depth,omitempty"`
+	Backtracks     int64   `json:"backtracks,omitempty"`
+	WidthStd       float64 `json:"width_std,omitempty"`
+	DistinctWidths int     `json:"distinct_widths,omitempty"`
+
+	// Cover-cache totals from the last cover_cache snapshot.
+	CacheHits   int64 `json:"cache_hits,omitempty"`
+	CacheMisses int64 `json:"cache_misses,omitempty"`
+}
+
+// CacheHitRate is hits/(hits+misses), or -1 when the run had no cover
+// queries (so "no cache" and "0% hit rate" stay distinguishable).
+func (p *Profile) CacheHitRate() float64 {
+	total := p.CacheHits + p.CacheMisses
+	if total == 0 {
+		return -1
+	}
+	return float64(p.CacheHits) / float64(total)
+}
+
+// ProfileRun derives a Profile from one run. opt fields at their zero values
+// take the defaults from DefaultStallOptions.
+func ProfileRun(r *Run, opt StallOptions) *Profile {
+	opt = opt.withDefaults()
+	p := &Profile{
+		Algo: r.Algo, N: r.N, M: r.M,
+		Events: len(r.Events),
+		ByKind: map[obs.Kind]int{},
+	}
+	// end is the run's horizon: the stop event's timestamp, or the latest
+	// timestamp seen when the trace was cut short.
+	var end time.Duration
+	var lastProgress time.Duration
+	var lastCheckpoint time.Duration
+	var checkpointGapSum time.Duration
+	observeGap := func(from, to time.Duration) {
+		if gap := to - from; gap > p.LongestProgressGap {
+			p.LongestProgressGap = gap
+			p.GapStart = from
+		}
+	}
+	for _, e := range r.Events {
+		p.ByKind[e.Kind]++
+		if e.T > end {
+			end = e.T
+		}
+		switch e.Kind {
+		case obs.KindImprove:
+			p.Timeline = append(p.Timeline, obs.WidthPoint{
+				T: e.T, Width: e.Width, Nodes: e.Nodes,
+				Evaluations: e.Evaluations, Generation: e.Generation,
+			})
+			observeGap(lastProgress, e.T)
+			lastProgress = e.T
+		case obs.KindLowerBound:
+			p.LowerBounds = append(p.LowerBounds, obs.WidthPoint{T: e.T, Width: e.LowerBound, Nodes: e.Nodes})
+			observeGap(lastProgress, e.T)
+			lastProgress = e.T
+		case obs.KindCheckpoint:
+			if p.Checkpoints > 0 {
+				gap := e.T - lastCheckpoint
+				checkpointGapSum += gap
+				if gap > p.MaxCheckpointGap {
+					p.MaxCheckpointGap = gap
+				}
+			}
+			lastCheckpoint = e.T
+			p.Checkpoints++
+			maxi64(&p.Nodes, e.Nodes)
+			maxi(&p.MaxOpen, e.Open)
+			maxi(&p.MaxOpen, e.MaxOpen)
+			maxi(&p.MaxClosed, e.Closed)
+			maxi(&p.MaxDepth, e.Depth)
+			maxi64(&p.Backtracks, e.Backtracks)
+		case obs.KindMemSample:
+			p.MemSamples++
+			if e.HeapAlloc > p.MaxHeapAlloc {
+				p.MaxHeapAlloc = e.HeapAlloc
+			}
+			if e.HeapSys > p.MaxHeapSys {
+				p.MaxHeapSys = e.HeapSys
+			}
+			if e.NumGC > p.NumGC {
+				p.NumGC = e.NumGC
+			}
+		case obs.KindGeneration:
+			maxi(&p.Generations, e.Generation)
+			maxi64(&p.Evaluations, e.Evaluations)
+			if e.Island == 0 || e.Generation >= p.Generations {
+				p.WidthStd, p.DistinctWidths = e.WidthStd, e.DistinctWidths
+			}
+		case obs.KindCoverCache:
+			p.CacheHits, p.CacheMisses = e.CacheHits, e.CacheMisses
+		case obs.KindStop:
+			p.Stopped = true
+			p.FinalWidth, p.FinalLowerBound = e.Width, e.LowerBound
+			p.Exact, p.Stop, p.Elapsed = e.Exact, e.Stop, e.T
+			maxi64(&p.Nodes, e.Nodes)
+			maxi64(&p.Evaluations, e.Evaluations)
+			maxi(&p.MaxOpen, e.MaxOpen)
+			maxi64(&p.Backtracks, e.Backtracks)
+		}
+	}
+	if p.Elapsed == 0 {
+		p.Elapsed = end
+	}
+	if p.Checkpoints > 1 {
+		p.MeanCheckpointGap = checkpointGapSum / time.Duration(p.Checkpoints-1)
+	}
+	if n := len(p.Timeline); n > 0 {
+		p.TimeToFirst = p.Timeline[0].T
+		best := p.Timeline[n-1]
+		// Time to best is the FIRST moment the final width was reached.
+		p.TimeToBest = best.T
+		for i := n - 1; i >= 0 && p.Timeline[i].Width == best.Width; i-- {
+			p.TimeToBest = p.Timeline[i].T
+		}
+		if !p.Stopped {
+			p.FinalWidth = best.Width
+		}
+	}
+	observeGap(lastProgress, p.Elapsed) // tail silence: last progress to end
+	p.StallDetected = p.LongestProgressGap >= opt.MinGap &&
+		float64(p.LongestProgressGap) >= opt.Fraction*float64(p.Elapsed)
+	return p
+}
+
+// Profiles derives one Profile per run of a trace.
+func Profiles(t *Trace, opt StallOptions) []*Profile {
+	out := make([]*Profile, len(t.Runs))
+	for i, r := range t.Runs {
+		out[i] = ProfileRun(r, opt)
+	}
+	return out
+}
+
+func maxi(dst *int, v int) {
+	if v > *dst {
+		*dst = v
+	}
+}
+
+func maxi64(dst *int64, v int64) {
+	if v > *dst {
+		*dst = v
+	}
+}

@@ -1,0 +1,231 @@
+package analyze
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"hypertree/internal/obs"
+)
+
+func lines(ls ...string) string { return strings.Join(ls, "\n") + "\n" }
+
+func mustLoad(t *testing.T, trace string) *Trace {
+	t.Helper()
+	tr, err := Load(strings.NewReader(trace))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return tr
+}
+
+func TestLoadSplitsRuns(t *testing.T) {
+	tr := mustLoad(t, lines(
+		`{"kind":"algo_start","t_ns":0,"algo":"bb-ghw","n":9,"m":12}`,
+		`{"kind":"improve","t_ns":1000,"width":4}`,
+		`{"kind":"algo_stop","t_ns":2000,"algo":"bb-ghw","width":4}`,
+		`{"kind":"cover_cache","t_ns":2100,"cache_hits":10,"cache_misses":5}`, // post-stop: stays with run 1
+		`{"kind":"algo_start","t_ns":0,"algo":"ga-ghw","n":9,"m":12}`,
+		`{"kind":"algo_stop","t_ns":500,"algo":"ga-ghw","width":5}`,
+	))
+	if len(tr.Runs) != 2 {
+		t.Fatalf("want 2 runs, got %d", len(tr.Runs))
+	}
+	if tr.Runs[0].Algo != "bb-ghw" || tr.Runs[0].N != 9 || len(tr.Runs[0].Events) != 4 {
+		t.Fatalf("run 0 wrong: %q n=%d events=%d", tr.Runs[0].Algo, tr.Runs[0].N, len(tr.Runs[0].Events))
+	}
+	if tr.Runs[1].Algo != "ga-ghw" || len(tr.Runs[1].Events) != 2 {
+		t.Fatalf("run 1 wrong: %+v", tr.Runs[1])
+	}
+	p := ProfileRun(tr.Runs[0], StallOptions{})
+	if p.CacheHits != 10 || p.CacheMisses != 5 {
+		t.Fatalf("post-stop cache snapshot lost: %+v", p)
+	}
+	if got := p.CacheHitRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("hit rate wrong: %v", got)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader("")); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestLoadCountsUnknownKinds(t *testing.T) {
+	tr := mustLoad(t, lines(
+		`{"kind":"algo_start","t_ns":0,"algo":"x"}`,
+		`{"kind":"from_the_future","t_ns":10}`,
+		`{"kind":"algo_stop","t_ns":20,"algo":"x","width":3}`,
+	))
+	if tr.Unknown != 1 {
+		t.Fatalf("unknown count wrong: %d", tr.Unknown)
+	}
+	// Unknown kinds are carried but not aggregated.
+	p := ProfileRun(tr.Runs[0], StallOptions{})
+	if p.Events != 3 || p.FinalWidth != 3 {
+		t.Fatalf("profile over unknown kinds wrong: %+v", p)
+	}
+}
+
+func TestProfileRunDerivations(t *testing.T) {
+	ms := time.Millisecond
+	tr := mustLoad(t, lines(
+		`{"kind":"algo_start","t_ns":0,"algo":"astar-ghw","n":16,"m":24}`,
+		`{"kind":"improve","t_ns":1000000,"width":6,"nodes":10}`,
+		`{"kind":"checkpoint","t_ns":2000000,"nodes":256,"open":40,"depth":3}`,
+		`{"kind":"improve","t_ns":3000000,"width":4,"nodes":300}`,
+		`{"kind":"improve","t_ns":5000000,"width":4,"nodes":500}`, // same width: best was first reached at 3ms
+		`{"kind":"checkpoint","t_ns":6000000,"nodes":512,"open":80,"max_open":90,"closed":70,"depth":5,"backtracks":12}`,
+		`{"kind":"mem_sample","t_ns":6000000,"heap_alloc":1048576,"heap_sys":4194304,"num_gc":2}`,
+		`{"kind":"lower_bound","t_ns":7000000,"lower_bound":3}`,
+		`{"kind":"algo_stop","t_ns":10000000,"algo":"astar-ghw","width":4,"lower_bound":3,"nodes":900,"stop":"deadline"}`,
+	))
+	p := ProfileRun(tr.Runs[0], StallOptions{MinGap: time.Hour}) // stall detector off
+	if p.FinalWidth != 4 || p.FinalLowerBound != 3 || p.Stop != "deadline" || !p.Stopped {
+		t.Fatalf("terminal state wrong: %+v", p)
+	}
+	if p.Elapsed != 10*ms {
+		t.Fatalf("elapsed wrong: %v", p.Elapsed)
+	}
+	if p.TimeToFirst != 1*ms || p.TimeToBest != 3*ms {
+		t.Fatalf("time-to-solution wrong: first=%v best=%v", p.TimeToFirst, p.TimeToBest)
+	}
+	if len(p.Timeline) != 3 || len(p.LowerBounds) != 1 {
+		t.Fatalf("timelines wrong: %d improves, %d lbs", len(p.Timeline), len(p.LowerBounds))
+	}
+	if p.Checkpoints != 2 || p.MeanCheckpointGap != 4*ms || p.MaxCheckpointGap != 4*ms {
+		t.Fatalf("cadence wrong: n=%d mean=%v max=%v", p.Checkpoints, p.MeanCheckpointGap, p.MaxCheckpointGap)
+	}
+	if p.Nodes != 900 {
+		t.Fatalf("nodes wrong: %d", p.Nodes)
+	}
+	if p.MaxOpen != 90 || p.MaxClosed != 70 || p.MaxDepth != 5 || p.Backtracks != 12 {
+		t.Fatalf("shape gauges wrong: %+v", p)
+	}
+	if p.MemSamples != 1 || p.MaxHeapAlloc != 1<<20 || p.NumGC != 2 {
+		t.Fatalf("memory telemetry wrong: %+v", p)
+	}
+	if p.ByKind[obs.KindImprove] != 3 || p.ByKind[obs.KindCheckpoint] != 2 {
+		t.Fatalf("census wrong: %v", p.ByKind)
+	}
+	// Longest progress gap: last lower_bound at 7ms to stop at 10ms is 3ms,
+	// but improve 3ms -> 5ms is only 2ms; the head gap 0 -> 1ms is 1ms.
+	if p.LongestProgressGap != 3*ms || p.GapStart != 7*ms {
+		t.Fatalf("progress gap wrong: %v at %v", p.LongestProgressGap, p.GapStart)
+	}
+}
+
+func TestStallDetection(t *testing.T) {
+	// A run that finds everything in the first millisecond and then grinds
+	// silently for 500ms is stalled...
+	stalled := mustLoad(t, lines(
+		`{"kind":"algo_start","t_ns":0,"algo":"bb-ghw"}`,
+		`{"kind":"improve","t_ns":1000000,"width":5}`,
+		`{"kind":"algo_stop","t_ns":500000000,"algo":"bb-ghw","width":5,"stop":"deadline"}`,
+	))
+	p := ProfileRun(stalled.Runs[0], StallOptions{})
+	if !p.StallDetected {
+		t.Fatalf("stall not detected: gap=%v elapsed=%v", p.LongestProgressGap, p.Elapsed)
+	}
+	// ...while one improving steadily to the end is not, even though it runs
+	// just as long.
+	healthy := mustLoad(t, lines(
+		`{"kind":"algo_start","t_ns":0,"algo":"bb-ghw"}`,
+		`{"kind":"improve","t_ns":100000000,"width":7}`,
+		`{"kind":"improve","t_ns":250000000,"width":6}`,
+		`{"kind":"improve","t_ns":400000000,"width":5}`,
+		`{"kind":"algo_stop","t_ns":500000000,"algo":"bb-ghw","width":5,"stop":"deadline"}`,
+	))
+	if p := ProfileRun(healthy.Runs[0], StallOptions{}); p.StallDetected {
+		t.Fatalf("healthy run flagged as stalled: gap=%v elapsed=%v", p.LongestProgressGap, p.Elapsed)
+	}
+	// A short run's total silence is not a stall: the MinGap floor filters
+	// sub-threshold runs out.
+	short := mustLoad(t, lines(
+		`{"kind":"algo_start","t_ns":0,"algo":"bb-ghw"}`,
+		`{"kind":"improve","t_ns":1000,"width":5}`,
+		`{"kind":"algo_stop","t_ns":2000000,"algo":"bb-ghw","width":5}`,
+	))
+	if p := ProfileRun(short.Runs[0], StallOptions{}); p.StallDetected {
+		t.Fatal("2ms run flagged as stalled")
+	}
+}
+
+func traceFor(algo string, width int, elapsed time.Duration) string {
+	return lines(
+		`{"kind":"algo_start","t_ns":0,"algo":"`+algo+`"}`,
+		`{"kind":"improve","t_ns":1000000,"width":`+itoa(width)+`}`,
+		`{"kind":"algo_stop","t_ns":`+itoa64(int64(elapsed))+`,"algo":"`+algo+`","width":`+itoa(width)+`}`,
+	)
+}
+
+func itoa(v int) string     { return strconv.Itoa(v) }
+func itoa64(v int64) string { return strconv.FormatInt(v, 10) }
+
+func TestCompareWidthRegression(t *testing.T) {
+	oldT := mustLoad(t, traceFor("bb-ghw", 4, 200*time.Millisecond))
+	newT := mustLoad(t, traceFor("bb-ghw", 5, 200*time.Millisecond))
+	c := Compare(oldT, newT, CompareOptions{})
+	if !c.Regressed() || len(c.Deltas) != 1 {
+		t.Fatalf("width regression missed: %+v", c)
+	}
+	if d := c.Deltas[0]; d.OldWidth != 4 || d.NewWidth != 5 || len(d.Reasons) == 0 {
+		t.Fatalf("delta wrong: %+v", d)
+	}
+}
+
+func TestCompareTimeRegression(t *testing.T) {
+	oldT := mustLoad(t, traceFor("bb-ghw", 4, 200*time.Millisecond))
+	slow := mustLoad(t, traceFor("bb-ghw", 4, 800*time.Millisecond))
+	if c := Compare(oldT, slow, CompareOptions{}); !c.Regressed() {
+		t.Fatalf("4x slowdown not flagged: %+v", c.Deltas[0])
+	}
+	// Within the threshold: not a regression.
+	okT := mustLoad(t, traceFor("bb-ghw", 4, 250*time.Millisecond))
+	if c := Compare(oldT, okT, CompareOptions{}); c.Regressed() {
+		t.Fatalf("25%% slowdown flagged at default 50%% threshold: %+v", c.Deltas[0])
+	}
+	// Below the noise floor: a large ratio on microsecond runs is jitter.
+	tiny := mustLoad(t, traceFor("bb-ghw", 4, 2*time.Millisecond))
+	tinySlow := mustLoad(t, traceFor("bb-ghw", 4, 9*time.Millisecond))
+	if c := Compare(tiny, tinySlow, CompareOptions{}); c.Regressed() {
+		t.Fatalf("sub-noise-floor slowdown flagged: %+v", c.Deltas[0])
+	}
+}
+
+func TestCompareImprovementAndUnmatched(t *testing.T) {
+	oldT := mustLoad(t, traceFor("bb-ghw", 5, 200*time.Millisecond))
+	better := mustLoad(t, traceFor("bb-ghw", 4, 100*time.Millisecond)+traceFor("ga-ghw", 6, 50*time.Millisecond))
+	c := Compare(oldT, better, CompareOptions{})
+	if c.Regressed() {
+		t.Fatalf("improvement flagged as regression: %+v", c.Deltas[0])
+	}
+	if len(c.Deltas[0].Notes) == 0 {
+		t.Fatalf("width improvement not noted: %+v", c.Deltas[0])
+	}
+	if len(c.NewOnly) != 1 || c.NewOnly[0] != "ga-ghw" {
+		t.Fatalf("unmatched run not listed: %+v", c)
+	}
+}
+
+func TestCompareExactnessLoss(t *testing.T) {
+	exact := mustLoad(t, lines(
+		`{"kind":"algo_start","t_ns":0,"algo":"bb-ghw"}`,
+		`{"kind":"algo_stop","t_ns":200000000,"algo":"bb-ghw","width":4,"exact":true}`,
+	))
+	inexact := mustLoad(t, lines(
+		`{"kind":"algo_start","t_ns":0,"algo":"bb-ghw"}`,
+		`{"kind":"algo_stop","t_ns":200000000,"algo":"bb-ghw","width":4,"stop":"deadline"}`,
+	))
+	if c := Compare(exact, inexact, CompareOptions{}); !c.Regressed() {
+		t.Fatal("exactness loss not flagged")
+	}
+	if c := Compare(inexact, exact, CompareOptions{}); c.Regressed() {
+		t.Fatal("gaining exactness flagged as regression")
+	}
+}

@@ -1,0 +1,196 @@
+package analyze
+
+import (
+	"fmt"
+	"time"
+)
+
+// CompareOptions tunes the cross-run diff's noise tolerance.
+type CompareOptions struct {
+	// TimeThreshold is the relative slowdown tolerated before a run counts
+	// as a time regression: new > old*(1+TimeThreshold). Default 0.5 — trace
+	// timings carry scheduler noise, so the gate is deliberately loose.
+	TimeThreshold float64
+	// MinElapsed is the noise floor: runs where both sides finish under it
+	// are never time regressions (a 2ms-vs-5ms flip is measurement jitter).
+	// Default 50ms.
+	MinElapsed time.Duration
+	// CacheDropThreshold is the absolute cover-cache hit-rate drop (0..1)
+	// tolerated before it is noted. Default 0.1. Cache drift is reported as
+	// a note, never as a regression by itself.
+	CacheDropThreshold float64
+	// Stall tunes the per-run stall detector feeding the delta's notes.
+	Stall StallOptions
+}
+
+// DefaultCompareOptions returns the thresholds used for zero fields.
+func DefaultCompareOptions() CompareOptions {
+	return CompareOptions{
+		TimeThreshold:      0.5,
+		MinElapsed:         50 * time.Millisecond,
+		CacheDropThreshold: 0.1,
+	}
+}
+
+func (o CompareOptions) withDefaults() CompareOptions {
+	d := DefaultCompareOptions()
+	if o.TimeThreshold <= 0 {
+		o.TimeThreshold = d.TimeThreshold
+	}
+	if o.MinElapsed <= 0 {
+		o.MinElapsed = d.MinElapsed
+	}
+	if o.CacheDropThreshold <= 0 {
+		o.CacheDropThreshold = d.CacheDropThreshold
+	}
+	return o
+}
+
+// Delta is the diff between the same run in two traces of one instance.
+type Delta struct {
+	Algo string `json:"algo"`
+
+	OldWidth int `json:"old_width"`
+	NewWidth int `json:"new_width"`
+
+	OldExact bool `json:"old_exact"`
+	NewExact bool `json:"new_exact"`
+
+	OldElapsed time.Duration `json:"old_elapsed_ns"`
+	NewElapsed time.Duration `json:"new_elapsed_ns"`
+	// TimeRatio is new/old elapsed (0 when old is 0).
+	TimeRatio float64 `json:"time_ratio"`
+
+	OldTimeToBest time.Duration `json:"old_time_to_best_ns,omitempty"`
+	NewTimeToBest time.Duration `json:"new_time_to_best_ns,omitempty"`
+
+	// Cache hit rates, -1 when the side ran no cover queries.
+	OldHitRate float64 `json:"old_hit_rate"`
+	NewHitRate float64 `json:"new_hit_rate"`
+
+	// Regressed marks a quality or performance loss beyond the options'
+	// tolerance; Reasons says which gates tripped. Notes carry observations
+	// (cache drift, stall flags, exactness changes) that inform but do not
+	// gate.
+	Regressed bool     `json:"regressed"`
+	Reasons   []string `json:"reasons,omitempty"`
+	Notes     []string `json:"notes,omitempty"`
+}
+
+// Comparison is the full cross-trace diff.
+type Comparison struct {
+	Deltas []*Delta `json:"deltas"`
+	// OldOnly and NewOnly list run labels present in only one trace.
+	OldOnly []string `json:"old_only,omitempty"`
+	NewOnly []string `json:"new_only,omitempty"`
+}
+
+// Regressed reports whether any matched run regressed.
+func (c *Comparison) Regressed() bool {
+	for _, d := range c.Deltas {
+		if d.Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+// Compare diffs two traces of the same instance run by run. Runs are matched
+// by algorithm label in order of occurrence (the i-th "bb-ghw" run of one
+// trace against the i-th of the other); unmatched runs are listed, not
+// diffed. A width increase always regresses; a slowdown regresses only past
+// the options' relative threshold and above the noise floor.
+func Compare(oldT, newT *Trace, opt CompareOptions) *Comparison {
+	opt = opt.withDefaults()
+	oldByAlgo := groupRuns(oldT)
+	newByAlgo := groupRuns(newT)
+	c := &Comparison{}
+	// Iterate old trace in file order for stable output.
+	seen := map[string]bool{}
+	for _, r := range oldT.Runs {
+		if seen[r.Algo] {
+			continue
+		}
+		seen[r.Algo] = true
+		olds, news := oldByAlgo[r.Algo], newByAlgo[r.Algo]
+		n := len(olds)
+		if len(news) < n {
+			n = len(news)
+		}
+		for i := 0; i < n; i++ {
+			c.Deltas = append(c.Deltas, diffRuns(olds[i], news[i], opt))
+		}
+		for i := n; i < len(olds); i++ {
+			c.OldOnly = append(c.OldOnly, olds[i].Algo)
+		}
+		for i := n; i < len(news); i++ {
+			c.NewOnly = append(c.NewOnly, news[i].Algo)
+		}
+	}
+	for _, r := range newT.Runs {
+		if !seen[r.Algo] {
+			seen[r.Algo] = true
+			for range newByAlgo[r.Algo] {
+				c.NewOnly = append(c.NewOnly, r.Algo)
+			}
+		}
+	}
+	return c
+}
+
+func groupRuns(t *Trace) map[string][]*Run {
+	m := map[string][]*Run{}
+	for _, r := range t.Runs {
+		m[r.Algo] = append(m[r.Algo], r)
+	}
+	return m
+}
+
+func diffRuns(oldR, newR *Run, opt CompareOptions) *Delta {
+	op := ProfileRun(oldR, opt.Stall)
+	np := ProfileRun(newR, opt.Stall)
+	d := &Delta{
+		Algo:          op.Algo,
+		OldWidth:      op.FinalWidth,
+		NewWidth:      np.FinalWidth,
+		OldExact:      op.Exact,
+		NewExact:      np.Exact,
+		OldElapsed:    op.Elapsed,
+		NewElapsed:    np.Elapsed,
+		OldTimeToBest: op.TimeToBest,
+		NewTimeToBest: np.TimeToBest,
+		OldHitRate:    op.CacheHitRate(),
+		NewHitRate:    np.CacheHitRate(),
+	}
+	if op.Elapsed > 0 {
+		d.TimeRatio = float64(np.Elapsed) / float64(op.Elapsed)
+	}
+	if np.FinalWidth > op.FinalWidth {
+		d.Regressed = true
+		d.Reasons = append(d.Reasons, fmt.Sprintf("width %d -> %d", op.FinalWidth, np.FinalWidth))
+	}
+	slow := np.Elapsed > time.Duration(float64(op.Elapsed)*(1+opt.TimeThreshold))
+	aboveFloor := np.Elapsed > opt.MinElapsed || op.Elapsed > opt.MinElapsed
+	if slow && aboveFloor {
+		d.Regressed = true
+		d.Reasons = append(d.Reasons, fmt.Sprintf("elapsed %v -> %v (%.2fx > %.2fx tolerance)",
+			op.Elapsed.Round(time.Millisecond), np.Elapsed.Round(time.Millisecond),
+			d.TimeRatio, 1+opt.TimeThreshold))
+	}
+	if op.Exact && !np.Exact {
+		d.Regressed = true
+		d.Reasons = append(d.Reasons, "exactness lost (old proved optimal, new did not)")
+	}
+	if d.OldHitRate >= 0 && d.NewHitRate >= 0 && d.OldHitRate-d.NewHitRate > opt.CacheDropThreshold {
+		d.Notes = append(d.Notes, fmt.Sprintf("cover-cache hit rate dropped %.1f%% -> %.1f%%",
+			100*d.OldHitRate, 100*d.NewHitRate))
+	}
+	if np.FinalWidth < op.FinalWidth {
+		d.Notes = append(d.Notes, fmt.Sprintf("width improved %d -> %d", op.FinalWidth, np.FinalWidth))
+	}
+	if !op.StallDetected && np.StallDetected {
+		d.Notes = append(d.Notes, fmt.Sprintf("new run stalls: %v without progress",
+			np.LongestProgressGap.Round(time.Millisecond)))
+	}
+	return d
+}

@@ -83,17 +83,39 @@ type TraceSummary struct {
 	Stops        int
 	Improvements int
 	Checkpoints  int
+	// Unknown counts events whose kind is outside the taxonomy. The default
+	// validation tolerates them (the schema is forward-compatible: a newer
+	// writer may emit kinds this build does not know); strict mode rejects
+	// them.
+	Unknown int
 	// Algos lists the distinct run labels seen, in first-seen order.
 	Algos []string
 }
 
 // ValidateTrace checks a JSONL trace against the schema: every line is a
-// JSON object with a known kind and non-negative t_ns; the file contains at
-// least one algo_start and one algo_stop; and within each run label the
-// improve events are non-increasing in width and non-decreasing in time.
-// Unknown fields are allowed (the schema is forward-compatible). It returns
-// a summary of what it saw.
+// JSON object with non-negative t_ns; the file contains at least one
+// algo_start and one algo_stop; and within each run label the improve events
+// are non-increasing in width and non-decreasing in time. Unknown fields are
+// allowed, and unknown event kinds are counted in the summary rather than
+// rejected (the schema is forward-compatible). It returns a summary of what
+// it saw.
 func ValidateTrace(r io.Reader) (*TraceSummary, error) {
+	return validateTrace(r, false)
+}
+
+// ValidateTraceStrict is ValidateTrace with two extra rejections for
+// CI-pinned traces: event kinds outside the taxonomy are errors, and t_ns
+// must be non-decreasing across each run (from one algo_start to the next).
+//
+// Strict ordering assumes a single-threaded writer. Concurrent emitters
+// (SAIGA islands, parallel GA workers) timestamp events before taking the
+// sink's lock, so adjacent lines can interleave a few microseconds out of
+// order; validate those traces with the default mode instead.
+func ValidateTraceStrict(r io.Reader) (*TraceSummary, error) {
+	return validateTrace(r, true)
+}
+
+func validateTrace(r io.Reader, strict bool) (*TraceSummary, error) {
 	sum := &TraceSummary{}
 	seenAlgo := map[string]bool{}
 	type runState struct {
@@ -103,6 +125,7 @@ func ValidateTrace(r io.Reader) (*TraceSummary, error) {
 	}
 	improve := map[string]*runState{} // by algo label ("" for unlabeled)
 	currentAlgo := ""
+	var lastT int64 // strict mode: high-water t_ns within the current run
 
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
@@ -123,10 +146,22 @@ func ValidateTrace(r io.Reader) (*TraceSummary, error) {
 			return nil, fmt.Errorf("obs: trace line %d is not a JSON event: %w", line, err)
 		}
 		if !ValidKind(e.Kind) {
-			return nil, fmt.Errorf("obs: trace line %d has unknown kind %q", line, e.Kind)
+			if strict {
+				return nil, fmt.Errorf("obs: trace line %d has unknown kind %q", line, e.Kind)
+			}
+			sum.Unknown++
 		}
 		if e.T < 0 {
 			return nil, fmt.Errorf("obs: trace line %d has negative t_ns %d", line, e.T)
+		}
+		if strict {
+			if e.Kind == KindStart {
+				lastT = 0 // a new run's clock restarts
+			}
+			if e.T < lastT {
+				return nil, fmt.Errorf("obs: trace line %d: t_ns decreased %d -> %d within a run", line, lastT, e.T)
+			}
+			lastT = e.T
 		}
 		sum.Events++
 		switch e.Kind {
@@ -188,4 +223,14 @@ func ValidateTraceFile(path string) (*TraceSummary, error) {
 	}
 	defer f.Close()
 	return ValidateTrace(f)
+}
+
+// ValidateTraceFileStrict is ValidateTraceStrict over a file path.
+func ValidateTraceFileStrict(path string) (*TraceSummary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ValidateTraceStrict(f)
 }

@@ -61,6 +61,11 @@ const (
 	// KindAttempt is one det-k-decomp width attempt: K is the width tried,
 	// Found whether a decomposition of that width exists.
 	KindAttempt Kind = "detk_attempt"
+	// KindMemSample is a sampled runtime.MemStats snapshot riding the budget
+	// checkpoint cadence (every MemSampler.every checkpoints): heap in use,
+	// heap reserved, live objects, GC cycles and total pause. These are what
+	// diagnose the memory blow-ups that kill det-k-style searches in practice.
+	KindMemSample Kind = "mem_sample"
 )
 
 // Event is one instrumentation record. Fields are kind-specific; unset
@@ -102,9 +107,31 @@ type Event struct {
 	K     int  `json:"k,omitempty"`
 	Found bool `json:"found,omitempty"`
 	// Open and MaxOpen are the A* open-list size at emission and its
-	// high-water mark.
+	// high-water mark; Closed is the duplicate-detection set size (dedup
+	// mode only). Emitted on checkpoint and algo_stop events.
 	Open    int `json:"open,omitempty"`
 	MaxOpen int `json:"max_open,omitempty"`
+	Closed  int `json:"closed,omitempty"`
+	// Depth and Backtracks are the BB search-shape gauges on checkpoint
+	// events: the current elimination-prefix depth and the cumulative count
+	// of exhausted subtrees.
+	Depth      int   `json:"depth,omitempty"`
+	Backtracks int64 `json:"backtracks,omitempty"`
+	// WidthStd and DistinctWidths are the population-diversity fields of
+	// generation events: the standard deviation of the scored widths and the
+	// number of distinct width values in the generation (a collapsed GA has
+	// WidthStd near 0 and DistinctWidths 1).
+	WidthStd       float64 `json:"width_std,omitempty"`
+	DistinctWidths int     `json:"distinct_widths,omitempty"`
+	// The mem_sample payload: heap bytes in use / reserved from the OS, live
+	// objects, completed GC cycles and cumulative GC pause, plus the process
+	// goroutine count.
+	HeapAlloc   uint64        `json:"heap_alloc,omitempty"`
+	HeapSys     uint64        `json:"heap_sys,omitempty"`
+	HeapObjects uint64        `json:"heap_objects,omitempty"`
+	NumGC       uint32        `json:"num_gc,omitempty"`
+	GCPause     time.Duration `json:"gc_pause_ns,omitempty"`
+	Goroutines  int           `json:"goroutines,omitempty"`
 	// Cache counters are cumulative cover-engine totals at emission time.
 	CacheHits      int64 `json:"cache_hits,omitempty"`
 	CacheMisses    int64 `json:"cache_misses,omitempty"`
@@ -117,7 +144,7 @@ type Event struct {
 // Kinds lists the full event taxonomy, for validation.
 var Kinds = []Kind{
 	KindStart, KindStop, KindCheckpoint, KindImprove, KindLowerBound,
-	KindGeneration, KindCoverCache, KindAttempt,
+	KindGeneration, KindCoverCache, KindAttempt, KindMemSample,
 }
 
 // ValidKind reports whether k is part of the taxonomy.

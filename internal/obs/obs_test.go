@@ -2,7 +2,10 @@ package obs
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -123,7 +126,6 @@ func TestValidateTraceRejects(t *testing.T) {
 	cases := map[string]string{
 		"empty":          "",
 		"garbage":        "not json\n",
-		"unknown kind":   `{"kind":"mystery","t_ns":1}` + "\n",
 		"negative time":  `{"kind":"algo_start","t_ns":-1,"algo":"x"}` + "\n",
 		"no start":       `{"kind":"algo_stop","t_ns":1,"algo":"x"}` + "\n",
 		"no stop":        `{"kind":"algo_start","t_ns":1,"algo":"x"}` + "\n",
@@ -150,6 +152,54 @@ func TestValidateTraceRejects(t *testing.T) {
 	}
 }
 
+func TestValidateTraceUnknownKinds(t *testing.T) {
+	// Forward compatibility: the default mode counts unknown kinds, strict
+	// mode rejects them.
+	trace := lines(
+		`{"kind":"algo_start","t_ns":0,"algo":"x"}`,
+		`{"kind":"mystery","t_ns":1}`,
+		`{"kind":"algo_stop","t_ns":2,"algo":"x"}`,
+	)
+	sum, err := ValidateTrace(strings.NewReader(trace))
+	if err != nil {
+		t.Fatalf("default mode rejected unknown kind: %v", err)
+	}
+	if sum.Unknown != 1 || sum.Events != 3 {
+		t.Fatalf("unknown kind miscounted: %+v", sum)
+	}
+	if _, err := ValidateTraceStrict(strings.NewReader(trace)); err == nil {
+		t.Fatal("strict mode accepted unknown kind")
+	}
+}
+
+func TestValidateTraceStrictTimeOrder(t *testing.T) {
+	backwards := lines(
+		`{"kind":"algo_start","t_ns":0,"algo":"x"}`,
+		`{"kind":"checkpoint","t_ns":5}`,
+		`{"kind":"checkpoint","t_ns":4}`,
+		`{"kind":"algo_stop","t_ns":6,"algo":"x"}`,
+	)
+	if _, err := ValidateTrace(strings.NewReader(backwards)); err != nil {
+		t.Fatalf("default mode should tolerate out-of-order t: %v", err)
+	}
+	if _, err := ValidateTraceStrict(strings.NewReader(backwards)); err == nil {
+		t.Fatal("strict mode accepted t_ns going backwards within a run")
+	}
+	// A second run restarts its clock: t dropping at an algo_start boundary
+	// is fine even in strict mode.
+	tworuns := lines(
+		`{"kind":"algo_start","t_ns":0,"algo":"a"}`,
+		`{"kind":"improve","t_ns":8,"width":3}`,
+		`{"kind":"algo_stop","t_ns":9,"algo":"a"}`,
+		`{"kind":"algo_start","t_ns":0,"algo":"b"}`,
+		`{"kind":"improve","t_ns":2,"width":5}`,
+		`{"kind":"algo_stop","t_ns":3,"algo":"b"}`,
+	)
+	if _, err := ValidateTraceStrict(strings.NewReader(tworuns)); err != nil {
+		t.Fatalf("strict mode rejected clock restart at run boundary: %v", err)
+	}
+}
+
 func lines(ls ...string) string { return strings.Join(ls, "\n") + "\n" }
 
 func TestProgressOutput(t *testing.T) {
@@ -167,5 +217,89 @@ func TestProgressOutput(t *testing.T) {
 	}
 	if strings.Count(out, "\n") != 3 {
 		t.Fatalf("throttled checkpoint still printed:\n%s", out)
+	}
+}
+
+func TestProgressFinish(t *testing.T) {
+	// An interrupted or panicked run never reaches algo_stop; Finish flushes
+	// the last known state so the terminal line still lands.
+	var buf bytes.Buffer
+	p := NewProgress(&buf, time.Hour)
+	p.Finish() // before any run: silent
+	if buf.Len() != 0 {
+		t.Fatalf("Finish before start printed:\n%s", buf.String())
+	}
+	p.Record(Event{Kind: KindStart, Algo: "bb-ghw", N: 10, M: 12})
+	p.Record(Event{Kind: KindImprove, T: time.Second, Width: 5, Nodes: 300})
+	p.Record(Event{Kind: KindLowerBound, T: time.Second, LowerBound: 2})
+	p.Finish()
+	out := buf.String()
+	for _, want := range []string{"without a stop event", "best=5", "lb=2", "nodes=300"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Finish output missing %q:\n%s", want, out)
+		}
+	}
+	p.Finish() // idempotent
+	if got := buf.String(); got != out {
+		t.Fatalf("second Finish printed again:\n%s", got)
+	}
+
+	// After a normal algo_stop, Finish has nothing to add.
+	buf.Reset()
+	q := NewProgress(&buf, time.Hour)
+	q.Record(Event{Kind: KindStart, Algo: "ga-ghw", N: 4, M: 4})
+	q.Record(Event{Kind: KindStop, T: time.Second, Width: 3, LowerBound: 1})
+	before := buf.String()
+	q.Finish()
+	if got := buf.String(); got != before {
+		t.Fatalf("Finish after clean stop printed:\n%s", got)
+	}
+}
+
+// failingWriter errors every Write with a distinct error and counts calls.
+type failingWriter struct {
+	calls atomic.Int64
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	n := f.calls.Add(1)
+	return 0, fmt.Errorf("disk full (write #%d)", n)
+}
+
+func TestJSONLWriterLatchesFirstErrorConcurrently(t *testing.T) {
+	// Once a write fails, the writer goes quiet: later Records are no-ops
+	// (the underlying writer is never touched again) and Close reports the
+	// first error, not the last. Hammer it from several goroutines — enough
+	// bytes to overflow bufio's 4K buffer many times over if the latch leaked.
+	fw := &failingWriter{}
+	w := NewJSONLWriter(fw)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				w.Record(Event{Kind: KindCheckpoint, T: time.Duration(i), Nodes: int64(i)})
+			}
+		}()
+	}
+	wg.Wait()
+	err := w.Close()
+	if err == nil {
+		t.Fatal("Close returned nil after underlying writes failed")
+	}
+	if got := err.Error(); got != "disk full (write #1)" {
+		t.Fatalf("Close returned %q, want the first latched error", got)
+	}
+	if calls := fw.calls.Load(); calls != 1 {
+		t.Fatalf("underlying Write called %d times after latch, want exactly 1", calls)
+	}
+	// The latch persists: further Records and Closes stay no-ops.
+	w.Record(Event{Kind: KindImprove, Width: 3})
+	if err2 := w.Close(); err2 == nil || err2.Error() != err.Error() {
+		t.Fatalf("second Close returned %v, want the same latched error", err2)
+	}
+	if calls := fw.calls.Load(); calls != 1 {
+		t.Fatalf("underlying Write reached again after latch: %d calls", calls)
 	}
 }

@@ -18,6 +18,8 @@ type Progress struct {
 	every time.Duration
 
 	algo      string
+	started   bool
+	done      bool
 	last      time.Duration
 	width     int
 	widthSet  bool
@@ -55,6 +57,7 @@ func (p *Progress) Record(e Event) {
 	switch e.Kind {
 	case KindStart:
 		p.algo = e.Algo
+		p.started, p.done = true, false
 		p.last = e.T
 		p.widthSet = false
 		p.lb, p.nodes, p.evals, p.gen = 0, 0, 0, 0
@@ -80,6 +83,7 @@ func (p *Progress) Record(e Event) {
 		fmt.Fprintf(p.w, "[%s] t=%v det-k attempt k=%d found=%v\n",
 			p.algo, e.T.Round(time.Millisecond), e.K, e.Found)
 	case KindStop:
+		p.done = true
 		status := "upper bound"
 		if e.Exact {
 			status = "exact"
@@ -91,6 +95,22 @@ func (p *Progress) Record(e Event) {
 		fmt.Fprintf(p.w, "[%s] done in %v: width %d (%s), lower bound %d%s\n",
 			p.algo, e.T.Round(time.Millisecond), e.Width, status, e.LowerBound, stop)
 	}
+}
+
+// Finish emits a terminal report when the current run never reached its
+// algo_stop event — an interrupted or panicked run otherwise ends with the
+// reporter silent about everything since its last line. Call it from the
+// stop path after the run has ended (cmd/decompose does, including before
+// surfacing a contained panic); after a normal algo_stop it prints nothing.
+func (p *Progress) Finish() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.started || p.done {
+		return
+	}
+	p.done = true
+	fmt.Fprintf(p.w, "[%s] run ended without a stop event (interrupted or crashed): last known %s%s\n",
+		p.algo, p.best(), p.effort())
 }
 
 // best renders the running best width / lower bound.

@@ -45,8 +45,24 @@ type RunStats struct {
 	Generations int
 	// Checkpoints counts budget cooperative checkpoints observed.
 	Checkpoints int64
-	// MaxOpen is the A* open-list high-water mark (0 for other algorithms).
-	MaxOpen int
+	// MaxOpen is the A* open-list high-water mark (0 for other algorithms);
+	// MaxClosed the duplicate-detection set high-water mark (dedup mode).
+	MaxOpen   int
+	MaxClosed int
+	// MaxDepth and Backtracks are the BB search-shape gauges: deepest
+	// elimination prefix seen at a checkpoint and exhausted-subtree count.
+	MaxDepth   int
+	Backtracks int64
+	// WidthStd and DistinctWidths are the last generation's population
+	// diversity (GA/SAIGA runs).
+	WidthStd       float64
+	DistinctWidths int
+	// Memory telemetry from sampled mem_sample events: snapshot count, heap
+	// high-water marks and the last GC cycle count seen.
+	MemSamples   int64
+	MaxHeapAlloc uint64
+	MaxHeapSys   uint64
+	NumGC        uint32
 	// Cache counters are the last cover-engine snapshot observed.
 	CacheHits, CacheMisses, CacheEvictions int64
 	CacheSize                              int
@@ -85,12 +101,41 @@ func (s *RunStats) Record(e Event) {
 		if e.Nodes > s.Expansions {
 			s.Expansions = e.Nodes
 		}
+		if e.Open > s.MaxOpen {
+			s.MaxOpen = e.Open
+		}
+		if e.MaxOpen > s.MaxOpen {
+			s.MaxOpen = e.MaxOpen
+		}
+		if e.Closed > s.MaxClosed {
+			s.MaxClosed = e.Closed
+		}
+		if e.Depth > s.MaxDepth {
+			s.MaxDepth = e.Depth
+		}
+		if e.Backtracks > s.Backtracks {
+			s.Backtracks = e.Backtracks
+		}
+	case KindMemSample:
+		s.MemSamples++
+		if e.HeapAlloc > s.MaxHeapAlloc {
+			s.MaxHeapAlloc = e.HeapAlloc
+		}
+		if e.HeapSys > s.MaxHeapSys {
+			s.MaxHeapSys = e.HeapSys
+		}
+		if e.NumGC > s.NumGC {
+			s.NumGC = e.NumGC
+		}
 	case KindGeneration:
 		if e.Generation > s.Generations {
 			s.Generations = e.Generation
 		}
 		if e.Evaluations > s.Evaluations {
 			s.Evaluations = e.Evaluations
+		}
+		if e.Island == 0 || e.Generation >= s.Generations {
+			s.WidthStd, s.DistinctWidths = e.WidthStd, e.DistinctWidths
 		}
 	case KindCoverCache:
 		s.CacheHits, s.CacheMisses = e.CacheHits, e.CacheMisses
@@ -121,7 +166,11 @@ func (s *RunStats) Snapshot() *RunStats {
 		Algo: s.Algo, N: s.N, M: s.M,
 		Expansions: s.Expansions, Evaluations: s.Evaluations,
 		Generations: s.Generations, Checkpoints: s.Checkpoints,
-		MaxOpen:   s.MaxOpen,
+		MaxOpen: s.MaxOpen, MaxClosed: s.MaxClosed,
+		MaxDepth: s.MaxDepth, Backtracks: s.Backtracks,
+		WidthStd: s.WidthStd, DistinctWidths: s.DistinctWidths,
+		MemSamples: s.MemSamples, MaxHeapAlloc: s.MaxHeapAlloc,
+		MaxHeapSys: s.MaxHeapSys, NumGC: s.NumGC,
 		CacheHits: s.CacheHits, CacheMisses: s.CacheMisses,
 		CacheEvictions: s.CacheEvictions, CacheSize: s.CacheSize,
 		Attempts:   s.Attempts,
@@ -163,7 +212,23 @@ func (s *RunStats) Summary() string {
 		snap.Expansions, snap.Evaluations, snap.Generations, snap.Checkpoints,
 		snap.Elapsed.Round(time.Millisecond))
 	if snap.MaxOpen > 0 {
-		fmt.Fprintf(&b, "  open list: max %d states\n", snap.MaxOpen)
+		fmt.Fprintf(&b, "  open list: max %d states", snap.MaxOpen)
+		if snap.MaxClosed > 0 {
+			fmt.Fprintf(&b, ", dedup set max %d", snap.MaxClosed)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	if snap.MaxDepth > 0 || snap.Backtracks > 0 {
+		fmt.Fprintf(&b, "  search shape: max depth %d, %d backtracks\n", snap.MaxDepth, snap.Backtracks)
+	}
+	if snap.DistinctWidths > 0 {
+		fmt.Fprintf(&b, "  diversity: width stddev %.2f, %d distinct widths in last generation\n",
+			snap.WidthStd, snap.DistinctWidths)
+	}
+	if snap.MemSamples > 0 {
+		fmt.Fprintf(&b, "  memory: peak heap %.1f MiB in use / %.1f MiB from OS, %d GC cycles (%d samples)\n",
+			float64(snap.MaxHeapAlloc)/(1<<20), float64(snap.MaxHeapSys)/(1<<20),
+			snap.NumGC, snap.MemSamples)
 	}
 	if snap.Attempts > 0 {
 		fmt.Fprintf(&b, "  det-k attempts: %d\n", snap.Attempts)

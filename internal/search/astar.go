@@ -81,7 +81,8 @@ func finish(m model, r Result) Result {
 
 func runAStar(m model, opts Options, defaultLabel string) Result {
 	b := opts.budgetFor()
-	stats, rec, label := instrument(m, opts, b, defaultLabel)
+	shape := &gauges{}
+	stats, rec, label := instrument(m, opts, b, defaultLabel, shape)
 	queue := &pq{}
 	maxOpen := 0
 	// ret finalizes any exit path: cover-cache snapshot, algo_stop event,
@@ -95,7 +96,8 @@ func runAStar(m model, opts Options, defaultLabel string) Result {
 		}
 		rec.Record(obs.Event{Kind: obs.KindStop, T: b.Elapsed(), Algo: label,
 			Width: r.Width, LowerBound: r.LowerBound, Exact: r.Exact,
-			Nodes: r.Nodes, Open: queue.Len(), MaxOpen: maxOpen, Stop: string(r.Stop)})
+			Nodes: r.Nodes, Open: queue.Len(), MaxOpen: maxOpen,
+			Closed: int(shape.closed.Load()), Stop: string(r.Stop)})
 		r.Stats = stats
 		return r
 	}
@@ -132,11 +134,14 @@ func runAStar(m model, opts Options, defaultLabel string) Result {
 	}
 
 	for queue.Len() > 0 {
+		shape.open.Store(int64(queue.Len()))
+		shape.closed.Store(int64(len(seenSets)))
 		if !b.Tick() {
 			break
 		}
 		faultinject.Hit(faultinject.SiteSearchExpand)
 		s := heap.Pop(queue).(*state)
+		shape.depth.Store(int64(s.depth))
 		if int(s.f) >= ub {
 			// Everything left is at least as wide as the known solution.
 			maxPoppedF = ub
@@ -212,6 +217,7 @@ func runAStar(m model, opts Options, defaultLabel string) Result {
 			})
 			if queue.Len() > maxOpen {
 				maxOpen = queue.Len()
+				shape.maxOpen.Store(int64(maxOpen))
 			}
 		}
 	}

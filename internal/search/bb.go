@@ -37,6 +37,7 @@ type bbSearch struct {
 	opts   Options
 	budget *budget.B
 	rec    obs.Recorder
+	shape  *gauges
 	ub     int
 	lbRoot int
 	best   []int
@@ -51,13 +52,14 @@ func (s *bbSearch) improve(w int) {
 
 func runBB(m model, opts Options, defaultLabel string) Result {
 	b := opts.budgetFor()
-	stats, rec, label := instrument(m, opts, b, defaultLabel)
+	shape := &gauges{}
+	stats, rec, label := instrument(m, opts, b, defaultLabel, shape)
 	lb, ub, ordering := m.initial()
 	if opts.InitialUB > 0 && opts.InitialUB < ub {
 		ub = opts.InitialUB
 		ordering = nil
 	}
-	s := &bbSearch{m: m, opts: opts, budget: b, rec: rec, ub: ub, lbRoot: lb, best: ordering}
+	s := &bbSearch{m: m, opts: opts, budget: b, rec: rec, shape: shape, ub: ub, lbRoot: lb, best: ordering}
 	s.improve(ub)
 	rec.Record(obs.Event{Kind: obs.KindLowerBound, T: b.Elapsed(), LowerBound: lb, Nodes: b.Nodes()})
 	if lb < ub && m.graph().N() > 0 {
@@ -85,7 +87,7 @@ func runBB(m model, opts Options, defaultLabel string) Result {
 	}
 	rec.Record(obs.Event{Kind: obs.KindStop, T: b.Elapsed(), Algo: label,
 		Width: r.Width, LowerBound: r.LowerBound, Exact: r.Exact,
-		Nodes: r.Nodes, Stop: string(r.Stop)})
+		Nodes: r.Nodes, Backtracks: shape.backtracks.Load(), Stop: string(r.Stop)})
 	r.Stats = stats
 	return r
 }
@@ -98,6 +100,10 @@ func (s *bbSearch) dfs(g, f int, lastReduced bool) {
 	if !s.budget.Tick() {
 		return
 	}
+	s.shape.depth.Store(int64(len(s.prefix)))
+	// Every dfs return is one exhausted subtree — the backtrack gauge the
+	// checkpoint events carry.
+	defer s.shape.backtracks.Add(1)
 	faultinject.Hit(faultinject.SiteSearchExpand)
 	e := s.m.graph()
 	// PR1 (thesis §4.4.5): completing in any order costs at most

@@ -10,6 +10,7 @@ package search
 import (
 	"context"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"hypertree/internal/bounds"
@@ -110,21 +111,37 @@ func (o Options) budgetFor() *budget.B {
 	return budget.New(o.Ctx, budget.Limits{Timeout: o.Timeout, MaxNodes: o.MaxNodes})
 }
 
+// gauges is the search-shape telemetry shared between a search loop and its
+// budget checkpoint callback: the loop stores its current open-list size,
+// duplicate-set size, prefix depth and backtrack count into atomics, and the
+// checkpoint observer stamps them onto every checkpoint event. Atomics keep
+// the loop's cost to one store per expansion and the callback race-free.
+type gauges struct {
+	open, maxOpen, closed atomic.Int64 // A*: open list, high-water, dedup set
+	depth, backtracks     atomic.Int64 // BB: prefix depth, exhausted subtrees
+}
+
 // instrument sets up a run's recorder stack: every search aggregates into a
 // fresh RunStats (attached to its Result), teed with the caller's Recorder;
-// checkpoint events piggyback on the budget's cancellation polls and
-// sampled cover_cache events on the ghw engine's queries. It emits the
-// algo_start event.
-func instrument(m model, opts Options, b *budget.B, defaultLabel string) (*obs.RunStats, obs.Recorder, string) {
+// checkpoint events piggyback on the budget's cancellation polls — carrying
+// g's search-shape gauges and sampled mem_sample snapshots — and sampled
+// cover_cache events ride the ghw engine's queries. It emits the algo_start
+// event.
+func instrument(m model, opts Options, b *budget.B, defaultLabel string, g *gauges) (*obs.RunStats, obs.Recorder, string) {
 	stats := obs.NewRunStats()
 	rec := obs.Tee(stats, opts.Recorder)
 	label := opts.Label
 	if label == "" {
 		label = defaultLabel
 	}
-	m.setRecorder(rec)
+	m.setRecorder(rec, b.StartTime())
+	ms := obs.NewMemSampler(0)
 	b.OnCheckpoint(func(nodes int64, elapsed time.Duration) {
-		rec.Record(obs.Event{Kind: obs.KindCheckpoint, T: elapsed, Nodes: nodes})
+		rec.Record(obs.Event{Kind: obs.KindCheckpoint, T: elapsed, Nodes: nodes,
+			Open: int(g.open.Load()), MaxOpen: int(g.maxOpen.Load()),
+			Closed: int(g.closed.Load()), Depth: int(g.depth.Load()),
+			Backtracks: g.backtracks.Load()})
+		ms.Sample(rec, elapsed)
 	})
 	n, edges := m.size()
 	rec.Record(obs.Event{Kind: obs.KindStart, T: b.Elapsed(), Algo: label, N: n, M: edges})
@@ -163,8 +180,10 @@ type model interface {
 	// treewidth model).
 	cacheStats() setcover.CacheStats
 	// setRecorder attaches the run's recorder to the model's cover engine
-	// for sampled cover_cache events. No-op for the treewidth model.
-	setRecorder(rec obs.Recorder)
+	// for sampled cover_cache events, with the budget's start as the engine
+	// clock base so their t_ns shares the trace's time base. No-op for the
+	// treewidth model.
+	setRecorder(rec obs.Recorder, start time.Time)
 	// size reports the instance dimensions (vertices, edges or hyperedges).
 	size() (n, m int)
 }
@@ -195,12 +214,12 @@ func (m *twModel) initial() (int, int, []int) {
 	ub := elim.WidthOfGraph(m.g, order)
 	return lb, ub, order
 }
-func (m *twModel) allowAlmostSimplicial() bool    { return true }
-func (m *twModel) pr2Adjacent() bool              { return true }
-func (m *twModel) setCostCap(int)                 {}
-func (m *twModel) cacheStats() setcover.CacheStats { return setcover.CacheStats{} }
-func (m *twModel) setRecorder(obs.Recorder)       {}
-func (m *twModel) size() (int, int)               { return m.g.N(), m.g.M() }
+func (m *twModel) allowAlmostSimplicial() bool         { return true }
+func (m *twModel) pr2Adjacent() bool                   { return true }
+func (m *twModel) setCostCap(int)                      {}
+func (m *twModel) cacheStats() setcover.CacheStats     { return setcover.CacheStats{} }
+func (m *twModel) setRecorder(obs.Recorder, time.Time) {}
+func (m *twModel) size() (int, int)                    { return m.g.N(), m.g.M() }
 
 // ghwModel is the generalized-hypertree-width cost model (Chapters 8–9).
 type ghwModel struct {
@@ -240,8 +259,10 @@ func (m *ghwModel) allowAlmostSimplicial() bool     { return false }
 func (m *ghwModel) pr2Adjacent() bool               { return false }
 func (m *ghwModel) setCostCap(cap int)              { m.ev.Cap = cap }
 func (m *ghwModel) cacheStats() setcover.CacheStats { return m.ev.CoverCacheStats() }
-func (m *ghwModel) setRecorder(rec obs.Recorder)    { m.ev.Engine().SetRecorder(rec, 0) }
-func (m *ghwModel) size() (int, int)                { return m.h.N(), m.h.M() }
+func (m *ghwModel) setRecorder(rec obs.Recorder, start time.Time) {
+	m.ev.Engine().SetRecorderAt(rec, 0, start)
+}
+func (m *ghwModel) size() (int, int) { return m.h.N(), m.h.M() }
 
 // pr2Skip reports whether child v of the current state can be pruned by
 // pruning rule 2, given that `last` was eliminated immediately before and

@@ -113,12 +113,21 @@ func (e *Engine) CacheStats() CacheStats {
 // goroutines — the field is read unsynchronized on the query path. A nil
 // rec detaches.
 func (e *Engine) SetRecorder(rec obs.Recorder, sampleEvery int64) {
+	e.SetRecorderAt(rec, sampleEvery, time.Now())
+}
+
+// SetRecorderAt is SetRecorder with an explicit clock base: event t_ns is
+// measured from start rather than from the attach instant. Callers with a
+// run budget pass its StartTime so cover_cache events share the trace's
+// time base — with separate bases, strict trace validation sees the skew as
+// time going backwards.
+func (e *Engine) SetRecorderAt(rec obs.Recorder, sampleEvery int64, start time.Time) {
 	if sampleEvery <= 0 {
 		sampleEvery = DefaultCoverSampleEvery
 	}
 	e.rec = rec
 	e.sampleEvery = sampleEvery
-	e.recStart = time.Now()
+	e.recStart = start
 }
 
 // observe counts one cover query against the sampling interval and emits a
