@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench-smoke bench-diff trace-smoke tracestat-smoke fuzz clean
+.PHONY: all build vet test race check par-smoke bench-smoke bench-diff trace-smoke tracestat-smoke fuzz clean
 
 all: check
 
@@ -20,7 +20,15 @@ race:
 # test suite under the race detector (which subsumes plain `go test`), a
 # smoke run of the evaluator benchmarks with a regression diff against the
 # committed report, and trace emission + analysis smoke runs.
-check: vet build race bench-smoke bench-diff trace-smoke tracestat-smoke
+check: vet build race par-smoke bench-smoke bench-diff trace-smoke tracestat-smoke
+
+# par-smoke is the quick parallel-correctness gate: one mid-size instance
+# through parallel BB-ghw and one through parallel det-k-decomp, Workers=4,
+# under the race detector, asserting the width matches the serial engines.
+# (`make race` runs the full parallel suites; this target is the fast,
+# targeted re-check.)
+par-smoke:
+	$(GO) test -race -count=1 -run 'TestParallel.*Smoke' ./internal/search/ ./internal/htd/
 
 # bench-smoke reruns the ghw evaluator microbenchmarks (benchstat-compatible
 # output) into a scratch report and validates both it and the committed
@@ -38,7 +46,7 @@ bench-smoke:
 # order-of-magnitude regressions (a lost cache, an accidental O(n^2)), not
 # percent-level drift — benchstat on two local reports does that.
 bench-diff: bench-smoke
-	$(GO) run ./cmd/experiments -bench-diff BENCH_ghw.json BENCH_ghw.smoke.json -bench-diff-threshold 4.0
+	$(GO) run ./cmd/experiments -bench-diff BENCH_ghw.json -bench-diff-threshold 4.0 BENCH_ghw.smoke.json
 	rm -f BENCH_ghw.smoke.json
 
 # trace-smoke runs one budgeted search with -trace and validates the JSONL

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"strings"
 	"syscall"
@@ -40,6 +41,9 @@ func main() {
 		nodes   = flag.Int64("nodes", 0, "search-node budget (0 = unlimited)")
 		seed    = flag.Int64("seed", 1, "random seed for heuristic tie-breaking")
 		show    = flag.Bool("show", false, "print the decomposition tree")
+
+		parallel = flag.Bool("parallel", false, "run with one worker per CPU (GOMAXPROCS): parallel BB, parallel det-k-decomp, parallel GA evaluation; overridden by -workers")
+		workers  = flag.Int("workers", 0, "explicit worker count for the parallel engines (0 = serial, or GOMAXPROCS with -parallel)")
 		dotPath = flag.String("dot", "", "write the decomposition as Graphviz DOT to this file")
 		tdPath  = flag.String("td", "", "write the tree decomposition in PACE .td format to this file")
 
@@ -109,12 +113,20 @@ func main() {
 		recorders = append(recorders, prog)
 	}
 
+	// One switch for every parallel engine: -parallel scales to the machine,
+	// -workers pins an exact count (useful for comparing scaling steps).
+	nw := *workers
+	if nw == 0 && *parallel {
+		nw = runtime.GOMAXPROCS(0)
+	}
+
 	d, err := core.Decompose(h, core.Options{
 		Algorithm: alg,
 		Ctx:       ctx,
 		Timeout:   *timeout,
 		MaxNodes:  *nodes,
 		Seed:      *seed,
+		Workers:   nw,
 		Recorder:  obs.Tee(recorders...),
 	})
 	if prog != nil {

@@ -17,6 +17,11 @@
 // two reports and exits 1 when any entry slowed beyond
 // -bench-diff-threshold (make bench-diff runs it as a regression gate).
 //
+// -workers N runs the per-instance rows of the instance-outer tables on N
+// goroutines. Every instance keeps its own seed and budget and rows are
+// emitted in the serial order, so the table values are unchanged — only the
+// wall clock of a whole table run drops (on multi-core machines).
+//
 // -metrics-addr serves runtime metrics while experiments run: per-kind obs
 // event counters and the cover-cache hit ratio in OpenMetrics text at
 // /metrics, expvar at /debug/vars and pprof profiles at /debug/pprof/ (see
@@ -54,6 +59,7 @@ func main() {
 		benchDiffThreshold = flag.Float64("bench-diff-threshold", bench.DefaultDiffThreshold,
 			"relative ns/op slowdown tolerated by -bench-diff (0.5 = 50%)")
 		metricsAddr = flag.String("metrics-addr", "", "serve OpenMetrics event counters (/metrics), expvar (/debug/vars) and pprof (/debug/pprof/) on this address, e.g. localhost:6060")
+		workers     = flag.Int("workers", 0, "run the instance rows of the instance-outer tables on this many goroutines (0/1 = serial; table values are identical either way)")
 	)
 	flag.Parse()
 
@@ -127,6 +133,7 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	sc.Ctx = ctx
+	sc.Workers = *workers
 	if obsCounters != nil {
 		sc.Recorder = obsCounters
 	}

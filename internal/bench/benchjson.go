@@ -8,17 +8,22 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
 	"sort"
+	"strings"
 	"testing"
 
+	"hypertree/internal/budget"
 	"hypertree/internal/elim"
 	"hypertree/internal/elimgraph"
+	"hypertree/internal/htd"
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/obs"
+	"hypertree/internal/search"
 	"hypertree/internal/setcover"
 )
 
@@ -31,18 +36,40 @@ var DefaultBenchInstances = []string{"grid2d_10", "grid2d_20", "adder_25", "brid
 // through (so the cached mode sees repeated bags, as searches do).
 const benchOrderings = 8
 
+// SearchBenchInstances are the instances the whole-search modes (bb-serial /
+// bb-par / detk-serial / detk-par) run on: the mid-size grids where the
+// parallel engines have enough subtree to distribute.
+var SearchBenchInstances = []string{"grid2d_10", "grid2d_14"}
+
+const (
+	// bbBenchNodes / detkBenchNodes bound every whole-search op by search
+	// nodes, so the serial and parallel modes of one instance do the same
+	// amount of algorithmic work per op and their ns/op ratio is the
+	// engine's parallel speedup (≈1 on a single-core machine).
+	bbBenchNodes   = 25000
+	detkBenchNodes = 5000
+	// detkBenchK is the fixed width the det-k modes decide.
+	detkBenchK = 3
+	// parBenchWorkers is the worker count of the -par modes.
+	parBenchWorkers = 4
+)
+
 // BenchEntry is one (instance, mode) measurement.
 type BenchEntry struct {
 	Instance string `json:"instance"`
 	// Mode is "engine" (memo cache on), "engine-nooprec" (memo cache on,
 	// a discarding obs recorder attached — the instrumentation-enabled
 	// dispatch cost), "engine-nocache" (bitsets only), or "sliceapi" (the
-	// pre-engine evaluation path).
+	// pre-engine evaluation path). The whole-search modes "bb-serial" /
+	// "bb-par" and "detk-serial" / "detk-par" measure one node-budgeted
+	// BB-ghw run or det-k decision, serial vs. Workers-parallel.
 	Mode        string  `json:"mode"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Workers is the parallel worker count of the "-par" modes (0 = serial).
+	Workers int `json:"workers,omitempty"`
 	// Width sanity-checks that every mode computed the same values.
 	Width int `json:"width"`
 	// Cache counters, for the cached engine modes only.
@@ -55,8 +82,11 @@ type BenchEntry struct {
 type BenchReport struct {
 	// Unit documents what one op is: a full GHWEvaluator.Width evaluation
 	// of one elimination ordering with greedy covers.
-	Unit    string       `json:"unit"`
-	Entries []BenchEntry `json:"entries"`
+	Unit string `json:"unit"`
+	// SearchUnit documents the whole-search modes' op: one node-budgeted
+	// BB-ghw run (bb-*) or det-k width-k decision (detk-*).
+	SearchUnit string       `json:"search_unit,omitempty"`
+	Entries    []BenchEntry `json:"entries"`
 }
 
 // RunBenchJSON benchmarks the given registry instances (nil selects
@@ -118,7 +148,69 @@ func RunBenchJSON(instances []string, logf func(format string, args ...interface
 			logf("BenchmarkGHWWidth/%s/%s\t%s\n", name, mode.name, r.String()+"\t"+r.MemString())
 		}
 	}
+	report.SearchUnit = fmt.Sprintf("bb-*: one BB-ghw run (%d nodes); detk-*: one det-k k=%d decision (%d nodes)",
+		bbBenchNodes, detkBenchK, detkBenchNodes)
+	for _, name := range SearchBenchInstances {
+		inst, err := Hyper(name)
+		if err != nil {
+			return nil, err
+		}
+		h := inst.Build()
+		modes := []searchBenchMode{
+			{"bb-serial", 0, benchBBWidth},
+			{"bb-par", parBenchWorkers, benchBBWidth},
+			{"detk-serial", 0, benchDetKWidth},
+			{"detk-par", parBenchWorkers, benchDetKWidth},
+		}
+		for _, mode := range modes {
+			width := mode.width(h, mode.workers)
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					mode.width(h, mode.workers)
+				}
+			})
+			report.Entries = append(report.Entries, BenchEntry{
+				Instance:    name,
+				Mode:        mode.name,
+				Iterations:  r.N,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				Width:       width,
+				Workers:     mode.workers,
+			})
+			logf("BenchmarkSearch/%s/%s\t%s\n", name, mode.name, r.String()+"\t"+r.MemString())
+		}
+	}
 	return report, nil
+}
+
+// searchBenchMode is one whole-search measurement: a full (budgeted) run of
+// an exact engine, serial (workers = 0) or parallel.
+type searchBenchMode struct {
+	name    string
+	workers int
+	width   func(h *hypergraph.Hypergraph, workers int) int
+}
+
+// benchBBWidth runs one node-budgeted BB-ghw search and returns its anytime
+// width. Serial and parallel ops tick the same node budget, so their ns/op
+// compare like-for-like.
+func benchBBWidth(h *hypergraph.Hypergraph, workers int) int {
+	r := search.BBGHW(h, search.Options{MaxNodes: bbBenchNodes, Seed: 1, Workers: workers})
+	return r.Width
+}
+
+// benchDetKWidth runs one node-budgeted det-k width-detkBenchK decision and
+// returns k when a decomposition was found, else -1.
+func benchDetKWidth(h *hypergraph.Hypergraph, workers int) int {
+	b := budget.New(context.Background(), budget.Limits{MaxNodes: detkBenchNodes})
+	_, ok, _ := htd.DecideHWParallel(h, detkBenchK, workers, b)
+	if ok {
+		return detkBenchK
+	}
+	return -1
 }
 
 // benchMode is one measured evaluation path for an instance.
@@ -220,17 +312,42 @@ func CheckBenchJSON(path string) error {
 		byInstance[e.Instance][e.Mode] = e
 	}
 	for inst, ms := range byInstance {
-		eng, okE := ms["engine"]
-		if !okE {
-			continue
+		if eng, okE := ms["engine"]; okE {
+			// Every evaluator mode computes the same orderings
+			// deterministically, so their widths must agree with the
+			// reference engine mode. The whole-search modes measure
+			// different ops (anytime runs, where the parallel schedule
+			// legitimately shifts the truncation point), so they are
+			// exempt from this cross-check.
+			for mode, e := range ms {
+				if !evaluatorBenchModes[mode] {
+					continue
+				}
+				if e.Width != eng.Width {
+					return fmt.Errorf("bench: %s: engine width %d != %s width %d", inst, eng.Width, mode, e.Width)
+				}
+			}
 		}
-		// Every mode evaluates the same orderings deterministically, so the
-		// widths must agree with the reference engine mode.
+		// Every parallel search mode must come with its serial baseline, or
+		// the report cannot say what the parallel engine is compared against.
 		for mode, e := range ms {
-			if e.Width != eng.Width {
-				return fmt.Errorf("bench: %s: engine width %d != %s width %d", inst, eng.Width, mode, e.Width)
+			if !strings.HasSuffix(mode, "-par") {
+				continue
+			}
+			serial := strings.TrimSuffix(mode, "-par") + "-serial"
+			if _, ok := ms[serial]; !ok {
+				return fmt.Errorf("bench: %s: mode %s has no %s baseline entry", inst, mode, serial)
+			}
+			if e.Workers < 2 {
+				return fmt.Errorf("bench: %s: mode %s has workers %d (want >= 2)", inst, mode, e.Workers)
 			}
 		}
 	}
 	return nil
+}
+
+// evaluatorBenchModes are the modes that evaluate the same fixed orderings
+// and therefore must all report the engine mode's width.
+var evaluatorBenchModes = map[string]bool{
+	"engine": true, "engine-nooprec": true, "engine-nocache": true, "sliceapi": true,
 }

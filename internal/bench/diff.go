@@ -14,6 +14,13 @@ import (
 // CI should pass a larger value (make bench-diff does).
 const DefaultDiffThreshold = 0.5
 
+// ParNoiseFactor widens the slowdown gate for the "-par" benchmark modes.
+// Parallel scheduling (work-stealing order, goroutine placement, core count
+// of the measuring machine) moves their ns/op far more between runs than the
+// single-threaded evaluator modes, so their noise floor is the serial
+// threshold times this factor.
+const ParNoiseFactor = 2.0
+
 // ReadBenchJSON loads and validates a -bench-json report.
 func ReadBenchJSON(path string) (*BenchReport, error) {
 	data, err := os.ReadFile(path)
@@ -106,10 +113,14 @@ func DiffReports(oldR, newR *BenchReport, threshold float64) *BenchDiff {
 		if oe.NsPerOp > 0 {
 			e.Ratio = ne.NsPerOp / oe.NsPerOp
 		}
+		th := threshold
+		if strings.HasSuffix(oe.Mode, "-par") {
+			th *= ParNoiseFactor
+		}
 		switch {
-		case ne.NsPerOp > oe.NsPerOp*(1+threshold):
+		case ne.NsPerOp > oe.NsPerOp*(1+th):
 			e.Verdict = "regressed"
-		case ne.NsPerOp < oe.NsPerOp/(1+threshold):
+		case ne.NsPerOp < oe.NsPerOp/(1+th):
 			e.Verdict = "improved"
 		default:
 			e.Verdict = "ok"

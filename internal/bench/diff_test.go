@@ -128,3 +128,72 @@ func TestCompareBenchJSONEndToEnd(t *testing.T) {
 		t.Fatal("missing report not an error")
 	}
 }
+
+// TestDiffReportsParNoiseFloor: the "-par" modes gate at threshold ×
+// ParNoiseFactor, so scheduler-induced drift that would flag a serial mode
+// passes, while a real parallel regression still trips.
+func TestDiffReportsParNoiseFloor(t *testing.T) {
+	old := &BenchReport{Unit: "test op", Entries: []BenchEntry{
+		{Instance: "grid2d_14", Mode: "bb-serial", Iterations: 10, NsPerOp: 1000, Width: 4},
+		{Instance: "grid2d_14", Mode: "bb-par", Iterations: 10, NsPerOp: 800, Width: 4, Workers: 4},
+	}}
+	// 1.8x: beyond the 50% serial gate, inside the widened 100% parallel gate.
+	drifted := degrade(old, "grid2d_14", "bb-par", 1.8)
+	d := DiffReports(old, drifted, 0.5)
+	if d.Regressed() {
+		t.Fatalf("1.8x parallel drift flagged despite ParNoiseFactor:\n%s", d.Format())
+	}
+	// The same drift on the serial mode must still trip.
+	if d := DiffReports(old, degrade(old, "grid2d_14", "bb-serial", 1.8), 0.5); !d.Regressed() {
+		t.Fatalf("1.8x serial slowdown not flagged:\n%s", d.Format())
+	}
+	// A real parallel regression beyond the widened gate trips too.
+	if d := DiffReports(old, degrade(old, "grid2d_14", "bb-par", 2.5), 0.5); !d.Regressed() {
+		t.Fatalf("2.5x parallel slowdown not flagged:\n%s", d.Format())
+	}
+}
+
+// TestCheckBenchJSONParPairing: a report with a "-par" entry and no serial
+// baseline (or with a bogus worker count) must fail validation; the width
+// cross-check must not apply to the whole-search modes.
+func TestCheckBenchJSONParPairing(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, r *BenchReport) string {
+		p := filepath.Join(dir, name)
+		if err := WriteBenchJSON(r, p); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	good := &BenchReport{Unit: "test op", Entries: []BenchEntry{
+		{Instance: "grid2d_10", Mode: "engine", Iterations: 10, NsPerOp: 1000, Width: 4},
+		// Search modes legitimately report widths differing from the
+		// evaluator mode (different op), and from each other when a budget
+		// truncates the anytime run at a schedule-dependent point.
+		{Instance: "grid2d_10", Mode: "bb-serial", Iterations: 10, NsPerOp: 5000, Width: 3},
+		{Instance: "grid2d_10", Mode: "bb-par", Iterations: 10, NsPerOp: 2000, Width: 3, Workers: 4},
+	}}
+	if err := CheckBenchJSON(write("good.json", good)); err != nil {
+		t.Fatalf("valid paired report rejected: %v", err)
+	}
+	unpaired := &BenchReport{Unit: "test op", Entries: []BenchEntry{
+		{Instance: "grid2d_10", Mode: "bb-par", Iterations: 10, NsPerOp: 2000, Width: 3, Workers: 4},
+	}}
+	if err := CheckBenchJSON(write("unpaired.json", unpaired)); err == nil {
+		t.Fatal("bb-par without bb-serial accepted")
+	}
+	serialPar := &BenchReport{Unit: "test op", Entries: []BenchEntry{
+		{Instance: "grid2d_10", Mode: "bb-serial", Iterations: 10, NsPerOp: 5000, Width: 3},
+		{Instance: "grid2d_10", Mode: "bb-par", Iterations: 10, NsPerOp: 2000, Width: 3, Workers: 1},
+	}}
+	if err := CheckBenchJSON(write("workers1.json", serialPar)); err == nil {
+		t.Fatal("bb-par with workers=1 accepted")
+	}
+	badWidth := &BenchReport{Unit: "test op", Entries: []BenchEntry{
+		{Instance: "grid2d_10", Mode: "engine", Iterations: 10, NsPerOp: 1000, Width: 4},
+		{Instance: "grid2d_10", Mode: "sliceapi", Iterations: 10, NsPerOp: 1000, Width: 5},
+	}}
+	if err := CheckBenchJSON(write("badwidth.json", badWidth)); err == nil {
+		t.Fatal("evaluator width mismatch accepted")
+	}
+}

@@ -262,6 +262,8 @@ func init() {
 		V: 20, E: 190, ThesisUB: 10, ThesisGA: 11})
 	regH(HyperInstance{Name: "grid2d_10", Build: func() *hypergraph.Hypergraph { return hypergraph.Grid2D(10) },
 		V: 50, E: 50, ThesisUB: na, ThesisGA: na})
+	regH(HyperInstance{Name: "grid2d_14", Build: func() *hypergraph.Hypergraph { return hypergraph.Grid2D(14) },
+		V: 98, E: 98, ThesisUB: na, ThesisGA: na})
 	regH(HyperInstance{Name: "grid2d_20", Build: func() *hypergraph.Hypergraph { return hypergraph.Grid2D(20) },
 		V: 200, E: 200, ThesisUB: 11, ThesisGA: 10})
 	regH(HyperInstance{Name: "grid3d_4", Build: func() *hypergraph.Hypergraph { return hypergraph.Grid3D(4) },

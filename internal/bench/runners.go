@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"hypertree/internal/bounds"
@@ -35,6 +37,65 @@ type Scale struct {
 	// events (cmd/experiments points it at the /metrics event counters). It
 	// must be safe for concurrent use.
 	Recorder obs.Recorder
+	// Workers > 1 runs the per-instance rows of the instance-outer tables
+	// (5.1, 5.2, 6.6, 7.x, 8.x, 9.x) on that many goroutines. Each instance
+	// keeps its own seed and its own budget, and rows are emitted in the
+	// serial order, so the table values are identical to a serial run — only
+	// the per-row wall-clock "time" column can shift under CPU contention.
+	// The GA tuning sweeps (6.1–6.5) stay serial: their inner config loops
+	// share one instance and their row counts dominate, not their row costs.
+	Workers int
+}
+
+// runIndexed runs fn(0), …, fn(n-1), on min(s.Workers, n) goroutines when
+// the scale asks for parallelism. Callers precompute row cells into an
+// index-addressed slice inside fn and append them to the table afterwards,
+// keeping output deterministic. A panic in any fn (a runner panics on
+// unknown instance names, and contained algorithm panics rethrow through
+// budget.Guard) is rethrown on the caller once the other workers drain.
+func (s Scale) runIndexed(n int, fn func(i int)) {
+	w := s.Workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next       atomic.Int64
+		mu         sync.Mutex
+		firstPanic any
+		wg         sync.WaitGroup
+	)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if firstPanic == nil {
+						firstPanic = r
+					}
+					mu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
 }
 
 // Smoke is the tiny preset used by the go test benchmarks.
@@ -107,7 +168,10 @@ func RunTable51(s Scale) *Table {
 		Note:   "thesis columns from the 1h/2006-hardware runs; '*' marks substituted instances",
 		Header: []string{"graph", "V", "E", "lb", "ub", "A*-tw", "nodes", "time", "thesisA*"},
 	}
-	for _, name := range table51Graphs(s) {
+	names := table51Graphs(s)
+	rows := make([][]interface{}, len(names))
+	s.runIndexed(len(names), func(i int) {
+		name := names[i]
 		inst, err := Graph(name)
 		if err != nil {
 			panic(err)
@@ -121,9 +185,12 @@ func RunTable51(s Scale) *Table {
 		if inst.Substituted {
 			label += "*"
 		}
-		t.Add(label, g.N(), g.M(), lb, ub,
+		rows[i] = []interface{}{label, g.N(), g.M(), lb, ub,
 			exactMark(r.Width, r.Exact, r.LowerBound), r.Nodes,
-			r.Elapsed.Round(time.Millisecond), orNA(inst.ThesisAStar))
+			r.Elapsed.Round(time.Millisecond), orNA(inst.ThesisAStar)}
+	})
+	for _, row := range rows {
+		t.Add(row...)
 	}
 	return t
 }
@@ -138,15 +205,20 @@ func RunTable52(s Scale) *Table {
 	if s.Heavy {
 		max = 8
 	}
-	for n := 2; n <= max; n++ {
+	rows := make([][]interface{}, max-1)
+	s.runIndexed(max-1, func(i int) {
+		n := i + 2
 		g := hypergraph.Grid(n)
 		rng := rand.New(rand.NewSource(1))
 		lb := bounds.TreewidthLowerBound(g, rng)
 		ub := bounds.MinFillUpperBound(g, rng)
 		r := search.AStarTreewidth(g, s.searchOpts(1))
-		t.Add(fmt.Sprintf("grid%d", n), g.N(), g.M(), lb, ub,
+		rows[i] = []interface{}{fmt.Sprintf("grid%d", n), g.N(), g.M(), lb, ub,
 			exactMark(r.Width, r.Exact, r.LowerBound), r.Nodes,
-			r.Elapsed.Round(time.Millisecond), n)
+			r.Elapsed.Round(time.Millisecond), n}
+	})
+	for _, row := range rows {
+		t.Add(row...)
 	}
 	return t
 }
@@ -316,7 +388,10 @@ func RunTable66(s Scale) *Table {
 		Note:   "thesisGA = best width of the thesis's 10×2000-iteration runs",
 		Header: []string{"graph", "V", "E", "min", "max", "avg", "thesisGA"},
 	}
-	for _, name := range table66Graphs(s) {
+	names := table66Graphs(s)
+	rows := make([][]interface{}, len(names))
+	s.runIndexed(len(names), func(i int) {
+		name := names[i]
 		inst, err := Graph(name)
 		if err != nil {
 			panic(err)
@@ -328,7 +403,10 @@ func RunTable66(s Scale) *Table {
 		if inst.Substituted {
 			label += "*"
 		}
-		t.Add(label, g.N(), g.M(), min, max, avg, orNA(inst.ThesisGAUB))
+		rows[i] = []interface{}{label, g.N(), g.M(), min, max, avg, orNA(inst.ThesisGAUB)}
+	})
+	for _, row := range rows {
+		t.Add(row...)
 	}
 	return t
 }
@@ -350,7 +428,10 @@ func RunTable71(s Scale) *Table {
 		Note:   "thesisUB = best previously published ghw upper bound; thesisGA = thesis GA-ghw best",
 		Header: []string{"hypergraph", "V", "H", "min", "max", "avg", "thesisUB", "thesisGA"},
 	}
-	for _, name := range tableHyperInstances(s) {
+	names := tableHyperInstances(s)
+	rows := make([][]interface{}, len(names))
+	s.runIndexed(len(names), func(i int) {
+		name := names[i]
 		inst, err := Hyper(name)
 		if err != nil {
 			panic(err)
@@ -372,8 +453,11 @@ func RunTable71(s Scale) *Table {
 		if inst.Substituted {
 			label += "*"
 		}
-		t.Add(label, h.N(), h.M(), min, max,
-			float64(sum)/float64(s.GARuns), orNA(inst.ThesisUB), orNA(inst.ThesisGA))
+		rows[i] = []interface{}{label, h.N(), h.M(), min, max,
+			float64(sum) / float64(s.GARuns), orNA(inst.ThesisUB), orNA(inst.ThesisGA)}
+	})
+	for _, row := range rows {
+		t.Add(row...)
 	}
 	return t
 }
@@ -385,7 +469,10 @@ func RunTable72(s Scale) *Table {
 		Note:   "the thesis's per-instance values for this table are not in the supplied text; see EXPERIMENTS.md",
 		Header: []string{"hypergraph", "V", "H", "min", "max", "avg", "thesisUB"},
 	}
-	for _, name := range tableHyperInstances(s) {
+	names := tableHyperInstances(s)
+	rows := make([][]interface{}, len(names))
+	s.runIndexed(len(names), func(i int) {
+		name := names[i]
 		inst, err := Hyper(name)
 		if err != nil {
 			panic(err)
@@ -416,8 +503,11 @@ func RunTable72(s Scale) *Table {
 		if inst.Substituted {
 			label += "*"
 		}
-		t.Add(label, h.N(), h.M(), min, max,
-			float64(sum)/float64(s.GARuns), orNA(inst.ThesisUB))
+		rows[i] = []interface{}{label, h.N(), h.M(), min, max,
+			float64(sum) / float64(s.GARuns), orNA(inst.ThesisUB)}
+	})
+	for _, row := range rows {
+		t.Add(row...)
 	}
 	return t
 }
@@ -430,7 +520,10 @@ func RunTable81(s Scale) *Table {
 		Note:   "result prints the exact ghw when closed, else 'lb..ub*'",
 		Header: []string{"hypergraph", "V", "H", "lb", "ub", "BB-ghw", "nodes", "time", "thesisUB"},
 	}
-	for _, name := range tableHyperInstances(s) {
+	names := tableHyperInstances(s)
+	rows := make([][]interface{}, len(names))
+	s.runIndexed(len(names), func(i int) {
+		name := names[i]
 		inst, err := Hyper(name)
 		if err != nil {
 			panic(err)
@@ -444,9 +537,12 @@ func RunTable81(s Scale) *Table {
 		if inst.Substituted {
 			label += "*"
 		}
-		t.Add(label, h.N(), h.M(), lb, ub,
+		rows[i] = []interface{}{label, h.N(), h.M(), lb, ub,
 			exactMark(r.Width, r.Exact, r.LowerBound), r.Nodes,
-			r.Elapsed.Round(time.Millisecond), orNA(inst.ThesisUB))
+			r.Elapsed.Round(time.Millisecond), orNA(inst.ThesisUB)}
+	})
+	for _, row := range rows {
+		t.Add(row...)
 	}
 	return t
 }
@@ -459,7 +555,10 @@ func RunTable91(s Scale) *Table {
 		Note:   "result prints the exact ghw when closed, else 'lb..ub*' with the proved lower bound",
 		Header: []string{"hypergraph", "V", "H", "lb", "ub", "A*-ghw", "nodes", "time", "thesisUB"},
 	}
-	for _, name := range tableHyperInstances(s) {
+	names := tableHyperInstances(s)
+	rows := make([][]interface{}, len(names))
+	s.runIndexed(len(names), func(i int) {
+		name := names[i]
 		inst, err := Hyper(name)
 		if err != nil {
 			panic(err)
@@ -473,9 +572,12 @@ func RunTable91(s Scale) *Table {
 		if inst.Substituted {
 			label += "*"
 		}
-		t.Add(label, h.N(), h.M(), lb, ub,
+		rows[i] = []interface{}{label, h.N(), h.M(), lb, ub,
 			exactMark(r.Width, r.Exact, r.LowerBound), r.Nodes,
-			r.Elapsed.Round(time.Millisecond), orNA(inst.ThesisUB))
+			r.Elapsed.Round(time.Millisecond), orNA(inst.ThesisUB)}
+	})
+	for _, row := range rows {
+		t.Add(row...)
 	}
 	return t
 }

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestRunIndexedCoversAllAndRethrows: every index runs exactly once at any
+// worker count, and a panic inside fn resurfaces on the caller.
+func TestRunIndexedCoversAllAndRethrows(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		s := Scale{Workers: workers}
+		hits := make([]int, 37)
+		s.runIndexed(len(hits), func(i int) { hits[i]++ })
+		for i, n := range hits {
+			if n != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, n)
+			}
+		}
+	}
+	boom := errors.New("boom")
+	defer func() {
+		if r := recover(); r != boom {
+			t.Fatalf("recovered %v, want the injected panic", r)
+		}
+	}()
+	Scale{Workers: 4}.runIndexed(8, func(i int) {
+		if i == 3 {
+			panic(boom)
+		}
+	})
+	t.Fatal("unreachable: panic must propagate")
+}
+
+// TestParallelTableRowsMatchSerial: a table run with Scale.Workers > 1 must
+// produce the same rows in the same order as the serial run — per-instance
+// seeds and budgets are independent, only wall clock may differ. The
+// duration columns are excluded from the comparison.
+func TestParallelTableRowsMatchSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two smoke tables")
+	}
+	for name, runner := range map[string]func(Scale) *Table{
+		"8.1": RunTable81, "7.1": RunTable71,
+	} {
+		serial := Smoke()
+		par := Smoke()
+		par.Workers = 4
+		ts, tp := runner(serial), runner(par)
+		if len(ts.Rows) != len(tp.Rows) {
+			t.Fatalf("table %s: %d serial rows, %d parallel rows", name, len(ts.Rows), len(tp.Rows))
+		}
+		timeCol := -1
+		for i, h := range ts.Header {
+			if h == "time" {
+				timeCol = i
+			}
+		}
+		for r := range ts.Rows {
+			for c := range ts.Rows[r] {
+				if c == timeCol {
+					continue
+				}
+				if ts.Rows[r][c] != tp.Rows[r][c] {
+					t.Errorf("table %s row %d col %s: serial %q != parallel %q",
+						name, r, ts.Header[c], ts.Rows[r][c], tp.Rows[r][c])
+				}
+			}
+		}
+	}
+}

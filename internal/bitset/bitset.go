@@ -138,6 +138,33 @@ func (s Set) Equal(o Set) bool {
 	return true
 }
 
+// NextSetBit returns the smallest element >= from, or -1 when no such
+// element exists. It is the allocation-free iteration primitive of the cover
+// engine's hot paths:
+//
+//	for v := s.NextSetBit(0); v >= 0; v = s.NextSetBit(v + 1) { ... }
+//
+// Unlike ForEach it needs no closure, so loop bodies that write to captured
+// locals stay off the heap.
+func (s Set) NextSetBit(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	i := from / wordBits
+	if i >= len(s) {
+		return -1
+	}
+	if w := s[i] >> (uint(from) % wordBits); w != 0 {
+		return from + bits.TrailingZeros64(w)
+	}
+	for i++; i < len(s); i++ {
+		if w := s[i]; w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
 // ForEach calls fn for every element in ascending order.
 func (s Set) ForEach(fn func(v int)) {
 	for i, w := range s {

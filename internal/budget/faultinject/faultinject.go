@@ -25,6 +25,10 @@ const (
 	SiteCover = "elim.cover"
 	// SiteCheckpoint fires once per budget checkpoint (budget.B.Check).
 	SiteCheckpoint = "budget.checkpoint"
+	// SiteParallelWorker fires once per task a parallel search worker picks
+	// up, on the worker's goroutine — so tests can prove a panic inside a
+	// worker is contained and surfaced as *budget.PanicError.
+	SiteParallelWorker = "search.parallel.worker"
 )
 
 var (

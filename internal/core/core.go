@@ -97,6 +97,12 @@ type Options struct {
 	GA ga.Config
 	// SAIGA configures saiga-ghw; zero-valued fields fall back to defaults.
 	SAIGA ga.SAIGAConfig
+	// Workers is the shared parallelism knob: it sets the worker count of
+	// the branch-and-bound searches (work-stealing parallel BB), det-k-decomp
+	// (parallel separator fan-out) and — unless GA.Workers was set explicitly
+	// — GA/SAIGA fitness evaluation. Values <= 1 keep every algorithm on its
+	// bit-identical serial path. A* ignores the knob.
+	Workers int
 	// Recorder, when non-nil, receives the run's instrumentation events
 	// (obs package): run start/stop, budget checkpoints, anytime width
 	// improvements, cover-cache snapshots. Several algorithms record from
@@ -176,7 +182,7 @@ func Decompose(h *hypergraph.Hypergraph, opts Options) (*Decomposition, error) {
 // decompose dispatches to the selected algorithm under the shared budget b
 // and post-processes the result into a validated decomposition.
 func decompose(h *hypergraph.Hypergraph, opts Options, b *budget.B) (*Decomposition, error) {
-	sopt := search.Options{Seed: opts.Seed, Budget: b, Recorder: opts.Recorder}
+	sopt := search.Options{Seed: opts.Seed, Budget: b, Recorder: opts.Recorder, Workers: opts.Workers}
 	var d *Decomposition
 	// pendingStop defers the algo_stop event of the core-level algorithms
 	// (greedy, interrupted hw-detk) to after post-processing, so the event
@@ -259,7 +265,7 @@ func decompose(h *hypergraph.Hypergraph, opts Options, b *budget.B) (*Decomposit
 		rng := rand.New(rand.NewSource(opts.Seed))
 		// hw ≤ tw+1 always, and the greedy ghw bound caps the search too.
 		maxK := bounds.MinFillUpperBound(h.PrimalGraph(), rng) + 1
-		w, g, provenLB := htd.HypertreeWidthObserved(h, maxK, b, rec)
+		w, g, provenLB := htd.HypertreeWidthParallel(h, maxK, opts.Workers, b, rec)
 		lb := bounds.TwKscWidth(h, rng)
 		if provenLB > lb {
 			lb = provenLB
@@ -413,6 +419,9 @@ func gaDefaults(cfg ga.Config, opts Options) ga.Config {
 	}
 	if cfg.Timeout == 0 {
 		cfg.Timeout = opts.Timeout
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = opts.Workers
 	}
 	return cfg
 }

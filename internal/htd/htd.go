@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"hypertree/internal/budget"
 	"hypertree/internal/budget/faultinject"
@@ -31,11 +32,30 @@ type decomposer struct {
 	memo  map[string]*node // nil value = known failure
 	edges [][]int
 	b     *budget.B
-	// stopped latches once the budget runs out mid-search. From then on
+	// stop latches once the budget runs out mid-search. From then on
 	// subproblems fail fast, and — crucially — nothing is memoized: a nil
-	// caused by exhaustion is "unknown", not "proven impossible".
-	stopped bool
+	// caused by exhaustion is "unknown", not "proven impossible". It is an
+	// atomic because the parallel driver shares one decomposer across its
+	// workers; serial runs pay one uncontended atomic op per check.
+	stop atomic.Bool
+	// cmemo, when non-nil, replaces memo with the concurrency-safe table the
+	// parallel driver shares across workers (serial runs leave it nil and
+	// keep the plain map).
+	cmemo *concMemo
+	// abort, when non-nil, is the parallel driver's first-success latch:
+	// once a worker finds a decomposition the siblings unwind. Unlike stop
+	// it does not mark the run interrupted.
+	abort *atomic.Bool
 }
+
+// halted reports whether the search should unwind without an answer:
+// budget exhausted, or (parallel runs) a sibling already succeeded. Nothing
+// is memoized past this point.
+func (d *decomposer) halted() bool {
+	return d.stop.Load() || d.aborted()
+}
+
+func (d *decomposer) aborted() bool { return d.abort != nil && d.abort.Load() }
 
 // node is a constructed decomposition subtree.
 type node struct {
@@ -69,7 +89,7 @@ func DecideHWBudget(h *hypergraph.Hypergraph, k int, b *budget.B) (g *decomp.GHD
 	}
 	root := d.decompose(all, nil, nil)
 	if root == nil {
-		return nil, false, d.stopped
+		return nil, false, d.stop.Load()
 	}
 	return d.toGHD(root), true, false
 }
@@ -96,9 +116,15 @@ func HypertreeWidthBudget(h *hypergraph.Hypergraph, maxK int, b *budget.B) (widt
 // width attempt emits a detk_attempt event, each refuted width a lower_bound
 // event, and a found decomposition an improve event. rec may be nil.
 func HypertreeWidthObserved(h *hypergraph.Hypergraph, maxK int, b *budget.B, rec obs.Recorder) (width int, g *decomp.GHD, provenLB int) {
+	return hypertreeWidthLoop(h, maxK, 1, b, rec)
+}
+
+// hypertreeWidthLoop is the k = 1, 2, … driver shared by the serial and
+// parallel entry points; workers > 1 selects DecideHWParallel per attempt.
+func hypertreeWidthLoop(h *hypergraph.Hypergraph, maxK, workers int, b *budget.B, rec obs.Recorder) (width int, g *decomp.GHD, provenLB int) {
 	provenLB = 1
 	for k := 1; k <= maxK; k++ {
-		g, ok, interrupted := DecideHWBudget(h, k, b)
+		g, ok, interrupted := DecideHWParallel(h, k, workers, b)
 		if rec != nil {
 			rec.Record(obs.Event{Kind: obs.KindAttempt, T: b.Elapsed(),
 				K: k, Found: ok, Nodes: b.Nodes()})
@@ -127,20 +153,75 @@ func HypertreeWidthObserved(h *hypergraph.Hypergraph, maxK int, b *budget.B, rec
 // comp ∪ oldSep (the det-k-decomp candidate rule enforcing the hypertree
 // descendant condition).
 func (d *decomposer) decompose(comp, connector, oldSep []int) *node {
-	if d.stopped || !d.b.Tick() {
-		d.stopped = true
+	if d.aborted() {
+		return nil
+	}
+	if d.stop.Load() || !d.b.Tick() {
+		d.stop.Store(true)
 		return nil
 	}
 	faultinject.Hit(faultinject.SiteSearchExpand)
 	key := memoKey(comp, connector)
+	if d.cmemo != nil {
+		return d.decomposeShared(key, comp, connector, oldSep)
+	}
 	if n, ok := d.memo[key]; ok {
 		return n
 	}
+	n := d.solve(comp, connector, oldSep)
+	// An exhausted or unwinding search proves nothing: memoizing nil here
+	// would wrongly record this subproblem as unsolvable for later (or
+	// resumed) queries.
+	if !d.halted() {
+		d.memo[key] = n
+	}
+	return n
+}
+
+// decomposeShared is decompose's memo path for parallel runs: exactly one
+// worker computes each (component, connector) subproblem while the others
+// wait for its answer. Waiting cannot deadlock — an owner only ever waits
+// on strictly smaller components than the one it owns (the progress guard
+// in try enforces strict shrinkage), so wait chains cannot cycle.
+func (d *decomposer) decomposeShared(key string, comp, connector, oldSep []int) *node {
+	for {
+		ent, owner := d.cmemo.acquire(key)
+		if !owner {
+			if n, valid := ent.wait(); valid {
+				return n
+			}
+			if d.halted() {
+				return nil
+			}
+			// The previous owner unwound without an answer but this worker
+			// is still live: re-claim the entry and compute it ourselves.
+			continue
+		}
+		var n *node
+		solved := false
+		func() {
+			// Whatever happens to the owner — including a panic on its way
+			// to the worker's containment handler — the entry must complete,
+			// or waiting workers would block forever.
+			defer func() {
+				if !solved {
+					ent.complete(nil, false)
+				}
+			}()
+			n = d.solve(comp, connector, oldSep)
+			solved = true
+		}()
+		ent.complete(n, !d.halted())
+		return n
+	}
+}
+
+// solve computes one subproblem: the base case, or the separator
+// enumeration. Callers handle memoization.
+func (d *decomposer) solve(comp, connector, oldSep []int) *node {
 	// Base case: the whole component fits into one λ-set.
 	if len(comp) <= d.k {
-		n := &node{lambda: append([]int(nil), comp...), chi: d.vars(comp)}
-		d.memo[key] = n
-		return n
+		return &node{lambda: append([]int(nil), comp...), chi: d.vars(comp)}
 	}
 	// Candidate separator edges: component edges plus the parent separator
 	// (det-k-decomp's completeness-preserving pool for hypertree width).
@@ -168,10 +249,15 @@ func (d *decomposer) decompose(comp, connector, oldSep []int) *node {
 		return false
 	}
 	choose = func(start, depth int) bool {
-		if d.stopped || !d.b.Tick() {
+		if d.aborted() {
+			// A sibling worker already found a decomposition; unwind fast
+			// without marking the run interrupted.
+			return true
+		}
+		if d.stop.Load() || !d.b.Tick() {
 			// Returning true unwinds the separator enumeration fast; result
-			// stays nil and the stopped flag keeps it out of the memo.
-			d.stopped = true
+			// stays nil and the stop latch keeps it out of the memo.
+			d.stop.Store(true)
 			return true
 		}
 		if len(sep) > 0 {
@@ -203,11 +289,6 @@ func (d *decomposer) decompose(comp, connector, oldSep []int) *node {
 		return false
 	}
 	choose(0, 0)
-	// An exhausted search proves nothing: memoizing nil here would wrongly
-	// record this subproblem as unsolvable for later (or resumed) queries.
-	if !d.stopped {
-		d.memo[key] = result
-	}
 	return result
 }
 

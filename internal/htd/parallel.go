@@ -1,0 +1,211 @@
+// Parallel det-k-decomp: the root separator enumeration decomposes into
+// independent subproblems — the separators whose smallest hyperedge is
+// pool[i] form a disjoint subtree of the serial enumeration for each i — so
+// workers claim first-edge indices from an atomic counter and race to find
+// any width-k decomposition. Deeper subproblems are shared through a
+// concurrency-safe memo table with in-flight deduplication: the first
+// worker to reach a (component, connector) pair computes it, later workers
+// wait for its answer instead of redoing the subtree.
+//
+// The serial semantics carry over: a decomposition is found iff the serial
+// search finds one (the workers partition the same enumeration), budget
+// exhaustion reports interrupted with nothing wrongly memoized, and a
+// worker panic stops the siblings and surfaces as *budget.PanicError.
+package htd
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"hypertree/internal/budget"
+	"hypertree/internal/budget/faultinject"
+	"hypertree/internal/decomp"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/obs"
+)
+
+// concMemo is the workers' shared (component, connector) table. Each entry
+// is computed by exactly one owner; the done channel publishes the answer.
+// Entries completed without an answer (owner unwound on budget stop or
+// abort) are re-claimable by a still-live worker, so an aborted owner never
+// poisons a subproblem.
+type concMemo struct {
+	mu sync.Mutex
+	m  map[string]*memoEntry
+}
+
+type memoEntry struct {
+	done  chan struct{}
+	n     *node
+	valid bool
+}
+
+func newConcMemo() *concMemo {
+	return &concMemo{m: make(map[string]*memoEntry)}
+}
+
+// acquire returns the entry for key and whether the caller became its
+// owner. An owner must eventually call complete exactly once.
+func (c *concMemo) acquire(key string) (*memoEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ent, ok := c.m[key]; ok {
+		select {
+		case <-ent.done:
+			if !ent.valid {
+				// The previous owner gave up; hand ownership to the caller.
+				fresh := &memoEntry{done: make(chan struct{})}
+				c.m[key] = fresh
+				return fresh, true
+			}
+		default:
+		}
+		return ent, false
+	}
+	ent := &memoEntry{done: make(chan struct{})}
+	c.m[key] = ent
+	return ent, true
+}
+
+// wait blocks until the owner completes and returns its answer. valid=false
+// means "the owner unwound without proving anything".
+func (e *memoEntry) wait() (*node, bool) {
+	<-e.done
+	return e.n, e.valid
+}
+
+// complete publishes the owner's answer and wakes the waiters.
+func (e *memoEntry) complete(n *node, valid bool) {
+	e.n = n
+	e.valid = valid
+	close(e.done)
+}
+
+// DecideHWParallel is DecideHWBudget with workers goroutines racing over
+// the root separator choices; workers <= 1 falls through to the serial
+// search. The decision (and interrupted flag) matches the serial search;
+// the witnessing decomposition may differ when several widths-k
+// decompositions exist.
+func DecideHWParallel(h *hypergraph.Hypergraph, k, workers int, b *budget.B) (g *decomp.GHD, ok, interrupted bool) {
+	if workers <= 1 {
+		return DecideHWBudget(h, k, b)
+	}
+	if k < 1 {
+		return nil, false, false
+	}
+	if h.M() == 0 || !h.CoversAllVertices() {
+		return nil, false, false
+	}
+	d := &decomposer{h: h, k: k, edges: h.Edges(), b: b,
+		cmemo: newConcMemo(), abort: new(atomic.Bool)}
+	all := make([]int, h.M())
+	for i := range all {
+		all[i] = i
+	}
+	if len(all) <= k {
+		return d.toGHD(&node{lambda: all, chi: d.vars(all)}), true, false
+	}
+	// Mirror the root of the serial enumeration: pool = all edges (sorted,
+	// distinct), empty connector, whole edge set as the component.
+	compVars := d.vars(all)
+	inComp := make(map[int]bool, len(compVars))
+	for _, v := range compVars {
+		inComp[v] = true
+	}
+	var (
+		next   atomic.Int64
+		mu     sync.Mutex
+		result *node
+		pe     *budget.PanicError
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					p := budget.AsPanicError(r)
+					mu.Lock()
+					if pe == nil {
+						pe = p
+					}
+					mu.Unlock()
+					d.stop.Store(true)
+					d.b.Stop(budget.StopPanic)
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(all) || d.halted() {
+					return
+				}
+				faultinject.Hit(faultinject.SiteParallelWorker)
+				if n := d.rootEnum(all, i, all, inComp); n != nil {
+					mu.Lock()
+					if result == nil {
+						result = n
+					}
+					mu.Unlock()
+					// First success wins; siblings unwind at their next
+					// abort check without marking the run interrupted.
+					d.abort.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if pe != nil {
+		// Rethrow on the caller's goroutine for budget.Guard to contain.
+		panic(pe)
+	}
+	if result != nil {
+		return d.toGHD(result), true, false
+	}
+	return nil, false, d.stop.Load()
+}
+
+// rootEnum enumerates the root separators whose first (smallest) edge is
+// pool[first] — one disjoint slice of the serial choose tree — and returns
+// a decomposition if any of them works. The root connector is empty, so
+// every non-empty separator passes the coverage test.
+func (d *decomposer) rootEnum(pool []int, first int, comp []int, inComp map[int]bool) *node {
+	sep := make([]int, 0, d.k)
+	sep = append(sep, pool[first])
+	var result *node
+	var extend func(start, depth int) bool
+	extend = func(start, depth int) bool {
+		if d.aborted() {
+			return true
+		}
+		if d.stop.Load() || !d.b.Tick() {
+			d.stop.Store(true)
+			return true
+		}
+		if n := d.try(comp, sep, inComp); n != nil {
+			result = n
+			return true
+		}
+		if depth == d.k {
+			return false
+		}
+		for i := start; i < len(pool); i++ {
+			sep = append(sep, pool[i])
+			if extend(i+1, depth+1) {
+				return true
+			}
+			sep = sep[:len(sep)-1]
+		}
+		return false
+	}
+	extend(first+1, 1)
+	return result
+}
+
+// HypertreeWidthParallel computes hw(h) like HypertreeWidthObserved but
+// decides each width attempt with workers goroutines. Instrumentation
+// events are identical in shape to the serial driver's.
+func HypertreeWidthParallel(h *hypergraph.Hypergraph, maxK, workers int, b *budget.B, rec obs.Recorder) (width int, g *decomp.GHD, provenLB int) {
+	return hypertreeWidthLoop(h, maxK, workers, b, rec)
+}

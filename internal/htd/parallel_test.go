@@ -1,0 +1,126 @@
+package htd
+
+import (
+	"errors"
+	"testing"
+
+	"hypertree/internal/budget"
+	"hypertree/internal/budget/faultinject"
+	"hypertree/internal/hypergraph"
+)
+
+// TestParallelDetKSmoke is the `make par-smoke` gate for det-k-decomp: the
+// parallel decision and width must match the serial search under the race
+// detector, and the parallel witness must validate.
+func TestParallelDetKSmoke(t *testing.T) {
+	h := hypergraph.Grid2D(4)
+	for k := 1; k <= 4; k++ {
+		gs, okS, intS := DecideHWBudget(h, k, nil)
+		gp, okP, intP := DecideHWParallel(h, k, 4, nil)
+		if intS || intP {
+			t.Fatalf("k=%d: unbudgeted run reported interrupted (serial=%v parallel=%v)", k, intS, intP)
+		}
+		if okS != okP {
+			t.Fatalf("k=%d: serial ok=%v, parallel ok=%v", k, okS, okP)
+		}
+		if okS {
+			if err := gp.Validate(h); err != nil {
+				t.Fatalf("k=%d: parallel witness invalid: %v", k, err)
+			}
+			if gp.Width() > k || gs.Width() > k {
+				t.Fatalf("k=%d: witness width serial=%d parallel=%d", k, gs.Width(), gp.Width())
+			}
+		}
+	}
+}
+
+// TestParallelDetKMatchesSerial proves decision equivalence across a small
+// corpus and worker counts.
+func TestParallelDetKMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		h    *hypergraph.Hypergraph
+		maxK int
+	}{
+		{"grid2d_4", hypergraph.Grid2D(4), 4},
+		{"clique_7", hypergraph.CliqueHypergraph(7), 5},
+		{"rand_10_12", hypergraph.RandomHypergraph(10, 12, 1, 3, 7), 4},
+		{"rand_9_10", hypergraph.RandomHypergraph(9, 10, 2, 4, 3), 4},
+	} {
+		for k := 1; k <= tc.maxK; k++ {
+			_, okS, _ := DecideHWBudget(tc.h, k, nil)
+			for _, w := range []int{2, 4} {
+				gp, okP, _ := DecideHWParallel(tc.h, k, w, nil)
+				if okP != okS {
+					t.Errorf("%s k=%d workers=%d: parallel ok=%v, serial ok=%v", tc.name, k, w, okP, okS)
+				}
+				if okP {
+					if err := gp.Validate(tc.h); err != nil {
+						t.Errorf("%s k=%d workers=%d: invalid witness: %v", tc.name, k, w, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelHypertreeWidthMatchesSerial runs the full width driver both
+// ways.
+func TestParallelHypertreeWidthMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		h    *hypergraph.Hypergraph
+	}{
+		{"grid2d_4", hypergraph.Grid2D(4)},
+		{"clique_6", hypergraph.CliqueHypergraph(6)},
+		{"rand_10_12", hypergraph.RandomHypergraph(10, 12, 1, 3, 7)},
+	} {
+		ws, gs, _ := HypertreeWidthObserved(tc.h, 6, nil, nil)
+		wp, gp, _ := HypertreeWidthParallel(tc.h, 6, 4, nil, nil)
+		if wp != ws {
+			t.Errorf("%s: parallel width %d != serial %d", tc.name, wp, ws)
+		}
+		if (gs == nil) != (gp == nil) {
+			t.Errorf("%s: witness presence differs (serial=%v parallel=%v)", tc.name, gs != nil, gp != nil)
+		}
+		if gp != nil {
+			if err := gp.Validate(tc.h); err != nil {
+				t.Errorf("%s: parallel witness invalid: %v", tc.name, err)
+			}
+		}
+	}
+}
+
+// TestParallelDetKInterrupted: an exhausted budget must report interrupted,
+// not a wrong "no decomposition" answer.
+func TestParallelDetKInterrupted(t *testing.T) {
+	h := hypergraph.Grid2D(6)
+	b := budget.New(nil, budget.Limits{MaxNodes: 5, CheckEvery: 1})
+	g, ok, interrupted := DecideHWParallel(h, 3, 4, b)
+	if ok || g != nil {
+		t.Fatalf("5-node budget cannot decide grid2d_6 at k=3 (ok=%v)", ok)
+	}
+	if !interrupted {
+		t.Fatal("budget-stopped parallel run did not report interrupted")
+	}
+}
+
+// TestParallelDetKWorkerPanicContained: a panic on a worker goroutine must
+// surface to the caller as *budget.PanicError via budget.Guard.
+func TestParallelDetKWorkerPanicContained(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Arm(faultinject.SiteParallelWorker, 1, func() { panic("injected det-k worker failure") })
+	h := hypergraph.Grid2D(4)
+	b := budget.New(nil, budget.Limits{})
+	err := budget.Guard(b, func() error {
+		DecideHWParallel(h, 2, 4, b)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("injected worker panic did not surface")
+	}
+	var pe *budget.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %T (%v), want *budget.PanicError", err, err)
+	}
+}

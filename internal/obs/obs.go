@@ -137,6 +137,16 @@ type Event struct {
 	CacheMisses    int64 `json:"cache_misses,omitempty"`
 	CacheEvictions int64 `json:"cache_evictions,omitempty"`
 	CacheSize      int   `json:"cache_size,omitempty"`
+	// WorkerID is the 1-based parallel worker that emitted the event; 0 (and
+	// absent from JSON) means the run's single main goroutine. Parallel BB
+	// workers stamp it on their improve events so a trace shows which worker
+	// tightened the shared incumbent.
+	WorkerID int `json:"worker_id,omitempty"`
+	// Steals and Requeues are the work-stealing counters of a parallel
+	// search's algo_stop event: tasks taken from another worker's deque, and
+	// tasks pushed back when a worker split its subtree to feed idle peers.
+	Steals   int64 `json:"steals,omitempty"`
+	Requeues int64 `json:"requeues,omitempty"`
 	// Stop is the budget stop reason on algo_stop (empty = completed).
 	Stop string `json:"stop,omitempty"`
 }

@@ -8,12 +8,16 @@ import (
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/obs"
 	"hypertree/internal/reduce"
+	"hypertree/internal/setcover"
 )
 
 // BBTreewidth runs the branch-and-bound treewidth search (the thesis's
 // review of BB-tw / QuickBB, §4.4, with PR1, PR2, reductions and per-node
 // minor-min-width bounds). The result is exact unless a budget was hit.
 func BBTreewidth(g *hypergraph.Graph, opts Options) Result {
+	if opts.Workers > 1 {
+		return runBBParallel(opts, "bb-tw", func() model { return newTWModel(g, opts.Seed) })
+	}
 	return runBB(newTWModel(g, opts.Seed), opts, "bb-tw")
 }
 
@@ -22,6 +26,10 @@ func BBTreewidth(g *hypergraph.Graph, opts Options) Result {
 // covers for bag costs, the tw-ksc-width lower bound at interior nodes,
 // simplicial reductions and the non-adjacent case of PR2.
 func BBGHW(h *hypergraph.Hypergraph, opts Options) Result {
+	if opts.Workers > 1 {
+		eng := setcover.NewEngine(h, setcover.DefaultCacheCapacity)
+		return runBBParallel(opts, "bb-ghw", func() model { return newGHWModelShared(eng, opts.Seed, true) })
+	}
 	return runBB(newGHWModel(h, opts.Seed, true), opts, "bb-ghw")
 }
 
@@ -29,6 +37,10 @@ func BBGHW(h *hypergraph.Hypergraph, opts Options) Result {
 // still an upper-bound-producing anytime algorithm, but its "exact" result
 // is only exact with respect to greedy covers.
 func BBGHWGreedy(h *hypergraph.Hypergraph, opts Options) Result {
+	if opts.Workers > 1 {
+		eng := setcover.NewEngine(h, setcover.DefaultCacheCapacity)
+		return runBBParallel(opts, "bb-ghw-greedy", func() model { return newGHWModelShared(eng, opts.Seed, false) })
+	}
 	return runBB(newGHWModel(h, opts.Seed, false), opts, "bb-ghw-greedy")
 }
 
@@ -42,12 +54,77 @@ type bbSearch struct {
 	lbRoot int
 	best   []int
 	prefix []int
+	// shared is the parallel run's coordination state; nil in serial runs,
+	// where ub above is the sole incumbent.
+	shared *bbShared
+	// worker is the 1-based parallel worker id stamped on improve events;
+	// 0 for serial runs and the parallel coordinator.
+	worker int
+	// seedLimit, when positive, makes dfs stop recursing at that prefix depth
+	// and append the surviving frontier nodes to seedOut as tasks instead.
+	// The parallel engine uses it to carve the root into disjoint subtree
+	// tasks with the same pruning the serial search applies.
+	seedLimit int
+	seedOut   []bbTask
 }
 
 // improve records a best-width improvement event.
 func (s *bbSearch) improve(w int) {
 	s.rec.Record(obs.Event{Kind: obs.KindImprove, T: s.budget.Elapsed(),
-		Width: w, Nodes: s.budget.Nodes()})
+		Width: w, Nodes: s.budget.Nodes(), WorkerID: s.worker})
+}
+
+// claimImprove tries to install w as the new incumbent width and reports
+// whether it won. Serial runs compare against the local bound; parallel runs
+// CAS the shared atomic bound, refreshing the local copy when another worker
+// got there first.
+func (s *bbSearch) claimImprove(w int) bool {
+	if s.shared == nil {
+		if w >= s.ub {
+			return false
+		}
+		s.ub = w
+		return true
+	}
+	for {
+		cur := s.shared.ub.Load()
+		if int64(w) >= cur {
+			if int(cur) < s.ub {
+				s.ub = int(cur)
+			}
+			return false
+		}
+		if s.shared.ub.CompareAndSwap(cur, int64(w)) {
+			s.ub = w
+			return true
+		}
+	}
+}
+
+// publishBest stores s.best as the shared incumbent ordering if w still
+// beats it (another worker may have improved past w since the claim).
+func (s *bbSearch) publishBest(w int) {
+	if s.shared == nil {
+		return
+	}
+	sh := s.shared
+	sh.mu.Lock()
+	if w < sh.bestW {
+		sh.bestW = w
+		sh.best = s.best
+	}
+	sh.mu.Unlock()
+}
+
+// syncUB refreshes the local pruning bound from the shared incumbent. A
+// stale local bound only weakens pruning, never correctness, so one relaxed
+// atomic load per call is enough.
+func (s *bbSearch) syncUB() {
+	if s.shared != nil {
+		if u := int(s.shared.ub.Load()); u < s.ub {
+			s.ub = u
+		}
+	}
 }
 
 func runBB(m model, opts Options, defaultLabel string) Result {
@@ -100,6 +177,7 @@ func (s *bbSearch) dfs(g, f int, lastReduced bool) {
 	if !s.budget.Tick() {
 		return
 	}
+	s.syncUB()
 	s.shape.depth.Store(int64(len(s.prefix)))
 	// Every dfs return is one exhausted subtree — the backtrack gauge the
 	// checkpoint events carry.
@@ -110,9 +188,9 @@ func (s *bbSearch) dfs(g, f int, lastReduced bool) {
 	// max(g, completionCap); harvest it as an upper bound, and stop if the
 	// subtree cannot do better.
 	cap := s.m.completionCap()
-	if w := max2(g, cap); w < s.ub {
-		s.ub = w
+	if w := max2(g, cap); w < s.ub && s.claimImprove(w) {
 		s.best = completion(e, s.prefix)
+		s.publishBest(w)
 		s.improve(w)
 	}
 	if cap <= g {
@@ -147,6 +225,7 @@ func (s *bbSearch) dfs(g, f int, lastReduced bool) {
 		if !s.budget.Tick() {
 			return
 		}
+		s.syncUB()
 		v, cost := c.v, c.cost
 		if !reduced && !lastReduced && !s.opts.DisablePR2 && pr2Skip(s.m, v) {
 			continue
@@ -163,7 +242,16 @@ func (s *bbSearch) dfs(g, f int, lastReduced bool) {
 		}
 		f2 := max3(g2, h, f)
 		if f2 < s.ub {
-			s.dfs(g2, f2, reduced)
+			if s.seedLimit > 0 && len(s.prefix) >= s.seedLimit {
+				s.seedOut = append(s.seedOut, bbTask{
+					prefix:  append([]int(nil), s.prefix...),
+					g:       g2,
+					f:       f2,
+					reduced: reduced,
+				})
+			} else {
+				s.dfs(g2, f2, reduced)
+			}
 		}
 		s.prefix = s.prefix[:len(s.prefix)-1]
 		e.Restore()

@@ -1,0 +1,309 @@
+// The parallel branch-and-bound engine: a fixed pool of workers explores
+// disjoint elimination-prefix subtrees drawn from per-worker work-stealing
+// deques, sharing one atomic incumbent width so any worker's improvement
+// tightens pruning everywhere at once.
+//
+// Division of labor: a coordinator expands the shallow layers of the search
+// tree exactly like the serial dfs (same reductions, PR1/PR2, bound checks)
+// but collects the surviving frontier as tasks instead of recursing. The
+// tasks are dealt round-robin into the deques; each worker replays a task's
+// prefix on its own elimination graph and runs the ordinary dfs below it.
+// When the deques run low, workers split a shallow task one more level and
+// requeue the children, so late stragglers keep every core busy.
+//
+// Contracts preserved from the serial search: one shared budget (a stop —
+// deadline, node cap, cancellation, panic — halts every worker at its next
+// tick), anytime best-so-far results, and panic containment (the first
+// worker panic stops the budget, the siblings drain, and the panic is
+// rethrown to the caller as a *budget.PanicError for budget.Guard). The
+// optimal width and exactness flag match the serial search; the ordering
+// achieving the width and the node count may differ (pruning depends on
+// discovery order).
+package search
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"hypertree/internal/budget"
+	"hypertree/internal/budget/faultinject"
+	"hypertree/internal/obs"
+)
+
+// bbTask is one frontier node of the parallel search: the elimination
+// prefix to replay plus the g/f bounds and PR2 suppression flag the serial
+// dfs would have carried into the recursive call.
+type bbTask struct {
+	prefix  []int
+	g, f    int
+	reduced bool
+}
+
+// bbDeque is one worker's task queue. The owner pops from the front (tasks
+// arrive cheapest-first, matching the serial child order), thieves steal
+// from the back. A mutex per deque is plenty: tasks are coarse (whole
+// subtrees), so queue operations are rare next to search work.
+type bbDeque struct {
+	mu    sync.Mutex
+	head  int
+	tasks []bbTask
+}
+
+func (d *bbDeque) push(ts []bbTask) {
+	d.mu.Lock()
+	d.tasks = append(d.tasks, ts...)
+	d.mu.Unlock()
+}
+
+func (d *bbDeque) popFront() (bbTask, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head >= len(d.tasks) {
+		return bbTask{}, false
+	}
+	t := d.tasks[d.head]
+	d.tasks[d.head] = bbTask{}
+	d.head++
+	if d.head == len(d.tasks) {
+		d.tasks = d.tasks[:0]
+		d.head = 0
+	}
+	return t, true
+}
+
+func (d *bbDeque) popBack() (bbTask, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head >= len(d.tasks) {
+		return bbTask{}, false
+	}
+	last := len(d.tasks) - 1
+	t := d.tasks[last]
+	d.tasks[last] = bbTask{}
+	d.tasks = d.tasks[:last]
+	if d.head == len(d.tasks) {
+		d.tasks = d.tasks[:0]
+		d.head = 0
+	}
+	return t, true
+}
+
+// bbShared is the coordination state of one parallel run.
+type bbShared struct {
+	// ub is the incumbent width every worker prunes against; claimImprove
+	// CASes it down, syncUB refreshes the workers' local copies.
+	ub atomic.Int64
+	// mu guards the incumbent ordering; bestW keeps publishes monotone when
+	// two workers race their claims.
+	mu    sync.Mutex
+	bestW int
+	best  []int
+
+	deques []bbDeque
+	// pending counts tasks queued or running; the pool is exhausted — the
+	// search is complete — when it reaches zero.
+	pending atomic.Int64
+	// queued counts tasks sitting in deques; the split heuristic feeds the
+	// pool when it drops below the worker count.
+	queued atomic.Int64
+	// splitBelow bounds task splitting: a task whose prefix is at least this
+	// deep runs to completion on one worker rather than being re-split.
+	splitBelow int
+
+	steals   atomic.Int64
+	requeues atomic.Int64
+
+	panicMu  sync.Mutex
+	panicked *budget.PanicError
+}
+
+// noteWorkerPanic records the first worker panic and stops the budget so
+// sibling workers drain at their next tick.
+func (sh *bbShared) noteWorkerPanic(r interface{}, b *budget.B) {
+	pe := budget.AsPanicError(r)
+	sh.panicMu.Lock()
+	if sh.panicked == nil {
+		sh.panicked = pe
+	}
+	sh.panicMu.Unlock()
+	b.Stop(budget.StopPanic)
+}
+
+// runTask replays t's prefix on s's elimination graph and runs the serial
+// dfs below it.
+func (s *bbSearch) runTask(t bbTask) {
+	e := s.m.graph()
+	for _, v := range t.prefix {
+		e.Eliminate(v)
+	}
+	s.prefix = append(s.prefix[:0], t.prefix...)
+	s.dfs(t.g, t.f, t.reduced)
+	for range t.prefix {
+		e.Restore()
+	}
+}
+
+// splitTask expands t exactly one level — performing the node's own work
+// (PR1 harvest, reductions, child evaluation) once — and returns the
+// surviving children as fresh tasks.
+func (s *bbSearch) splitTask(t bbTask) []bbTask {
+	e := s.m.graph()
+	for _, v := range t.prefix {
+		e.Eliminate(v)
+	}
+	s.prefix = append(s.prefix[:0], t.prefix...)
+	s.seedLimit = len(t.prefix) + 1
+	s.seedOut = s.seedOut[:0]
+	s.dfs(t.g, t.f, t.reduced)
+	s.seedLimit = 0
+	for range t.prefix {
+		e.Restore()
+	}
+	return s.seedOut
+}
+
+// workerLoop is one worker's life: pop own tasks front-first, steal from
+// siblings back-first, split shallow tasks when the pool runs low, exit when
+// the pool is exhausted or the budget stops.
+func (sh *bbShared) workerLoop(id int, s *bbSearch, b *budget.B) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.noteWorkerPanic(r, b)
+		}
+	}()
+	own := &sh.deques[id]
+	n := len(sh.deques)
+	for {
+		if b.Stopped() {
+			return
+		}
+		t, ok := own.popFront()
+		if !ok {
+			for k := 1; k < n && !ok; k++ {
+				t, ok = sh.deques[(id+k)%n].popBack()
+			}
+			if ok {
+				sh.steals.Add(1)
+			}
+		}
+		if !ok {
+			if sh.pending.Load() == 0 {
+				return
+			}
+			// Another worker still holds tasks (or is about to requeue
+			// splits); yield and retry the steal.
+			runtime.Gosched()
+			continue
+		}
+		sh.queued.Add(-1)
+		faultinject.Hit(faultinject.SiteParallelWorker)
+		s.syncUB()
+		if t.f < s.ub {
+			if sh.queued.Load() < int64(n) && len(t.prefix) < sh.splitBelow {
+				kids := s.splitTask(t)
+				if len(kids) > 0 {
+					sh.pending.Add(int64(len(kids)))
+					sh.requeues.Add(int64(len(kids)))
+					own.push(kids)
+					sh.queued.Add(int64(len(kids)))
+				}
+			} else {
+				s.runTask(t)
+			}
+		}
+		sh.pending.Add(-1)
+	}
+}
+
+// runBBParallel is the parallel counterpart of runBB. newModel must return
+// independent models that agree on the instance (for the ghw models, the
+// entry points bind them to one shared cover engine so workers share the
+// bag memo).
+func runBBParallel(opts Options, defaultLabel string, newModel func() model) Result {
+	b := opts.budgetFor()
+	nw := opts.Workers
+	shape := &gauges{}
+	coord := newModel()
+	stats, rec, label := instrument(coord, opts, b, defaultLabel, shape)
+	lb, ub, ordering := coord.initial()
+	if opts.InitialUB > 0 && opts.InitialUB < ub {
+		ub = opts.InitialUB
+		ordering = nil
+	}
+	sh := &bbShared{bestW: ub, best: ordering, deques: make([]bbDeque, nw)}
+	sh.ub.Store(int64(ub))
+	cs := &bbSearch{m: coord, opts: opts, budget: b, rec: rec, shape: shape,
+		ub: ub, lbRoot: lb, best: ordering, shared: sh}
+	cs.improve(ub)
+	rec.Record(obs.Event{Kind: obs.KindLowerBound, T: b.Elapsed(), LowerBound: lb, Nodes: b.Nodes()})
+	if lb < ub && coord.graph().N() > 0 {
+		// Seed depth 1 usually yields enough root tasks (one per live
+		// vertex); go one deeper on tiny frontiers so every worker gets work.
+		depth := 1
+		if coord.graph().Live() < 3*nw {
+			depth = 2
+		}
+		sh.splitBelow = depth + 2
+		cs.seedLimit = depth
+		cs.dfs(0, lb, false)
+		cs.seedLimit = 0
+		tasks := cs.seedOut
+		for i, t := range tasks {
+			sh.deques[i%nw].push([]bbTask{t})
+		}
+		sh.pending.Store(int64(len(tasks)))
+		sh.queued.Store(int64(len(tasks)))
+		var wg sync.WaitGroup
+		for i := 0; i < nw; i++ {
+			m := coord
+			if i > 0 {
+				m = newModel()
+			}
+			ws := &bbSearch{m: m, opts: opts, budget: b, rec: rec, shape: shape,
+				ub: int(sh.ub.Load()), lbRoot: lb, shared: sh, worker: i + 1}
+			wg.Add(1)
+			go func(id int, s *bbSearch) {
+				defer wg.Done()
+				sh.workerLoop(id, s, b)
+			}(i, ws)
+		}
+		wg.Wait()
+		if sh.panicked != nil {
+			// Rethrow on the caller's goroutine; budget.Guard at the API
+			// boundary converts it into an anytime error result.
+			panic(sh.panicked)
+		}
+	}
+	exact := !b.Stopped()
+	sh.mu.Lock()
+	width, best := sh.bestW, sh.best
+	sh.mu.Unlock()
+	lbOut := lb
+	if exact {
+		lbOut = width
+		rec.Record(obs.Event{Kind: obs.KindLowerBound, T: b.Elapsed(), LowerBound: lbOut, Nodes: b.Nodes()})
+	}
+	r := finish(coord, Result{
+		Width:      width,
+		LowerBound: lbOut,
+		Exact:      exact,
+		Ordering:   best,
+		Nodes:      b.Nodes(),
+		Elapsed:    b.Elapsed(),
+		Stop:       b.Reason(),
+		Steals:     sh.steals.Load(),
+		Requeues:   sh.requeues.Load(),
+	})
+	if st := coord.cacheStats(); st.Hits+st.Misses > 0 {
+		rec.Record(obs.Event{Kind: obs.KindCoverCache, T: b.Elapsed(),
+			CacheHits: st.Hits, CacheMisses: st.Misses,
+			CacheEvictions: st.Evictions, CacheSize: st.Size})
+	}
+	rec.Record(obs.Event{Kind: obs.KindStop, T: b.Elapsed(), Algo: label,
+		Width: r.Width, LowerBound: r.LowerBound, Exact: r.Exact,
+		Nodes: r.Nodes, Backtracks: shape.backtracks.Load(),
+		Steals: r.Steals, Requeues: r.Requeues, Stop: string(r.Stop)})
+	r.Stats = stats
+	return r
+}

@@ -1,0 +1,153 @@
+package search
+
+import (
+	"errors"
+	"testing"
+
+	"hypertree/internal/budget"
+	"hypertree/internal/budget/faultinject"
+	"hypertree/internal/elim"
+	"hypertree/internal/hypergraph"
+)
+
+// TestParallelBBSmoke is the `make par-smoke` gate: one mid-size instance,
+// Workers=4 under the race detector, parallel width equal to serial.
+func TestParallelBBSmoke(t *testing.T) {
+	h := hypergraph.Grid2D(6)
+	serial := BBGHW(h, Options{Seed: 1})
+	par := BBGHW(h, Options{Seed: 1, Workers: 4})
+	if !serial.Exact || !par.Exact {
+		t.Fatalf("smoke instance did not close: serial exact=%v, parallel exact=%v", serial.Exact, par.Exact)
+	}
+	if par.Width != serial.Width {
+		t.Fatalf("parallel width %d != serial width %d", par.Width, serial.Width)
+	}
+	if par.Ordering != nil {
+		if w := elim.NewGHWEvaluator(h, true, nil).Width(par.Ordering); w != par.Width {
+			t.Fatalf("parallel ordering has width %d, reported %d", w, par.Width)
+		}
+	}
+}
+
+// TestParallelBBGHWMatchesSerial proves the exactness contract: on instances
+// the serial search closes, every worker count closes them at the same width.
+func TestParallelBBGHWMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		h    *hypergraph.Hypergraph
+	}{
+		{"grid2d_5", hypergraph.Grid2D(5)},
+		{"grid2d_6", hypergraph.Grid2D(6)},
+		{"clique_7", hypergraph.CliqueHypergraph(7)},
+		{"adder_5", hypergraph.Adder(5)},
+		{"rand_10_12", hypergraph.RandomHypergraph(10, 12, 1, 3, 7)},
+		{"rand_12_14", hypergraph.RandomHypergraph(12, 14, 2, 4, 11)},
+	} {
+		serial := BBGHW(tc.h, Options{Seed: 1})
+		if !serial.Exact {
+			t.Fatalf("%s: serial run unexpectedly not exact", tc.name)
+		}
+		for _, w := range []int{2, 4} {
+			par := BBGHW(tc.h, Options{Seed: 1, Workers: w})
+			if !par.Exact {
+				t.Errorf("%s workers=%d: not exact", tc.name, w)
+			}
+			if par.Width != serial.Width {
+				t.Errorf("%s workers=%d: width %d != serial %d", tc.name, w, par.Width, serial.Width)
+			}
+			if par.LowerBound != serial.LowerBound {
+				t.Errorf("%s workers=%d: lb %d != serial %d", tc.name, w, par.LowerBound, serial.LowerBound)
+			}
+			if par.Ordering != nil {
+				if got := elim.NewGHWEvaluator(tc.h, true, nil).Width(par.Ordering); got != par.Width {
+					t.Errorf("%s workers=%d: ordering width %d != reported %d", tc.name, w, got, par.Width)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelBBTreewidthMatchesSerial is the same contract for BB-tw.
+func TestParallelBBTreewidthMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *hypergraph.Graph
+	}{
+		{"K5", hypergraph.CliqueGraph(5)},
+		{"grid4", hypergraph.Grid(4)},
+		{"queen4", hypergraph.Queen(4)},
+		{"queen5", hypergraph.Queen(5)},
+	} {
+		serial := BBTreewidth(tc.g, Options{Seed: 1})
+		for _, w := range []int{2, 4} {
+			par := BBTreewidth(tc.g, Options{Seed: 1, Workers: w})
+			if par.Exact != serial.Exact || par.Width != serial.Width {
+				t.Errorf("%s workers=%d: width=%d exact=%v, serial width=%d exact=%v",
+					tc.name, w, par.Width, par.Exact, serial.Width, serial.Exact)
+			}
+			if par.Ordering != nil {
+				if got := elim.WidthOfGraph(tc.g, par.Ordering); got != par.Width {
+					t.Errorf("%s workers=%d: ordering width %d != reported %d", tc.name, w, got, par.Width)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelBBAnytimeUnderBudget: a starved parallel run must still return
+// a usable anytime result (finite width from the greedy root bound or
+// better) and report the interruption.
+func TestParallelBBAnytimeUnderBudget(t *testing.T) {
+	h := hypergraph.Grid2D(8)
+	r := BBGHW(h, Options{Seed: 1, Workers: 4, MaxNodes: 200})
+	if r.Exact {
+		t.Fatalf("200-node run on grid2d_8 cannot be exact")
+	}
+	if r.Stop != budget.StopNodes {
+		t.Errorf("stop reason %q, want %q", r.Stop, budget.StopNodes)
+	}
+	if r.Width <= 0 || r.Width > h.M() {
+		t.Errorf("anytime width %d out of range", r.Width)
+	}
+	if r.LowerBound > r.Width {
+		t.Errorf("lb %d > width %d", r.LowerBound, r.Width)
+	}
+}
+
+// TestParallelBBWorkerPanicContained arms the per-task worker fault site so
+// one worker goroutine panics mid-search; the run must surface a single
+// *budget.PanicError through budget.Guard, not crash the process.
+func TestParallelBBWorkerPanicContained(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Arm(faultinject.SiteParallelWorker, 2, func() { panic("injected worker failure") })
+	h := hypergraph.Grid2D(6)
+	b := budget.New(nil, budget.Limits{})
+	err := budget.Guard(b, func() error {
+		BBGHW(h, Options{Seed: 1, Workers: 4})
+		return nil
+	})
+	if err == nil {
+		t.Fatal("injected worker panic did not surface")
+	}
+	var pe *budget.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %T (%v), want *budget.PanicError", err, err)
+	}
+	if b.Reason() != budget.StopPanic {
+		t.Errorf("guard budget reason %q, want %q", b.Reason(), budget.StopPanic)
+	}
+}
+
+// TestParallelBBStealCounters: with enough workers on a real search some
+// tasks are seeded and the counters stay consistent (non-negative; steals
+// can be zero when one worker drains everything first).
+func TestParallelBBStealCounters(t *testing.T) {
+	h := hypergraph.Grid2D(6)
+	r := BBGHW(h, Options{Seed: 1, Workers: 4})
+	if r.Steals < 0 || r.Requeues < 0 {
+		t.Fatalf("negative counters: steals=%d requeues=%d", r.Steals, r.Requeues)
+	}
+	if s := BBGHW(h, Options{Seed: 1}); s.Steals != 0 || s.Requeues != 0 {
+		t.Fatalf("serial run reports steals=%d requeues=%d, want 0", s.Steals, s.Requeues)
+	}
+}

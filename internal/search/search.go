@@ -60,6 +60,20 @@ type Options struct {
 	// Label names the run in instrumentation events; the entry points
 	// default it ("astar-tw", "bb-ghw", ...).
 	Label string
+	// Workers selects the number of branch-and-bound worker goroutines.
+	// Values <= 1 run the unchanged serial search (bit-identical to previous
+	// releases). Larger values run the work-stealing parallel engine: the
+	// root frontier is split into disjoint prefix subtrees, workers draw them
+	// from per-worker deques (stealing when their own runs dry), and a shared
+	// atomic incumbent width makes any worker's improvement tighten pruning
+	// everywhere at once. Parallel runs keep the budget/anytime/panic
+	// contracts (one shared budget; a worker panic cancels the siblings and
+	// surfaces as *budget.PanicError), find the same optimal width and
+	// exactness flag as serial runs, but may return a different optimal
+	// ordering and explore a different number of nodes. Only the BB entry
+	// points parallelize; A* ignores the knob (its shared open list does not
+	// decompose the same way).
+	Workers int
 	// DedupeStates enables A* duplicate detection: two prefixes eliminating
 	// the same vertex set leave the same residual graph, so only the one
 	// with the smaller g needs expanding. An extension beyond the thesis's
@@ -96,6 +110,12 @@ type Result struct {
 	// searches, which never cover bags).
 	CoverCacheHits   int64
 	CoverCacheMisses int64
+	// Steals and Requeues are the work-stealing counters of a parallel run
+	// (Options.Workers > 1; zero for serial runs): tasks a worker took from
+	// another worker's deque, and tasks pushed back into the deques when a
+	// worker split a subtree to feed idle peers.
+	Steals   int64
+	Requeues int64
 	// Stats aggregates the run's instrumentation events: the anytime-width
 	// timeline, proven-lower-bound trajectory, open-list high-water mark and
 	// cover-cache traffic. Always populated.
@@ -234,6 +254,21 @@ func newGHWModel(h *hypergraph.Hypergraph, seed int64, exactCovers bool) *ghwMod
 	return &ghwModel{
 		h:        h,
 		ev:       elim.NewGHWEvaluator(h, exactCovers, rng),
+		rng:      rng,
+		maxArity: h.MaxArity(),
+	}
+}
+
+// newGHWModelShared builds a ghw model on an existing cover engine. The
+// parallel search gives every worker its own model (the elimination graph
+// and evaluator scratch are single-goroutine state) but one shared engine,
+// so a bag solved by any worker is a memo hit for all of them.
+func newGHWModelShared(eng *setcover.Engine, seed int64, exactCovers bool) *ghwModel {
+	rng := rand.New(rand.NewSource(seed))
+	h := eng.Hypergraph()
+	return &ghwModel{
+		h:        h,
+		ev:       elim.NewGHWEvaluatorWithEngine(eng, exactCovers, rng),
 		rng:      rng,
 		maxArity: h.MaxArity(),
 	}

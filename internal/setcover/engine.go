@@ -163,6 +163,9 @@ type Scratch struct {
 	candBits  []bitset.Set
 	pos       []int32 // vertex -> bag position; -1 outside the bag
 	elems     []int
+	cands     []candSet
+	posBuf    []int // backing store for the candidates' position lists
+	offs      []int // start offset of each candidate's positions in posBuf
 }
 
 // NewScratch returns a fresh workspace for queries against e.
@@ -329,24 +332,35 @@ func (e *Engine) exactSizeUncached(sc *Scratch, cap int) int {
 	for i, v := range sc.elems {
 		sc.pos[v] = int32(i)
 	}
-	// Restrict each candidate edge to the bag. Edges are sorted and the
-	// position map is monotone, so the position lists come out ascending.
-	cands := make([]candSet, 0, len(sc.cand))
+	// Restrict each candidate edge to the bag, reusing the scratch buffers so
+	// the restriction pass stops allocating once they are warm. The position
+	// map is monotone and NextSetBit iterates ascending, so the position
+	// lists come out ascending.
+	sc.cands = sc.cands[:0]
 	sc.candBits = sc.candBits[:0]
+	sc.posBuf = sc.posBuf[:0]
+	sc.offs = sc.offs[:0]
 	for _, ei := range sc.cand {
 		b := sc.pool.Get()
 		sc.candBits = append(sc.candBits, b)
 		b.CopyFrom(e.edgeBits[ei])
 		b.And(sc.bag)
-		elems := make([]int, 0, 4)
-		for _, v := range e.h.Edge(ei) {
-			if p := sc.pos[v]; p >= 0 {
-				elems = append(elems, int(p))
-			}
+		sc.offs = append(sc.offs, len(sc.posBuf))
+		for v := b.NextSetBit(0); v >= 0; v = b.NextSetBit(v + 1) {
+			sc.posBuf = append(sc.posBuf, int(sc.pos[v]))
 		}
-		cands = append(cands, candSet{bits: b, elems: elems, orig: ei})
+		sc.cands = append(sc.cands, candSet{bits: b, orig: ei})
 	}
-	chosen, capped := exactCore(sc.bag, ne, cands, cap)
+	// Slice the shared position buffer only after it stops growing: appends
+	// may move it, which would strand subslices taken earlier.
+	for i := range sc.cands {
+		end := len(sc.posBuf)
+		if i+1 < len(sc.cands) {
+			end = sc.offs[i+1]
+		}
+		sc.cands[i].elems = sc.posBuf[sc.offs[i]:end]
+	}
+	chosen, capped := exactCore(sc.bag, ne, sc.cands, cap)
 	// exactCore compacts cands in place during dedup/domination, so release
 	// the sets recorded at allocation time, not through cands.
 	for _, b := range sc.candBits {
@@ -435,61 +449,107 @@ type coverEntry struct {
 	exactLB int32
 }
 
-// coverCache is a bounded map from bag keys to cover entries with FIFO
-// eviction. All methods are safe for concurrent use.
+// maxCacheShards bounds the sharding of the cover cache. 16 shards keep
+// lock contention negligible for the worker counts the parallel searches
+// run (a few per core) while the per-shard maps stay large enough to hash
+// well.
+const maxCacheShards = 16
+
+// coverCache is a bounded map from bag keys to cover entries, sharded by a
+// hash of the key so concurrent search workers hitting the same engine do
+// not serialize on one lock. Each shard is an independent map with its own
+// FIFO ring; the shard capacities sum to the requested capacity, so the
+// total size bound is exact while eviction order is only per-shard FIFO.
+// All methods are safe for concurrent use.
 type coverCache struct {
-	mu        sync.Mutex
-	capacity  int
-	m         map[string]coverEntry
-	ring      []string
-	next      int
-	evictions int64
+	shards    []cacheShard
+	mask      uint64 // len(shards)-1; shard count is a power of two
+	evictions atomic.Int64
+}
+
+type cacheShard struct {
+	mu       sync.Mutex
+	capacity int
+	m        map[string]coverEntry
+	ring     []string
+	next     int
 }
 
 func newCoverCache(capacity int) *coverCache {
-	return &coverCache{
-		capacity: capacity,
-		m:        make(map[string]coverEntry, capacity/4),
-		ring:     make([]string, 0, capacity),
+	ns := maxCacheShards
+	for ns > 1 && ns > capacity {
+		ns >>= 1
 	}
+	c := &coverCache{shards: make([]cacheShard, ns), mask: uint64(ns - 1)}
+	per, extra := capacity/ns, capacity%ns
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.capacity = per
+		if i < extra {
+			sh.capacity++
+		}
+		sh.m = make(map[string]coverEntry, sh.capacity/4)
+		sh.ring = make([]string, 0, sh.capacity)
+	}
+	return c
+}
+
+// shard picks the shard for key by FNV-1a. The bag-key encoding trims
+// trailing zero words, so the hash mixes exactly the meaningful bytes.
+func (c *coverCache) shard(key []byte) *cacheShard {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	// Fold the high bits in so shard choice is not just the low byte's parity
+	// pattern (bag keys are little-endian popcount-sparse words).
+	return &c.shards[(h^h>>32)&c.mask]
 }
 
 // lookup returns the entry for key, if present. The []byte-to-string
 // conversion in the map index compiles to a no-alloc lookup.
 func (c *coverCache) lookup(key []byte) (coverEntry, bool) {
-	c.mu.Lock()
-	ent, ok := c.m[string(key)]
-	c.mu.Unlock()
+	sh := c.shard(key)
+	sh.mu.Lock()
+	ent, ok := sh.m[string(key)]
+	sh.mu.Unlock()
 	return ent, ok
 }
 
-// update applies fn to key's entry, inserting (and, at capacity, evicting
-// the oldest bag) if absent.
+// update applies fn to key's entry, inserting (and, at shard capacity,
+// evicting the shard's oldest bag) if absent.
 func (c *coverCache) update(key []byte, fn func(*coverEntry)) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ent, ok := c.m[string(key)]
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	ent, ok := sh.m[string(key)]
 	if !ok {
 		ent = coverEntry{greedy: sizeUnknown, exact: sizeUnknown, exactLB: sizeUnknown}
 		k := string(key)
-		if len(c.ring) < c.capacity {
-			c.ring = append(c.ring, k)
+		if len(sh.ring) < sh.capacity {
+			sh.ring = append(sh.ring, k)
 		} else {
-			delete(c.m, c.ring[c.next])
-			c.ring[c.next] = k
-			c.next = (c.next + 1) % c.capacity
-			c.evictions++
+			delete(sh.m, sh.ring[sh.next])
+			sh.ring[sh.next] = k
+			sh.next = (sh.next + 1) % sh.capacity
+			c.evictions.Add(1)
 		}
 		fn(&ent)
-		c.m[k] = ent
+		sh.m[k] = ent
 		return
 	}
 	fn(&ent)
-	c.m[string(key)] = ent
+	sh.m[string(key)] = ent
 }
 
 func (c *coverCache) sizeAndEvictions() (int, int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.m), c.evictions
+	size := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		size += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return size, c.evictions.Load()
 }

@@ -1,0 +1,6 @@
+//go:build !race
+
+package setcover
+
+// raceDetectorEnabled reports whether the test binary was built with -race.
+const raceDetectorEnabled = false
