@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check par-smoke bench-smoke bench-diff trace-smoke tracestat-smoke fuzz clean
+.PHONY: all build vet test race check par-smoke daemon-smoke bench-smoke bench-diff trace-smoke tracestat-smoke fuzz clean
 
 all: check
 
@@ -20,7 +20,7 @@ race:
 # test suite under the race detector (which subsumes plain `go test`), a
 # smoke run of the evaluator benchmarks with a regression diff against the
 # committed report, and trace emission + analysis smoke runs.
-check: vet build race par-smoke bench-smoke bench-diff trace-smoke tracestat-smoke
+check: vet build race par-smoke daemon-smoke bench-smoke bench-diff trace-smoke tracestat-smoke
 
 # par-smoke is the quick parallel-correctness gate: one mid-size instance
 # through parallel BB-ghw and one through parallel det-k-decomp, Workers=4,
@@ -29,6 +29,16 @@ check: vet build race par-smoke bench-smoke bench-diff trace-smoke tracestat-smo
 # targeted re-check.)
 par-smoke:
 	$(GO) test -race -count=1 -run 'TestParallel.*Smoke' ./internal/search/ ./internal/htd/
+
+# daemon-smoke exercises the decomposed binary end to end over a real port:
+# build it, start it, POST examples/instances/cycle6.hg and assert the exact
+# width (2), verify a retry hits the result cache and the health/metrics
+# endpoints answer, then SIGTERM-drain (including with a long run still in
+# flight — the client must get its typed degraded answer) and assert a clean
+# exit. (`make race` runs the in-process chaos harness in internal/server;
+# this target is the process-boundary gate.)
+daemon-smoke:
+	$(GO) test -race -count=1 -run 'TestDaemonSmoke' ./cmd/decomposed/
 
 # bench-smoke reruns the ghw evaluator microbenchmarks (benchstat-compatible
 # output) into a scratch report and validates both it and the committed

@@ -81,21 +81,46 @@ func main() {
 		return
 	}
 
+	// SIGINT/SIGTERM cancel the run's context; the algorithms stop at their
+	// next checkpoint and the best decomposition found so far is still
+	// printed, with its stop reason. A second signal force-exits (code 2)
+	// without waiting for a checkpoint — signal.NotifyContext alone cannot
+	// do that, so the channel is handled by hand. Installed before input
+	// loading so a signal at any point after startup is caught.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "decompose: %v: canceling run (signal again to force exit)\n", sig)
+		cancel()
+		<-sigc
+		fmt.Fprintln(os.Stderr, "decompose: second signal, forcing exit")
+		os.Exit(2)
+	}()
+
 	alg, err := core.ParseAlgorithm(*algo)
 	if err != nil {
 		fatal(err)
 	}
+	// One switch for every parallel engine: -parallel scales to the machine,
+	// -workers pins an exact count (useful for comparing scaling steps).
+	// Negative counts are an error; counts beyond the machine clamp to
+	// GOMAXPROCS — more workers than CPUs only adds contention.
+	if *workers < 0 {
+		fatal(fmt.Errorf("-workers must be >= 0, got %d", *workers))
+	}
+	nw := *workers
+	if nw == 0 && *parallel {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	nw = core.ClampWorkers(nw)
 	h, err := loadInput(*inPath, *format, *gen)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("instance: %s\n", h)
-
-	// SIGINT/SIGTERM cancel the run's context; the algorithms stop at their
-	// next checkpoint and the best decomposition found so far is still
-	// printed, with its stop reason. A second signal kills the process.
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer cancel()
 
 	var recorders []obs.Recorder
 	var trace *obs.JSONLWriter
@@ -111,13 +136,6 @@ func main() {
 	if *progress > 0 {
 		prog = obs.NewProgress(os.Stderr, *progress)
 		recorders = append(recorders, prog)
-	}
-
-	// One switch for every parallel engine: -parallel scales to the machine,
-	// -workers pins an exact count (useful for comparing scaling steps).
-	nw := *workers
-	if nw == 0 && *parallel {
-		nw = runtime.GOMAXPROCS(0)
 	}
 
 	d, err := core.Decompose(h, core.Options{

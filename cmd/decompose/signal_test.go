@@ -1,0 +1,198 @@
+// Exec-based signal-handling tests for the decompose CLI: the graceful
+// first-signal path (cancel the run, print the anytime result, exit 0) and
+// the second-signal force exit (code 2). These cross the process boundary on
+// purpose — in-process tests cannot observe exit codes or real signal
+// delivery.
+
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func buildDecompose(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "decompose")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startLongRun launches an exact bb-ghw search on a grid far beyond test-time
+// solvability and waits for the instance banner, which the CLI prints only
+// after the signal handler is installed.
+func startLongRun(t *testing.T, bin string) (*exec.Cmd, *bufio.Reader, *bufio.Reader) {
+	t.Helper()
+	cmd := exec.Command(bin, "-algo", "bb-ghw", "-gen", "grid2d_14", "-timeout", "1h")
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errPipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	stdout := bufio.NewReader(outPipe)
+	line, err := stdout.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, "instance:") {
+		t.Fatalf("no instance banner: %q %v", line, err)
+	}
+	return cmd, stdout, bufio.NewReader(errPipe)
+}
+
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	return -1
+}
+
+// TestSignalGracefulCancel: one SIGTERM ends the run at its next checkpoint
+// and the process still prints the best decomposition found, marked
+// interrupted, and exits 0.
+func TestSignalGracefulCancel(t *testing.T) {
+	bin := buildDecompose(t)
+	cmd, stdout, stderr := startLongRun(t, bin)
+	time.Sleep(300 * time.Millisecond) // let the search get going
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	io.Copy(&out, stdout)
+	io.Copy(&errOut, stderr)
+	if code := exitCode(cmd.Wait()); code != 0 {
+		t.Fatalf("graceful cancel exited %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	for _, want := range []string{
+		"run interrupted (canceled)",
+		"ghw (upper bound):",
+		"decomposition validated",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stdout missing %q:\n%s", want, out.String())
+		}
+	}
+	if !strings.Contains(errOut.String(), "canceling run") {
+		t.Errorf("stderr missing cancel announcement:\n%s", errOut.String())
+	}
+}
+
+// TestSignalSecondForcesExit: a second SIGTERM after the first is
+// acknowledged exits 2 immediately instead of waiting for the work to
+// finish. Racing the signals against a canceled search is hopeless — it
+// unwinds in single-digit milliseconds — so the process is parked somewhere
+// cancellation cannot reach: reading its input from a FIFO that never
+// delivers. The signal handler installs before input loading, and our write
+// end's open completing proves the process has reached the blocking read.
+func TestSignalSecondForcesExit(t *testing.T) {
+	bin := buildDecompose(t)
+	fifo := filepath.Join(t.TempDir(), "in.fifo")
+	if err := syscall.Mkfifo(fifo, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-algo", "bb-ghw", "-in", fifo, "-format", "hg")
+	errPipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	// Blocks until decompose opens the read side — i.e. until it is inside
+	// loadInput with the signal handler already running. Never written to,
+	// so the process stays parked there.
+	w, err := os.OpenFile(fifo, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	stderr := bufio.NewReader(errPipe)
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	line, err := stderr.ReadString('\n')
+	if err != nil || !strings.Contains(line, "canceling run") {
+		t.Fatalf("no cancel acknowledgement: %q %v", line, err)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var errOut bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		io.Copy(&errOut, stderr)
+		done <- exitCode(cmd.Wait())
+	}()
+	select {
+	case code := <-done:
+		if code != 2 {
+			t.Fatalf("second signal exited %d, want 2\nstderr:\n%s", code, errOut.String())
+		}
+		if !strings.Contains(errOut.String(), "second signal, forcing exit") {
+			t.Errorf("stderr missing force-exit announcement:\n%s", errOut.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("second signal did not force an exit")
+	}
+}
+
+// TestRejectsNegativeWorkers: the CLI refuses a negative worker count up
+// front instead of handing it to the engines.
+func TestRejectsNegativeWorkers(t *testing.T) {
+	bin := buildDecompose(t)
+	cmd := exec.Command(bin, "-algo", "bb-ghw", "-gen", "grid2d_10", "-workers", "-4")
+	out, err := cmd.CombinedOutput()
+	if code := exitCode(err); code != 1 {
+		t.Fatalf("negative -workers exited %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "-workers must be >= 0") {
+		t.Fatalf("missing validation message:\n%s", out)
+	}
+}
+
+// TestClampsExcessWorkers: a worker count beyond the machine runs (clamped),
+// not rejected, and still produces the exact answer.
+func TestClampsExcessWorkers(t *testing.T) {
+	bin := buildDecompose(t)
+	cmd := exec.Command(bin, "-algo", "bb-ghw",
+		"-in", filepath.Join("..", "..", "examples", "instances", "cycle6.hg"),
+		"-workers", "100000")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("clamped run failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "ghw (exact): 2") {
+		t.Fatalf("clamped run wrong answer:\n%s", out)
+	}
+}

@@ -1,0 +1,296 @@
+// Exec-based smoke tests for the daemon binary: build it, run it, hit it
+// with real HTTP over a real port, and shut it down with real signals. This
+// is the layer the in-process httptest harness in internal/server cannot
+// cover — flag wiring, the stdout address announcement, signal handling and
+// process exit codes.
+
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"hypertree/internal/hypergraph"
+)
+
+// buildDaemon compiles the decomposed binary once per test binary run.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "decomposed")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// daemon is a running decomposed process plus its announced base URL.
+type daemon struct {
+	cmd    *exec.Cmd
+	url    string
+	stdout *bufio.Reader
+	tail   bytes.Buffer // everything read from stdout after the address line
+}
+
+// startDaemon launches the binary on a kernel-assigned port and parses the
+// base URL from the first stdout line.
+func startDaemon(t *testing.T, bin string, extraArgs ...string) *daemon {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	pipe, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	rd := bufio.NewReader(pipe)
+	line, err := rd.ReadString('\n')
+	if err != nil {
+		t.Fatalf("daemon never announced its address: %v", err)
+	}
+	const prefix = "decomposed: listening on "
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("unexpected first stdout line %q", line)
+	}
+	return &daemon{cmd: cmd, url: strings.TrimSpace(line[len(prefix):]), stdout: rd}
+}
+
+// wait drains stdout and returns the process exit code (-1 for a wait
+// failure that is not an exit status; callers assert on the code). Uses
+// Errorf, not Fatalf, so it is safe from helper goroutines.
+func (d *daemon) wait(t *testing.T) int {
+	t.Helper()
+	io.Copy(&d.tail, d.stdout)
+	err := d.cmd.Wait()
+	if err == nil {
+		return 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	t.Errorf("wait: %v", err)
+	return -1
+}
+
+// tryPost is the goroutine-safe variant of post: errors come back instead of
+// failing the test, so background clients can race the daemon's shutdown.
+func (d *daemon) tryPost(query string, body []byte) (int, map[string]any, error) {
+	url := d.url + "/decompose"
+	if query != "" {
+		url += "?" + query
+	}
+	hr, err := http.Post(url, "text/plain", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer hr.Body.Close()
+	var resp map[string]any
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		return hr.StatusCode, nil, err
+	}
+	return hr.StatusCode, resp, nil
+}
+
+func (d *daemon) post(t *testing.T, query string, body []byte) (int, map[string]any) {
+	t.Helper()
+	status, resp, err := d.tryPost(query, body)
+	if err != nil {
+		t.Fatalf("POST /decompose?%s: %v", query, err)
+	}
+	return status, resp
+}
+
+// TestDaemonSmoke is the end-to-end happy path the Makefile's daemon-smoke
+// target runs: start the daemon, POST a shipped example, get the exact
+// width back, drain on SIGTERM, exit clean.
+func TestDaemonSmoke(t *testing.T) {
+	bin := buildDaemon(t)
+	tracePath := filepath.Join(t.TempDir(), "daemon.jsonl")
+	d := startDaemon(t, bin, "-workers", "2", "-drain-grace", "5s", "-trace", tracePath)
+
+	payload, err := os.ReadFile(filepath.Join("..", "..", "examples", "instances", "cycle6.hg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, resp := d.post(t, "algo=bb-ghw", payload)
+	if status != 200 || resp["outcome"] != "exact" || resp["width"] != float64(2) {
+		t.Fatalf("cycle6 smoke: status %d, response %v", status, resp)
+	}
+	// A retry is served from the result cache — idempotent daemon contract.
+	if _, resp := d.post(t, "algo=bb-ghw", payload); resp["cached"] != true {
+		t.Errorf("retry not cached: %v", resp)
+	}
+	for _, ep := range []string{"/healthz", "/readyz", "/metrics"} {
+		hr, err := http.Get(d.url + ep)
+		if err != nil || hr.StatusCode != 200 {
+			t.Fatalf("%s: %v %v", ep, hr, err)
+		}
+		hr.Body.Close()
+	}
+
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := d.wait(t); code != 0 {
+		t.Fatalf("SIGTERM drain exited %d, want 0\nstdout tail:\n%s", code, d.tail.String())
+	}
+	if !strings.Contains(d.tail.String(), "drained in") {
+		t.Errorf("no drain report in stdout:\n%s", d.tail.String())
+	}
+	// The drain flushed the trace: a valid JSONL stream with the served
+	// run's events, each stamped with its request id.
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(trace, []byte(`"req":"r000001"`)) {
+		t.Errorf("trace not flushed or missing request stamps:\n%.400s", trace)
+	}
+}
+
+// TestDaemonSmokeDrainInFlight proves the zero-dropped contract across the
+// process boundary: a long run is in flight when SIGTERM lands, the grace is
+// too short for it to finish, and the client still gets a typed degraded
+// answer before the process exits 0.
+func TestDaemonSmokeDrainInFlight(t *testing.T) {
+	bin := buildDaemon(t)
+	d := startDaemon(t, bin, "-workers", "2", "-drain-grace", "300ms")
+
+	var grid bytes.Buffer
+	if err := hypergraph.WriteHG(&grid, hypergraph.Grid2D(12)); err != nil {
+		t.Fatal(err)
+	}
+	type answer struct {
+		status int
+		resp   map[string]any
+	}
+	got := make(chan answer, 1)
+	go func() {
+		status, resp, err := d.tryPost("algo=bb-ghw&timeout=30s", grid.Bytes())
+		if err != nil {
+			t.Errorf("in-flight POST failed: %v", err)
+		}
+		got <- answer{status, resp}
+	}()
+	// Wait until the run is actually holding a worker slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		hr, err := http.Get(d.url + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(hr.Body)
+		hr.Body.Close()
+		if strings.Contains(string(body), "hypertree_daemon_inflight 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("long run never reached in-flight")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case a := <-got:
+		if a.status != 200 || a.resp["outcome"] != "degraded" || a.resp["stop"] != "canceled" {
+			t.Fatalf("drained in-flight run: status %d, response %v", a.status, a.resp)
+		}
+		if w, ok := a.resp["width"].(float64); !ok || w <= 0 {
+			t.Fatalf("drained run lost its anytime width: %v", a.resp)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("in-flight request never answered during drain")
+	}
+	if code := d.wait(t); code != 0 {
+		t.Fatalf("drain with in-flight work exited %d, want 0\nstdout tail:\n%s", code, d.tail.String())
+	}
+}
+
+// TestDaemonSmokeSecondSignalForcesExit: an operator signaling twice gets an
+// immediate exit 2 even though the drain grace has not expired.
+func TestDaemonSmokeSecondSignalForcesExit(t *testing.T) {
+	bin := buildDaemon(t)
+	d := startDaemon(t, bin, "-workers", "1", "-drain-grace", "1h")
+
+	var grid bytes.Buffer
+	if err := hypergraph.WriteHG(&grid, hypergraph.Grid2D(12)); err != nil {
+		t.Fatal(err)
+	}
+	// This client's connection dies with the process — errors are expected.
+	go d.tryPost("algo=bb-ghw&timeout=1h&nodes=0", grid.Bytes())
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		hr, err := http.Get(d.url + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(hr.Body)
+		hr.Body.Close()
+		if strings.Contains(string(body), "hypertree_daemon_inflight 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("long run never reached in-flight")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// Let the drain start (first line after the address announcement).
+	line, err := d.stdout.ReadString('\n')
+	if err != nil || !strings.Contains(line, "draining") {
+		t.Fatalf("no drain announcement after first signal: %q %v", line, err)
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan int, 1)
+	go func() { exited <- d.wait(t) }()
+	select {
+	case code := <-exited:
+		if code != 2 {
+			t.Fatalf("second signal exited %d, want 2", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("second signal did not force an exit")
+	}
+}
+
+// TestDaemonRejectsNegativeWorkers: flag validation happens before the
+// listener opens.
+func TestDaemonRejectsNegativeWorkers(t *testing.T) {
+	bin := buildDaemon(t)
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "-3")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("negative -workers: err %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "-workers must be >= 0") {
+		t.Fatalf("missing validation message:\n%s", out)
+	}
+}

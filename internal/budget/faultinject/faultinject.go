@@ -29,6 +29,13 @@ const (
 	// up, on the worker's goroutine — so tests can prove a panic inside a
 	// worker is contained and surfaced as *budget.PanicError.
 	SiteParallelWorker = "search.parallel.worker"
+	// SiteServerParse fires once per daemon request body parse, before the
+	// payload is decoded — chaos tests arm it with sleeps (slow-loris
+	// parses) and panics to prove requests stay contained.
+	SiteServerParse = "server.parse"
+	// SiteServerHandle fires once per admitted daemon request, after the
+	// worker slot is acquired and before the decomposition runs.
+	SiteServerHandle = "server.handle"
 )
 
 var (

@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"hypertree/internal/bounds"
@@ -109,6 +110,21 @@ type Options struct {
 	// worker goroutines, so it must be safe for concurrent use. nil
 	// disables tracing; the run still aggregates Decomposition.Stats.
 	Recorder obs.Recorder
+}
+
+// ClampWorkers normalizes a caller-supplied worker count for Options.Workers:
+// negative values (meaningless) clamp to 0 — the bit-identical serial path —
+// and values above GOMAXPROCS clamp down to it, since the parallel engines
+// only contend with themselves beyond that. Both the CLI and the daemon
+// funnel user-supplied counts through here.
+func ClampWorkers(n int) int {
+	if n < 0 {
+		return 0
+	}
+	if max := runtime.GOMAXPROCS(0); n > max {
+		return max
+	}
+	return n
 }
 
 // Decomposition is the unified result: a validated decomposition plus the

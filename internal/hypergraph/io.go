@@ -22,8 +22,11 @@ const maxParseVertices = 1 << 22
 //	e <u> <v>        (1-based vertex indices)
 //
 // The declared edge count is advisory; the actual edges read are returned.
+//
+// The input is capped at MaxParseBytes; larger payloads fail with a
+// *PayloadTooLargeError.
 func ParseDIMACS(r io.Reader) (*Graph, error) {
-	sc := bufio.NewScanner(r)
+	sc := bufio.NewScanner(LimitReader(r, MaxParseBytes))
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	var g *Graph
 	line := 0
@@ -99,8 +102,11 @@ func WriteDIMACS(w io.Writer, g *Graph) error {
 //	c2(x3,x4).
 //
 // A trailing '.' or ',' after the final atom is accepted.
+//
+// The input is capped at MaxParseBytes; larger payloads fail with a
+// *PayloadTooLargeError.
 func ParseHG(r io.Reader) (*Hypergraph, error) {
-	data, err := io.ReadAll(r)
+	data, err := io.ReadAll(LimitReader(r, MaxParseBytes))
 	if err != nil {
 		return nil, err
 	}
@@ -227,8 +233,11 @@ func WriteHG(w io.Writer, h *Hypergraph) error {
 // ParseEdgeList reads a hypergraph in a plain whitespace format: each
 // non-empty, non-'#' line lists the 0-based vertex indices of one hyperedge.
 // The vertex count is one more than the largest index seen.
+//
+// The input is capped at MaxParseBytes; larger payloads fail with a
+// *PayloadTooLargeError.
 func ParseEdgeList(r io.Reader) (*Hypergraph, error) {
-	sc := bufio.NewScanner(r)
+	sc := bufio.NewScanner(LimitReader(r, MaxParseBytes))
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	var edges [][]int
 	maxV := -1

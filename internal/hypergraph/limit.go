@@ -1,0 +1,80 @@
+package hypergraph
+
+import (
+	"fmt"
+	"io"
+)
+
+// MaxParseBytes is the default payload cap applied by every parser entry
+// point in this package (ParseHG, ParseDIMACS, ParseGr, ParseEdgeList).
+// Inputs are untrusted — CLI users pass typo'd paths, the daemon
+// accepts network bodies — and each parser buffers while it reads, so a
+// malformed multi-gigabyte input must fail fast with a typed error instead
+// of exhausting memory. Callers with stricter needs (the daemon's
+// per-request body cap) wrap their reader with LimitReader themselves; the
+// innermost limit trips first.
+const MaxParseBytes = 256 << 20 // 256 MiB
+
+// PayloadTooLargeError is the typed error a capped reader returns once a
+// payload exceeds its limit. The daemon maps it to 413, the CLI prints it;
+// detect it with errors.As.
+type PayloadTooLargeError struct {
+	// Limit is the cap in bytes that was exceeded.
+	Limit int64
+}
+
+func (e *PayloadTooLargeError) Error() string {
+	return fmt.Sprintf("hypergraph: payload exceeds %d-byte limit", e.Limit)
+}
+
+// LimitReader wraps r so that reading more than limit bytes fails with a
+// *PayloadTooLargeError. Unlike io.LimitReader, which reports a clean EOF at
+// the boundary (silently truncating the payload), this reader distinguishes
+// "input ended" from "input was cut off": parsers fed a capped reader fail
+// loudly instead of decoding a truncated prefix. A non-positive limit means
+// unlimited.
+func LimitReader(r io.Reader, limit int64) io.Reader {
+	if limit <= 0 {
+		return r
+	}
+	return &cappedReader{r: r, remaining: limit, limit: limit}
+}
+
+type cappedReader struct {
+	r         io.Reader
+	remaining int64
+	limit     int64
+}
+
+func (c *cappedReader) Read(p []byte) (int, error) {
+	if c.remaining <= 0 {
+		return 0, &PayloadTooLargeError{Limit: c.limit}
+	}
+	// Read one byte past the budget so the limit distinguishes a payload of
+	// exactly limit bytes (fine) from one that keeps going (error).
+	max := c.remaining
+	if int64(len(p)) < max {
+		max = int64(len(p))
+	}
+	n, err := c.r.Read(p[:max])
+	c.remaining -= int64(n)
+	if c.remaining <= 0 && err == nil {
+		// Budget exhausted: peek whether the stream actually continues.
+		var probe [1]byte
+		pn, perr := c.r.Read(probe[:])
+		if pn > 0 {
+			return n, &PayloadTooLargeError{Limit: c.limit}
+		}
+		if perr != nil && perr != io.EOF {
+			return n, perr
+		}
+		// Clean EOF exactly at the limit: let the next Read report it.
+		c.r = eofReader{}
+		c.remaining = 1
+	}
+	return n, err
+}
+
+type eofReader struct{}
+
+func (eofReader) Read([]byte) (int, error) { return 0, io.EOF }

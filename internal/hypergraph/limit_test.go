@@ -1,0 +1,103 @@
+package hypergraph
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestLimitReaderUnderLimit(t *testing.T) {
+	data, err := io.ReadAll(LimitReader(strings.NewReader("hello"), 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello" {
+		t.Fatalf("got %q", data)
+	}
+}
+
+func TestLimitReaderExactLimit(t *testing.T) {
+	data, err := io.ReadAll(LimitReader(strings.NewReader("hello"), 5))
+	if err != nil {
+		t.Fatalf("payload of exactly the limit must pass: %v", err)
+	}
+	if string(data) != "hello" {
+		t.Fatalf("got %q", data)
+	}
+}
+
+func TestLimitReaderOverLimit(t *testing.T) {
+	_, err := io.ReadAll(LimitReader(strings.NewReader("hello world"), 5))
+	var tooBig *PayloadTooLargeError
+	if !errors.As(err, &tooBig) {
+		t.Fatalf("want *PayloadTooLargeError, got %v", err)
+	}
+	if tooBig.Limit != 5 {
+		t.Fatalf("limit = %d, want 5", tooBig.Limit)
+	}
+}
+
+func TestLimitReaderUnlimited(t *testing.T) {
+	data, err := io.ReadAll(LimitReader(strings.NewReader("hello"), 0))
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("non-positive limit must pass through: %q, %v", data, err)
+	}
+}
+
+// oneByteReader drips one byte per Read so the capped reader's boundary
+// logic is exercised across many short reads, not one big one.
+type oneByteReader struct{ s string }
+
+func (r *oneByteReader) Read(p []byte) (int, error) {
+	if len(r.s) == 0 {
+		return 0, io.EOF
+	}
+	p[0] = r.s[0]
+	r.s = r.s[1:]
+	return 1, nil
+}
+
+func TestLimitReaderShortReads(t *testing.T) {
+	data, err := io.ReadAll(LimitReader(&oneByteReader{s: "abcde"}, 5))
+	if err != nil || string(data) != "abcde" {
+		t.Fatalf("exact-limit drip: %q, %v", data, err)
+	}
+	_, err = io.ReadAll(LimitReader(&oneByteReader{s: "abcdef"}, 5))
+	var tooBig *PayloadTooLargeError
+	if !errors.As(err, &tooBig) {
+		t.Fatalf("over-limit drip: want *PayloadTooLargeError, got %v", err)
+	}
+}
+
+// TestParsersRejectOversizePayload proves the shared cap is wired into every
+// parser entry point: a reader that would stream forever fails with the
+// typed error instead of exhausting memory. The parsers are fed through an
+// extra LimitReader with a small bound the same way the daemon caps request
+// bodies, so the test stays fast.
+func TestParsersRejectOversizePayload(t *testing.T) {
+	const cap = 1 << 10
+	parsers := []struct {
+		name  string
+		parse func(io.Reader) error
+		body  func() io.Reader
+	}{
+		{"hg", func(r io.Reader) error { _, err := ParseHG(r); return err },
+			func() io.Reader { return strings.NewReader("e(" + strings.Repeat("x,", cap) + "y).") }},
+		{"dimacs", func(r io.Reader) error { _, err := ParseDIMACS(r); return err },
+			func() io.Reader { return strings.NewReader("p edge 2 1\n" + strings.Repeat("e 1 2\n", cap)) }},
+		{"gr", func(r io.Reader) error { _, err := ParseGr(r); return err },
+			func() io.Reader { return strings.NewReader("p tw 2 1\n" + strings.Repeat("1 2\n", cap)) }},
+		{"edgelist", func(r io.Reader) error { _, err := ParseEdgeList(r); return err },
+			func() io.Reader { return strings.NewReader(strings.Repeat("0 1\n", cap)) }},
+	}
+	for _, p := range parsers {
+		t.Run(p.name, func(t *testing.T) {
+			err := p.parse(LimitReader(p.body(), cap))
+			var tooBig *PayloadTooLargeError
+			if !errors.As(err, &tooBig) {
+				t.Fatalf("want *PayloadTooLargeError through %s parser, got %v", p.name, err)
+			}
+		})
+	}
+}

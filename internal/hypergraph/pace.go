@@ -13,8 +13,11 @@ import (
 //	c comment
 //	p tw <n> <m>
 //	<u> <v>          (1-based endpoints, one edge per line)
+//
+// The input is capped at MaxParseBytes; larger payloads fail with a
+// *PayloadTooLargeError.
 func ParseGr(r io.Reader) (*Graph, error) {
-	sc := bufio.NewScanner(r)
+	sc := bufio.NewScanner(LimitReader(r, MaxParseBytes))
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	var g *Graph
 	line := 0

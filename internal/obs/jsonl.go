@@ -94,11 +94,12 @@ type TraceSummary struct {
 
 // ValidateTrace checks a JSONL trace against the schema: every line is a
 // JSON object with non-negative t_ns; the file contains at least one
-// algo_start and one algo_stop; and within each run label the improve events
-// are non-increasing in width and non-decreasing in time. Unknown fields are
-// allowed, and unknown event kinds are counted in the summary rather than
-// rejected (the schema is forward-compatible). It returns a summary of what
-// it saw.
+// algo_start and one algo_stop; and within each run scope — the (req, algo
+// label) pair, so a request-stamped daemon trace holding many runs of one
+// algorithm validates per request — the improve events are non-increasing
+// in width and non-decreasing in time. Unknown fields are allowed, and
+// unknown event kinds are counted in the summary rather than rejected (the
+// schema is forward-compatible). It returns a summary of what it saw.
 func ValidateTrace(r io.Reader) (*TraceSummary, error) {
 	return validateTrace(r, false)
 }
@@ -123,7 +124,7 @@ func validateTrace(r io.Reader, strict bool) (*TraceSummary, error) {
 		t     int64
 		any   bool
 	}
-	improve := map[string]*runState{} // by algo label ("" for unlabeled)
+	improve := map[string]*runState{} // by req + algo label ("" + "" for unlabeled CLI runs)
 	currentAlgo := ""
 	var lastT int64 // strict mode: high-water t_ns within the current run
 
@@ -140,6 +141,7 @@ func validateTrace(r io.Reader, strict bool) (*TraceSummary, error) {
 			Kind  Kind   `json:"kind"`
 			T     int64  `json:"t_ns"`
 			Algo  string `json:"algo"`
+			Req   string `json:"req"`
 			Width int    `json:"width"`
 		}
 		if err := json.Unmarshal(raw, &e); err != nil {
@@ -182,10 +184,14 @@ func validateTrace(r io.Reader, strict bool) (*TraceSummary, error) {
 			if label == "" {
 				label = currentAlgo
 			}
-			st := improve[label]
+			// Request-stamped traces (a daemon serving many runs of the same
+			// algorithm into one stream) scope the anytime contract per
+			// request; unstamped traces keep the per-label scope.
+			key := e.Req + "\x00" + label
+			st := improve[key]
 			if st == nil {
 				st = &runState{}
-				improve[label] = st
+				improve[key] = st
 			}
 			if st.any {
 				if e.Width > st.width {

@@ -149,6 +149,12 @@ type Event struct {
 	Requeues int64 `json:"requeues,omitempty"`
 	// Stop is the budget stop reason on algo_stop (empty = completed).
 	Stop string `json:"stop,omitempty"`
+	// Req is the serving request the event belongs to, stamped by the
+	// decomposition daemon (see WithReq). Empty outside a daemon: CLI runs
+	// are one run per process and need no correlation key. In a daemon trace
+	// it is what separates the interleaved event streams of concurrent
+	// requests.
+	Req string `json:"req,omitempty"`
 }
 
 // Kinds lists the full event taxonomy, for validation.
@@ -185,6 +191,31 @@ func (noop) Record(Event) {}
 
 // Noop is a Recorder that discards everything.
 var Noop Recorder = noop{}
+
+// reqStamper wraps a Recorder, stamping every event with a request id.
+type reqStamper struct {
+	rec Recorder
+	req string
+}
+
+func (s reqStamper) Record(e Event) {
+	if e.Req == "" {
+		e.Req = s.req
+	}
+	s.rec.Record(e)
+}
+
+// WithReq wraps rec so every event it records carries the request id req
+// (events that already have one keep it). The daemon gives each request its
+// own wrapper around the shared trace sink, so one JSONL file interleaves
+// many concurrent runs and stays attributable. A nil rec returns nil,
+// preserving the disabled fast path.
+func WithReq(rec Recorder, req string) Recorder {
+	if rec == nil {
+		return nil
+	}
+	return reqStamper{rec: rec, req: req}
+}
 
 // multi fans events out to several recorders in order.
 type multi []Recorder

@@ -152,6 +152,35 @@ func TestValidateTraceRejects(t *testing.T) {
 	}
 }
 
+func TestValidateTraceRequestScoped(t *testing.T) {
+	// A daemon trace holds many runs of the same algorithm, one per request,
+	// each stamped with its req id. Monotonicity is per (req, label): a later
+	// request on a harder instance may start far above an earlier request's
+	// final width.
+	daemon := lines(
+		`{"kind":"algo_start","t_ns":0,"algo":"bb-ghw","req":"r1"}`,
+		`{"kind":"improve","t_ns":1,"width":1,"req":"r1"}`,
+		`{"kind":"algo_stop","t_ns":2,"algo":"bb-ghw","req":"r1"}`,
+		`{"kind":"algo_start","t_ns":0,"algo":"bb-ghw","req":"r2"}`,
+		`{"kind":"improve","t_ns":1,"width":9,"req":"r2"}`,
+		`{"kind":"improve","t_ns":2,"width":8,"req":"r2"}`,
+		`{"kind":"algo_stop","t_ns":3,"algo":"bb-ghw","req":"r2"}`,
+	)
+	if _, err := ValidateTrace(strings.NewReader(daemon)); err != nil {
+		t.Fatalf("request-stamped runs of one algorithm rejected: %v", err)
+	}
+	// The contract still bites within one request.
+	bad := lines(
+		`{"kind":"algo_start","t_ns":0,"algo":"bb-ghw","req":"r1"}`,
+		`{"kind":"improve","t_ns":1,"width":3,"req":"r1"}`,
+		`{"kind":"improve","t_ns":2,"width":4,"req":"r1"}`,
+		`{"kind":"algo_stop","t_ns":3,"algo":"bb-ghw","req":"r1"}`,
+	)
+	if _, err := ValidateTrace(strings.NewReader(bad)); err == nil {
+		t.Fatal("width increase within one request accepted")
+	}
+}
+
 func TestValidateTraceUnknownKinds(t *testing.T) {
 	// Forward compatibility: the default mode counts unknown kinds, strict
 	// mode rejects them.

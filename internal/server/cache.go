@@ -1,0 +1,160 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+
+	"hypertree/internal/core"
+)
+
+// DefaultCacheCapacity bounds the daemon's result cache when the caller does
+// not choose: entries are one small Response each, so 4k entries stay well
+// under a megabyte while absorbing the retry traffic a flaky client or a
+// load balancer produces.
+const DefaultCacheCapacity = 1 << 12
+
+// resultKey is the idempotency key of a decomposition request: a content
+// hash over everything that determines an exact answer — the raw payload
+// bytes, the input format, the algorithm and the seed. Budgets and worker
+// counts are deliberately excluded: they change how long a run takes, never
+// what an *exact* result is, and only exact results are cached.
+func resultKey(body []byte, format string, algo core.Algorithm, seed int64) string {
+	h := sha256.New()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(seed))
+	h.Write(hdr[:])
+	h.Write([]byte(format))
+	h.Write([]byte{0})
+	h.Write([]byte(algo))
+	h.Write([]byte{0})
+	h.Write(body)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// maxResultShards bounds the sharding of the result cache — the same
+// lock-striping discipline as the setcover engine's cover cache: enough
+// shards that concurrent handlers do not serialize on one lock, few enough
+// that the per-shard maps stay warm.
+const maxResultShards = 16
+
+// resultCache is a bounded, sharded map from request content hashes to
+// finished exact responses. Each shard is an independent map with its own
+// FIFO ring; capacities sum to the requested capacity so the total bound is
+// exact while eviction order is only per-shard FIFO. All methods are safe
+// for concurrent use.
+type resultCache struct {
+	shards    []resultShard
+	mask      uint64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type resultShard struct {
+	mu       sync.Mutex
+	capacity int
+	m        map[string]*Response
+	ring     []string
+	next     int
+}
+
+// newResultCache builds a cache bounded to capacity entries; nil (a valid,
+// always-missing cache) when capacity is not positive.
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		return nil
+	}
+	ns := maxResultShards
+	for ns > 1 && ns > capacity {
+		ns >>= 1
+	}
+	c := &resultCache{shards: make([]resultShard, ns), mask: uint64(ns - 1)}
+	per, extra := capacity/ns, capacity%ns
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.capacity = per
+		if i < extra {
+			sh.capacity++
+		}
+		sh.m = make(map[string]*Response, sh.capacity/4)
+		sh.ring = make([]string, 0, sh.capacity)
+	}
+	return c
+}
+
+// shard picks the shard for key by FNV-1a over the hex hash.
+func (c *resultCache) shard(key string) *resultShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return &c.shards[(h^h>>32)&c.mask]
+}
+
+// lookup returns the cached response for key. A nil cache always misses
+// without counting. The returned Response is shared — callers must copy
+// before mutating per-request fields.
+func (c *resultCache) lookup(key string) (*Response, bool) {
+	if c == nil {
+		return nil, false
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	resp, ok := sh.m[key]
+	sh.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return resp, ok
+}
+
+// store inserts resp under key, evicting the shard's oldest entry at
+// capacity. Re-storing an existing key refreshes the value without growing
+// the ring.
+func (c *resultCache) store(key string, resp *Response) {
+	if c == nil {
+		return
+	}
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[key]; ok {
+		sh.m[key] = resp
+		return
+	}
+	if len(sh.ring) < sh.capacity {
+		sh.ring = append(sh.ring, key)
+	} else {
+		delete(sh.m, sh.ring[sh.next])
+		sh.ring[sh.next] = key
+		sh.next = (sh.next + 1) % sh.capacity
+		c.evictions.Add(1)
+	}
+	sh.m[key] = resp
+}
+
+// cacheStats is a point-in-time snapshot for /metrics.
+type cacheStats struct {
+	Hits, Misses, Evictions int64
+	Size                    int
+}
+
+func (c *resultCache) stats() cacheStats {
+	if c == nil {
+		return cacheStats{}
+	}
+	s := cacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Evictions: c.evictions.Load()}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Size += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return s
+}

@@ -1,0 +1,766 @@
+// Package server is the decomposition-as-a-service core: a long-lived HTTP
+// handler that accepts hypergraph payloads, runs them through core.Decompose
+// on a bounded worker pool under per-request budgets, and degrades
+// gracefully instead of failing — anytime widths at the deadline, typed
+// rejections under overload, contained panics, and a drain protocol that
+// finishes (or budget-cancels) every in-flight request before shutdown.
+//
+// The serving discipline, in one paragraph: admission is bounded by
+// Workers + QueueDepth (beyond it, 429 with Retry-After — load sheds at the
+// door, not in the heap); request bodies are size-capped with a typed 413;
+// every admitted run gets a budget built from the request's deadline clamped
+// to the server's ceiling, so a stuck instance costs one worker slot for a
+// bounded time; exact results are cached by content hash (sharded FIFO, the
+// same discipline as the setcover engine's cover cache) so client retries
+// are idempotent and cheap; and every response — success, degraded, rejected
+// or error — is the same typed JSON envelope, so clients never parse
+// free-text failures.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hypertree/internal/budget"
+	"hypertree/internal/budget/faultinject"
+	"hypertree/internal/core"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/obs"
+)
+
+// Defaults for the zero-valued Config fields.
+const (
+	DefaultQueueDepth      = 64
+	DefaultMaxRequestBytes = 32 << 20
+	DefaultTimeout         = 10 * time.Second
+	DefaultMaxTimeout      = 2 * time.Minute
+)
+
+// Config configures a Server. The zero value serves with sane production
+// defaults.
+type Config struct {
+	// Workers bounds concurrent decompositions (the worker pool size);
+	// 0 selects GOMAXPROCS. Each admitted request occupies one slot for the
+	// whole parse+decompose, so total decomposition CPU is bounded.
+	Workers int
+	// QueueDepth bounds requests waiting for a worker slot beyond the pool;
+	// past Workers+QueueDepth, requests are rejected with 429. 0 selects
+	// DefaultQueueDepth, negative disables queueing (admit only up to
+	// Workers).
+	QueueDepth int
+	// MaxRequestBytes caps request bodies; oversize payloads get a typed
+	// 413. 0 selects DefaultMaxRequestBytes.
+	MaxRequestBytes int64
+	// DefaultTimeout is the per-request budget when the client does not ask
+	// for one; MaxTimeout is the ceiling a client can ask for (requests
+	// asking for more are clamped, not rejected — the degraded-at-deadline
+	// contract still returns their best width). Zeros select DefaultTimeout
+	// and DefaultMaxTimeout.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxNodes, when positive, caps the per-request search-node budget a
+	// client can ask for (and is the default when it asks for none).
+	MaxNodes int64
+	// CheckEvery overrides the budget checkpoint cadence of served runs
+	// (default 256 ticks). Chaos tests lower it so deadline storms and
+	// drain cancellations land promptly even in short runs.
+	CheckEvery int64
+	// CacheCapacity bounds the exact-result cache: 0 selects
+	// DefaultCacheCapacity, negative disables caching.
+	CacheCapacity int
+	// Algorithm is the default algorithm when the request names none;
+	// empty selects bb-ghw (exact ghw, anytime-degradable).
+	Algorithm core.Algorithm
+	// Trace, when non-nil, receives every served run's instrumentation
+	// events, each stamped with its request id (obs.Event.Req) so the
+	// interleaved streams of concurrent requests stay attributable. Must be
+	// safe for concurrent use (obs.JSONLWriter is).
+	Trace obs.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.QueueDepth == 0:
+		c.QueueDepth = DefaultQueueDepth
+	case c.QueueDepth < 0:
+		c.QueueDepth = 0
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = DefaultMaxRequestBytes
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = DefaultTimeout
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = DefaultMaxTimeout
+	}
+	if c.DefaultTimeout > c.MaxTimeout {
+		c.DefaultTimeout = c.MaxTimeout
+	}
+	if c.Algorithm == "" {
+		c.Algorithm = core.AlgBBGHW
+	}
+	return c
+}
+
+// Outcome is the typed disposition every response carries. Clients switch on
+// it instead of parsing error strings.
+type Outcome string
+
+const (
+	// OutcomeExact: the run completed and the width is proven optimal.
+	OutcomeExact Outcome = "exact"
+	// OutcomeUpperBound: a heuristic run completed; the width is a valid
+	// upper bound, not proven optimal.
+	OutcomeUpperBound Outcome = "upper-bound"
+	// OutcomeDegraded: a budget tripped (deadline, node cap, cancellation,
+	// drain); the width is the best validated decomposition found in time,
+	// with Stop naming the limit.
+	OutcomeDegraded Outcome = "degraded"
+	// OutcomeRejected: the request never ran — admission control, oversize
+	// payload, malformed input, unservable instance, or draining.
+	OutcomeRejected Outcome = "rejected"
+	// OutcomeError: the run was admitted but failed; a contained panic is
+	// the canonical case. The daemon survives it.
+	OutcomeError Outcome = "error"
+)
+
+// outcomes lists every Outcome, for metrics iteration (an array so
+// len(outcomes) sizes the counter bank at compile time).
+var outcomes = [...]Outcome{OutcomeExact, OutcomeUpperBound, OutcomeDegraded, OutcomeRejected, OutcomeError}
+
+// Response is the one JSON envelope every request gets back, whatever
+// happened. Width-bearing fields are present on exact/upper-bound/degraded;
+// Error explains rejected/error outcomes.
+type Response struct {
+	Outcome Outcome `json:"outcome"`
+	Req     string  `json:"req,omitempty"`
+	Algo    string  `json:"algo,omitempty"`
+	// N and M are the parsed instance size (vertices, hyperedges).
+	N int `json:"n,omitempty"`
+	M int `json:"m,omitempty"`
+	// Width is the achieved width; LowerBound the best proven lower bound.
+	Width      int  `json:"width,omitempty"`
+	LowerBound int  `json:"lower_bound,omitempty"`
+	Exact      bool `json:"exact,omitempty"`
+	// Stop names the budget limit that ended a degraded run.
+	Stop        string `json:"stop,omitempty"`
+	Nodes       int64  `json:"nodes,omitempty"`
+	Evaluations int64  `json:"evaluations,omitempty"`
+	ElapsedMS   int64  `json:"elapsed_ms"`
+	// Cached reports the response was served from the exact-result cache.
+	Cached bool `json:"cached,omitempty"`
+	// Timeline is the anytime best-width trajectory of the run.
+	Timeline []obs.WidthPoint `json:"timeline,omitempty"`
+	// Tree is the decomposition itself, when the request asked for it
+	// (include=tree).
+	Tree *TreeJSON `json:"tree,omitempty"`
+	// Error explains rejected/error outcomes; RetrySeconds mirrors the
+	// Retry-After header on backpressure rejections.
+	Error        string `json:"error,omitempty"`
+	RetrySeconds int    `json:"retry_after_s,omitempty"`
+}
+
+// TreeJSON is the wire form of a decomposition: per-node bags of vertex
+// names, per-node λ edge-name covers (GHDs only), and the parent array
+// (-1 marks the root).
+type TreeJSON struct {
+	Bags    [][]string `json:"bags"`
+	Lambdas [][]string `json:"lambdas,omitempty"`
+	Parent  []int      `json:"parent"`
+	Root    int        `json:"root"`
+	Width   int        `json:"width"`
+}
+
+// Server is the decomposition service. Create with New, serve with any
+// http.Server (it implements http.Handler), stop with Drain.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	started time.Time
+
+	sem      chan struct{} // worker-slot semaphore, cap = cfg.Workers
+	pending  atomic.Int64  // admitted requests (queued + running)
+	inflight atomic.Int64  // requests holding a worker slot
+	draining atomic.Bool
+	wg       sync.WaitGroup // every request between admission and response
+
+	// baseCtx cancels every in-flight budget when a drain's grace period
+	// expires: runs stop at their next checkpoint and still answer with
+	// their anytime best.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	reqSeq       atomic.Int64
+	outcomeCount [len(outcomes)]atomic.Int64
+	streamTotal  atomic.Int64
+	counters     *obs.EventCounters
+	cache        *resultCache
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		started:    time.Now(),
+		sem:        make(chan struct{}, cfg.Workers),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		counters:   obs.NewEventCounters(),
+	}
+	// Config speaks "0 = default, negative = disabled"; newResultCache
+	// speaks entry counts with 0 = disabled.
+	switch {
+	case cfg.CacheCapacity == 0:
+		s.cache = newResultCache(DefaultCacheCapacity)
+	case cfg.CacheCapacity > 0:
+		s.cache = newResultCache(cfg.CacheCapacity)
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /decompose", s.handleDecompose)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /algorithms", s.handleAlgorithms)
+	return s
+}
+
+// ServeHTTP implements http.Handler with an outermost panic barrier: a bug
+// in the handler itself (not the algorithms — those are contained by
+// budget.Guard inside core.Decompose) answers 500 with a typed envelope
+// instead of killing the connection without a response.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			pe := budget.AsPanicError(rec)
+			s.respond(w, http.StatusInternalServerError, &Response{
+				Outcome: OutcomeError,
+				Error:   fmt.Sprintf("contained handler panic: %v", pe.Value),
+			})
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Algorithms []core.Algorithm `json:"algorithms"`
+		Default    core.Algorithm   `json:"default"`
+	}{core.Algorithms, s.cfg.Algorithm})
+}
+
+// reqParams are the per-request knobs parsed from the query string.
+type reqParams struct {
+	algo    core.Algorithm
+	format  string
+	timeout time.Duration
+	nodes   int64
+	seed    int64
+	workers int
+	stream  bool
+	tree    bool
+}
+
+func (s *Server) parseParams(r *http.Request) (reqParams, error) {
+	q := r.URL.Query()
+	p := reqParams{
+		algo:    s.cfg.Algorithm,
+		format:  "hg",
+		timeout: s.cfg.DefaultTimeout,
+		nodes:   s.cfg.MaxNodes,
+		seed:    1,
+	}
+	if v := q.Get("algo"); v != "" {
+		a, err := core.ParseAlgorithm(v)
+		if err != nil {
+			return p, err
+		}
+		p.algo = a
+	}
+	if v := q.Get("format"); v != "" {
+		switch v {
+		case "hg", "dimacs", "gr", "edgelist":
+			p.format = v
+		default:
+			return p, fmt.Errorf("unknown format %q (have hg, dimacs, gr, edgelist)", v)
+		}
+	}
+	if v := q.Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return p, fmt.Errorf("bad timeout %q (want a positive Go duration, e.g. 500ms)", v)
+		}
+		p.timeout = d
+	}
+	if p.timeout > s.cfg.MaxTimeout {
+		p.timeout = s.cfg.MaxTimeout
+	}
+	if v := q.Get("nodes"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			return p, fmt.Errorf("bad nodes %q (want a non-negative integer)", v)
+		}
+		if s.cfg.MaxNodes > 0 && (n == 0 || n > s.cfg.MaxNodes) {
+			n = s.cfg.MaxNodes
+		}
+		p.nodes = n
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return p, fmt.Errorf("bad seed %q", v)
+		}
+		p.seed = n
+	}
+	if v := q.Get("workers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return p, fmt.Errorf("bad workers %q (want a non-negative integer)", v)
+		}
+		p.workers = core.ClampWorkers(n)
+	}
+	switch v := q.Get("stream"); v {
+	case "":
+	case "sse":
+		p.stream = true
+	default:
+		return p, fmt.Errorf("unknown stream mode %q (have sse)", v)
+	}
+	switch v := q.Get("include"); v {
+	case "":
+	case "tree":
+		p.tree = true
+	default:
+		return p, fmt.Errorf("unknown include %q (have tree)", v)
+	}
+	return p, nil
+}
+
+// handleDecompose is the serving path; see the package comment for the
+// discipline it implements.
+func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
+	id := fmt.Sprintf("r%06d", s.reqSeq.Add(1))
+	w.Header().Set("X-Request-ID", id)
+
+	// Count the request for drain before checking the flag: a request is
+	// either rejected-by-draining or fully waited for — never silently
+	// abandoned between the two.
+	s.wg.Add(1)
+	defer s.wg.Done()
+	if s.draining.Load() {
+		s.reject(w, http.StatusServiceUnavailable, id, "draining: not admitting new requests", 0)
+		return
+	}
+
+	p, err := s.parseParams(r)
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, id, err.Error(), 0)
+		return
+	}
+
+	// The body is read (capped) before admission: cheap, and the content
+	// hash can answer retries from the cache without spending a worker slot.
+	body, err := io.ReadAll(hypergraph.LimitReader(r.Body, s.cfg.MaxRequestBytes))
+	if err != nil {
+		var tooBig *hypergraph.PayloadTooLargeError
+		if errors.As(err, &tooBig) {
+			s.reject(w, http.StatusRequestEntityTooLarge, id,
+				fmt.Sprintf("payload exceeds %d-byte limit", tooBig.Limit), 0)
+			return
+		}
+		s.reject(w, http.StatusBadRequest, id, fmt.Sprintf("reading body: %v", err), 0)
+		return
+	}
+	key := resultKey(body, p.format, p.algo, p.seed)
+	if cached, ok := s.cache.lookup(key); ok && !p.stream {
+		cp := *cached
+		cp.Req = id
+		cp.Cached = true
+		if !p.tree {
+			cp.Tree = nil
+		}
+		s.count(cp.Outcome)
+		s.writeJSON(w, http.StatusOK, &cp)
+		return
+	}
+
+	// Admission: pending counts everything between here and response;
+	// beyond Workers+QueueDepth the request is shed with backpressure.
+	if s.pending.Add(1) > int64(s.cfg.Workers+s.cfg.QueueDepth) {
+		s.pending.Add(-1)
+		s.reject(w, http.StatusTooManyRequests, id, "saturated: worker pool and queue full", 1)
+		return
+	}
+	defer s.pending.Add(-1)
+
+	select {
+	case s.sem <- struct{}{}:
+	case <-r.Context().Done():
+		s.reject(w, statusClientClosedRequest, id, "client canceled while queued", 0)
+		return
+	case <-s.baseCtx.Done():
+		s.reject(w, http.StatusServiceUnavailable, id, "draining: canceled while queued", 0)
+		return
+	}
+	defer func() { <-s.sem }()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	faultinject.Hit(faultinject.SiteServerHandle)
+
+	// Parse inside the worker slot: parser CPU is bounded by the pool, so a
+	// storm of slow parses degrades into queueing + 429, never into
+	// unbounded goroutines.
+	faultinject.Hit(faultinject.SiteServerParse)
+	h, err := parsePayload(body, p.format)
+	if err != nil {
+		s.reject(w, http.StatusBadRequest, id, fmt.Sprintf("parsing %s payload: %v", p.format, err), 0)
+		return
+	}
+
+	// The run's budget: the client's clamped deadline, cut short by client
+	// disconnect or by a drain whose grace period expired.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	unhook := context.AfterFunc(s.baseCtx, cancel)
+	defer unhook()
+
+	var sse *sseWriter
+	rec := obs.Tee(s.counters, obs.WithReq(s.cfg.Trace, id))
+	if p.stream {
+		sse = newSSEWriter(w, id)
+		if sse == nil {
+			s.reject(w, http.StatusNotAcceptable, id, "response writer cannot stream (no http.Flusher)", 0)
+			return
+		}
+		s.streamTotal.Add(1)
+		rec = obs.Tee(rec, sse)
+	}
+
+	start := time.Now()
+	d, derr := core.Decompose(h, core.Options{
+		Algorithm:  p.algo,
+		Ctx:        ctx,
+		Timeout:    p.timeout,
+		MaxNodes:   p.nodes,
+		CheckEvery: s.cfg.CheckEvery,
+		Seed:       p.seed,
+		Workers:    p.workers,
+		Recorder:   rec,
+	})
+	resp := s.buildResponse(id, p, h, d, derr, time.Since(start))
+
+	if resp.Outcome == OutcomeExact && derr == nil {
+		// Cache a request-agnostic copy (with the tree: a later include=tree
+		// hit wants it; misses strip it). Exact widths are deterministic for
+		// the keyed (payload, format, algo, seed), so retries are idempotent.
+		cp := *resp
+		cp.Req = ""
+		cp.Cached = false
+		if cp.Tree == nil {
+			cp.Tree = treeJSON(h, d)
+		}
+		s.cache.store(key, &cp)
+	}
+
+	s.count(resp.Outcome)
+	if sse != nil {
+		sse.finish(resp)
+		return
+	}
+	status := http.StatusOK
+	switch resp.Outcome {
+	case OutcomeError:
+		status = http.StatusInternalServerError
+	case OutcomeRejected:
+		status = http.StatusUnprocessableEntity
+	}
+	s.writeJSON(w, status, resp)
+}
+
+// statusClientClosedRequest is nginx's conventional code for "the client went
+// away before we answered"; no stdlib constant exists.
+const statusClientClosedRequest = 499
+
+// buildResponse folds a Decompose result (or error) into the typed envelope.
+func (s *Server) buildResponse(id string, p reqParams, h *hypergraph.Hypergraph, d *core.Decomposition, derr error, elapsed time.Duration) *Response {
+	resp := &Response{
+		Req:       id,
+		Algo:      string(p.algo),
+		ElapsedMS: elapsed.Milliseconds(),
+	}
+	if h != nil {
+		resp.N, resp.M = h.N(), h.M()
+	}
+	if derr != nil {
+		var pe *budget.PanicError
+		if errors.As(derr, &pe) {
+			resp.Outcome = OutcomeError
+			resp.Error = fmt.Sprintf("algorithm panicked (contained): %v", pe.Value)
+			return resp
+		}
+		// Unservable instance (empty hypergraph, uncovered vertices, no
+		// decomposition within the tried widths): the request is at fault,
+		// not the server.
+		resp.Outcome = OutcomeRejected
+		resp.Error = derr.Error()
+		return resp
+	}
+	resp.Width = d.Width
+	resp.LowerBound = d.LowerBound
+	resp.Exact = d.Exact
+	resp.Stop = string(d.Stop)
+	resp.Nodes = d.Nodes
+	resp.Evaluations = d.Evaluations
+	if d.Stats != nil {
+		resp.Timeline = d.Stats.Snapshot().Timeline
+	}
+	switch {
+	case d.Interrupted:
+		resp.Outcome = OutcomeDegraded
+	case d.Exact:
+		resp.Outcome = OutcomeExact
+	default:
+		resp.Outcome = OutcomeUpperBound
+	}
+	if p.tree {
+		resp.Tree = treeJSON(h, d)
+	}
+	return resp
+}
+
+// treeJSON renders the decomposition for the wire: the GHD when the run
+// produced one, the tree decomposition otherwise.
+func treeJSON(h *hypergraph.Hypergraph, d *core.Decomposition) *TreeJSON {
+	name := func(vs []int) []string {
+		out := make([]string, len(vs))
+		for i, v := range vs {
+			out[i] = h.VertexName(v)
+		}
+		return out
+	}
+	if d.GHD != nil {
+		g := d.GHD
+		t := &TreeJSON{
+			Bags:    make([][]string, len(g.Bags)),
+			Lambdas: make([][]string, len(g.Lambdas)),
+			Parent:  g.Parent,
+			Root:    g.Root,
+			Width:   g.Width(),
+		}
+		for i, bag := range g.Bags {
+			t.Bags[i] = name(bag)
+		}
+		for i, lam := range g.Lambdas {
+			es := make([]string, len(lam))
+			for j, e := range lam {
+				es[j] = h.EdgeName(e)
+			}
+			t.Lambdas[i] = es
+		}
+		return t
+	}
+	if d.TD == nil {
+		return nil
+	}
+	td := d.TD
+	t := &TreeJSON{
+		Bags:   make([][]string, len(td.Bags)),
+		Parent: td.Parent,
+		Root:   td.Root,
+		Width:  td.Width(),
+	}
+	for i, bag := range td.Bags {
+		t.Bags[i] = name(bag)
+	}
+	return t
+}
+
+// parsePayload decodes body in the named format. Graph formats lift to
+// hypergraphs via the primal-graph embedding, same as the CLI.
+func parsePayload(body []byte, format string) (*hypergraph.Hypergraph, error) {
+	r := bytes.NewReader(body)
+	switch format {
+	case "hg":
+		return hypergraph.ParseHG(r)
+	case "dimacs":
+		g, err := hypergraph.ParseDIMACS(r)
+		if err != nil {
+			return nil, err
+		}
+		return hypergraph.FromGraph(g), nil
+	case "gr":
+		g, err := hypergraph.ParseGr(r)
+		if err != nil {
+			return nil, err
+		}
+		return hypergraph.FromGraph(g), nil
+	case "edgelist":
+		return hypergraph.ParseEdgeList(r)
+	default:
+		return nil, fmt.Errorf("unknown format %q", format)
+	}
+}
+
+// reject answers a request that will not run, with backpressure hints when
+// retrySeconds is positive.
+func (s *Server) reject(w http.ResponseWriter, status int, id, msg string, retrySeconds int) {
+	s.count(OutcomeRejected)
+	resp := &Response{Outcome: OutcomeRejected, Req: id, Error: msg, RetrySeconds: retrySeconds}
+	if retrySeconds > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retrySeconds))
+	}
+	s.writeJSON(w, status, resp)
+}
+
+// respond is the panic-barrier response writer: unlike writeJSON it tolerates
+// a handler that already wrote headers (the write simply fails downstream).
+func (s *Server) respond(w http.ResponseWriter, status int, resp *Response) {
+	s.count(resp.Outcome)
+	s.writeJSON(w, status, resp)
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, resp *Response) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encode errors mean the client went away; there is nobody to tell.
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) count(o Outcome) {
+	for i, known := range outcomes {
+		if o == known {
+			s.outcomeCount[i].Add(1)
+			return
+		}
+	}
+}
+
+// OutcomeCount returns how many responses carried outcome o.
+func (s *Server) OutcomeCount(o Outcome) int64 {
+	for i, known := range outcomes {
+		if o == known {
+			return s.outcomeCount[i].Load()
+		}
+	}
+	return 0
+}
+
+// Draining reports whether the server has stopped admitting requests.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// InFlight returns the number of requests currently holding a worker slot.
+func (s *Server) InFlight() int64 { return s.inflight.Load() }
+
+// DrainReport says how a drain went.
+type DrainReport struct {
+	// Forced reports the grace period expired and in-flight budgets were
+	// canceled (their requests still answered, with degraded outcomes).
+	Forced bool
+	// Waited is how long the drain took end to end.
+	Waited time.Duration
+}
+
+// Drain gracefully stops the server: new requests are rejected with a typed
+// 503 (readyz flips to draining), queued requests keep their place, and
+// in-flight runs get up to grace to finish on their own budgets. When grace
+// expires, every in-flight budget is canceled — runs stop at their next
+// checkpoint and their requests are still answered with anytime results.
+// Drain returns only when every admitted request has been responded to:
+// zero in-flight requests are dropped, by construction. A non-positive
+// grace cancels immediately.
+func (s *Server) Drain(grace time.Duration) DrainReport {
+	start := time.Now()
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	rep := DrainReport{}
+	if grace > 0 {
+		timer := time.NewTimer(grace)
+		defer timer.Stop()
+		select {
+		case <-done:
+			rep.Waited = time.Since(start)
+			return rep
+		case <-timer.C:
+			rep.Forced = true
+		}
+	} else {
+		rep.Forced = s.inflight.Load() > 0 || s.pending.Load() > 0
+	}
+	s.baseCancel()
+	<-done
+	rep.Waited = time.Since(start)
+	return rep
+}
+
+// handleMetrics serves the daemon's serving-level counters followed by the
+// obs event counters, in the OpenMetrics text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "# HELP hypertree_daemon_uptime_seconds Seconds since the server was built.\n# TYPE hypertree_daemon_uptime_seconds gauge\nhypertree_daemon_uptime_seconds %g\n",
+		time.Since(s.started).Seconds())
+	fmt.Fprintf(&b, "# HELP hypertree_daemon_requests_total Responses sent, by typed outcome.\n# TYPE hypertree_daemon_requests_total counter\n")
+	for i, o := range outcomes {
+		fmt.Fprintf(&b, "hypertree_daemon_requests_total{outcome=%q} %d\n", o, s.outcomeCount[i].Load())
+	}
+	fmt.Fprintf(&b, "# HELP hypertree_daemon_inflight Requests currently holding a worker slot.\n# TYPE hypertree_daemon_inflight gauge\nhypertree_daemon_inflight %d\n", s.inflight.Load())
+	queued := s.pending.Load() - s.inflight.Load()
+	if queued < 0 {
+		queued = 0
+	}
+	fmt.Fprintf(&b, "# HELP hypertree_daemon_queued Admitted requests waiting for a worker slot.\n# TYPE hypertree_daemon_queued gauge\nhypertree_daemon_queued %d\n", queued)
+	fmt.Fprintf(&b, "# HELP hypertree_daemon_workers Worker pool size.\n# TYPE hypertree_daemon_workers gauge\nhypertree_daemon_workers %d\n", s.cfg.Workers)
+	fmt.Fprintf(&b, "# HELP hypertree_daemon_queue_depth Admission queue bound beyond the pool.\n# TYPE hypertree_daemon_queue_depth gauge\nhypertree_daemon_queue_depth %d\n", s.cfg.QueueDepth)
+	draining := 0
+	if s.draining.Load() {
+		draining = 1
+	}
+	fmt.Fprintf(&b, "# HELP hypertree_daemon_draining 1 while the server refuses new work.\n# TYPE hypertree_daemon_draining gauge\nhypertree_daemon_draining %d\n", draining)
+	fmt.Fprintf(&b, "# HELP hypertree_daemon_streams_total SSE-streamed decompositions started.\n# TYPE hypertree_daemon_streams_total counter\nhypertree_daemon_streams_total %d\n", s.streamTotal.Load())
+	cs := s.cache.stats()
+	fmt.Fprintf(&b, "# HELP hypertree_daemon_result_cache_hits Exact-result cache hits.\n# TYPE hypertree_daemon_result_cache_hits counter\nhypertree_daemon_result_cache_hits %d\n", cs.Hits)
+	fmt.Fprintf(&b, "# HELP hypertree_daemon_result_cache_misses Exact-result cache misses.\n# TYPE hypertree_daemon_result_cache_misses counter\nhypertree_daemon_result_cache_misses %d\n", cs.Misses)
+	fmt.Fprintf(&b, "# HELP hypertree_daemon_result_cache_evictions Exact-result cache FIFO evictions.\n# TYPE hypertree_daemon_result_cache_evictions counter\nhypertree_daemon_result_cache_evictions %d\n", cs.Evictions)
+	fmt.Fprintf(&b, "# HELP hypertree_daemon_result_cache_size Exact-result cache resident entries.\n# TYPE hypertree_daemon_result_cache_size gauge\nhypertree_daemon_result_cache_size %d\n", cs.Size)
+	w.Write(b.Bytes())
+	if err := s.counters.WriteOpenMetrics(w); err != nil {
+		// The scrape connection broke mid-write; nothing to clean up.
+		return
+	}
+}
