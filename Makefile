@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check par-smoke daemon-smoke bench-smoke bench-diff trace-smoke tracestat-smoke fuzz clean
+.PHONY: all build vet test race check par-smoke portfolio-smoke daemon-smoke bench-smoke bench-diff trace-smoke tracestat-smoke fuzz clean
 
 all: check
 
@@ -20,7 +20,7 @@ race:
 # test suite under the race detector (which subsumes plain `go test`), a
 # smoke run of the evaluator benchmarks with a regression diff against the
 # committed report, and trace emission + analysis smoke runs.
-check: vet build race par-smoke daemon-smoke bench-smoke bench-diff trace-smoke tracestat-smoke
+check: vet build race par-smoke portfolio-smoke daemon-smoke bench-smoke bench-diff trace-smoke tracestat-smoke
 
 # par-smoke is the quick parallel-correctness gate: one mid-size instance
 # through parallel BB-ghw and one through parallel det-k-decomp, Workers=4,
@@ -29,6 +29,13 @@ check: vet build race par-smoke daemon-smoke bench-smoke bench-diff trace-smoke 
 # targeted re-check.)
 par-smoke:
 	$(GO) test -race -count=1 -run 'TestParallel.*Smoke' ./internal/search/ ./internal/htd/
+
+# portfolio-smoke is the racing-mode gate: the full solver portfolio on two
+# seed instances under the race detector, asserting the race's width is no
+# worse than the best single member given the same budget and that the
+# merged anytime timeline stays monotone.
+portfolio-smoke:
+	$(GO) test -race -count=1 -run 'TestPortfolioSmoke' ./internal/core/
 
 # daemon-smoke exercises the decomposed binary end to end over a real port:
 # build it, start it, POST examples/instances/cycle6.hg and assert the exact

@@ -43,7 +43,7 @@ func main() {
 		maxTimeout = flag.Duration("max-timeout", 0, "ceiling on the per-request budget a client can ask for (0 = server default)")
 		maxNodes   = flag.Int64("max-nodes", 0, "ceiling on the per-request search-node budget (0 = unlimited)")
 		cacheCap   = flag.Int("cache", 0, "exact-result cache capacity in entries (0 = default, -1 = disabled)")
-		algo       = flag.String("algo", "", "default algorithm when the request names none (empty = bb-ghw)")
+		algo       = flag.String("algo", "", "default algorithm when the request names none (empty = portfolio)")
 		tracePath  = flag.String("trace", "", "append every served run's instrumentation events as JSONL to this file")
 		drainGrace = flag.Duration("drain-grace", 15*time.Second, "how long a drain lets in-flight runs finish before canceling their budgets")
 	)

@@ -18,6 +18,7 @@ import (
 	"testing"
 
 	"hypertree/internal/budget"
+	"hypertree/internal/core"
 	"hypertree/internal/elim"
 	"hypertree/internal/elimgraph"
 	"hypertree/internal/htd"
@@ -148,8 +149,8 @@ func RunBenchJSON(instances []string, logf func(format string, args ...interface
 			logf("BenchmarkGHWWidth/%s/%s\t%s\n", name, mode.name, r.String()+"\t"+r.MemString())
 		}
 	}
-	report.SearchUnit = fmt.Sprintf("bb-*: one BB-ghw run (%d nodes); detk-*: one det-k k=%d decision (%d nodes)",
-		bbBenchNodes, detkBenchK, detkBenchNodes)
+	report.SearchUnit = fmt.Sprintf("bb-*: one BB-ghw run (%d nodes); detk-*: one det-k k=%d decision (%d nodes); portfolio: one solver race (%d shared nodes)",
+		bbBenchNodes, detkBenchK, detkBenchNodes, bbBenchNodes)
 	for _, name := range SearchBenchInstances {
 		inst, err := Hyper(name)
 		if err != nil {
@@ -161,6 +162,7 @@ func RunBenchJSON(instances []string, logf func(format string, args ...interface
 			{"bb-par", parBenchWorkers, benchBBWidth},
 			{"detk-serial", 0, benchDetKWidth},
 			{"detk-par", parBenchWorkers, benchDetKWidth},
+			{"portfolio", 0, benchPortfolioWidth},
 		}
 		for _, mode := range modes {
 			width := mode.width(h, mode.workers)
@@ -200,6 +202,18 @@ type searchBenchMode struct {
 func benchBBWidth(h *hypergraph.Hypergraph, workers int) int {
 	r := search.BBGHW(h, search.Options{MaxNodes: bbBenchNodes, Seed: 1, Workers: workers})
 	return r.Width
+}
+
+// benchPortfolioWidth runs one portfolio race on the same shared node budget
+// the bb modes use and returns its anytime width. Which member reaches the
+// budget first is a scheduling race, so the mode carries the parallel noise
+// floor in diffs and its width is exempt from the evaluator cross-check.
+func benchPortfolioWidth(h *hypergraph.Hypergraph, workers int) int {
+	d, err := core.DecomposePortfolio(h, core.Options{MaxNodes: bbBenchNodes, Seed: 1})
+	if err != nil {
+		return -1
+	}
+	return d.Width
 }
 
 // benchDetKWidth runs one node-budgeted det-k width-detkBenchK decision and

@@ -37,6 +37,11 @@ const (
 	StopNodes    StopReason = "node-budget" // work-unit budget exhausted
 	StopCanceled StopReason = "canceled"    // context canceled (e.g. SIGINT)
 	StopPanic    StopReason = "panic"       // a contained panic ended the run
+	// StopPortfolioWin aborts the losing members of a portfolio race once one
+	// member's result is proven optimal. It is an internal coordination
+	// signal, not a failure: core maps it back to a completed run
+	// (Stop == StopNone, Exact == true) before returning to the caller.
+	StopPortfolioWin StopReason = "portfolio-win"
 )
 
 // Limits configures a budget. Zero values mean unlimited.
@@ -60,11 +65,12 @@ type B struct {
 	maxNodes   int64
 	checkEvery int64
 	start      time.Time
-	// onCheck, when set, is invoked at every passing cooperative checkpoint
-	// (see OnCheckpoint). Instrumentation piggybacks on the cancellation
-	// polls the algorithms already perform, so observing a run adds no new
-	// hot-path branches.
-	onCheck CheckpointFunc
+	// onCheck holds the checkpoint observers (see OnCheckpoint) as an
+	// immutable slice behind an atomic pointer: the checkpoint path loads it
+	// lock-free, and installs copy-on-write under mu. Instrumentation
+	// piggybacks on the cancellation polls the algorithms already perform, so
+	// observing a run adds no new hot-path branches.
+	onCheck atomic.Pointer[[]CheckpointFunc]
 
 	nodes   atomic.Int64
 	stopped atomic.Bool
@@ -148,20 +154,38 @@ func (b *B) Check() bool {
 		b.Stop(StopDeadline)
 		return false
 	}
-	if b.onCheck != nil {
-		b.onCheck(b.nodes.Load(), time.Since(b.start))
+	if obs := b.onCheck.Load(); obs != nil {
+		n, el := b.nodes.Load(), time.Since(b.start)
+		for _, fn := range *obs {
+			fn(n, el)
+		}
 	}
 	return true
 }
 
-// OnCheckpoint installs fn as the budget's checkpoint observer (nil removes
-// it). Install before handing the budget to concurrent workers: the field is
-// read without synchronization on the checkpoint path.
+// OnCheckpoint adds fn to the budget's checkpoint observers (nil removes
+// them all). Observers accumulate rather than replace: a portfolio run
+// shares one budget across concurrent solvers, each installing its own
+// instrumentation hook, and every observer fires at every passing
+// checkpoint. Installation is safe while workers are already checkpointing.
 func (b *B) OnCheckpoint(fn CheckpointFunc) {
 	if b == nil {
 		return
 	}
-	b.onCheck = fn
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if fn == nil {
+		b.onCheck.Store(nil)
+		return
+	}
+	var cur []CheckpointFunc
+	if p := b.onCheck.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]CheckpointFunc, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = fn
+	b.onCheck.Store(&next)
 }
 
 // Stop marks the budget stopped with the given reason. The first reason

@@ -157,6 +157,9 @@ func TestPanicContainment(t *testing.T) {
 		AlgSAIGAGHW: faultinject.SiteGAEval,
 		AlgGreedy:   faultinject.SiteCover,
 		AlgHW:       faultinject.SiteSearchExpand,
+		// The panic lands in whichever racing member hits the site third; the
+		// containment contract is the portfolio's, not the member's.
+		AlgPortfolio: faultinject.SiteSearchExpand,
 	}
 	for _, alg := range Algorithms {
 		site, ok := sites[alg]

@@ -33,6 +33,7 @@ import (
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/obs"
 	"hypertree/internal/search"
+	"hypertree/internal/setcover"
 )
 
 // Algorithm names an implemented decomposition algorithm.
@@ -52,12 +53,21 @@ const (
 	// variant: polynomial for each fixed width (thesis §2.3.2). The result
 	// is a valid GHD of width hw(H) >= ghw(H).
 	AlgHW Algorithm = "hw-detk"
+	// AlgPortfolio races a set of ghw solvers (greedy, bb-ghw, hw-detk over
+	// rising k, ga-ghw, saiga-ghw by default; see Options.Portfolio)
+	// concurrently on one shared budget and one shared cover engine,
+	// publishing each improvement through a cross-solver incumbent so every
+	// member prunes against the best width any of them has found. It returns
+	// as soon as some member's width is proven optimal, or the best validated
+	// anytime width at the deadline.
+	AlgPortfolio Algorithm = "portfolio"
 )
 
 // Algorithms lists every algorithm name accepted by Decompose.
 var Algorithms = []Algorithm{
 	AlgAStarTW, AlgBBTW, AlgGATW,
 	AlgAStarGHW, AlgBBGHW, AlgGAGHW, AlgSAIGAGHW, AlgGreedy, AlgHW,
+	AlgPortfolio,
 }
 
 // ParseAlgorithm validates an algorithm name from the CLI.
@@ -110,6 +120,20 @@ type Options struct {
 	// worker goroutines, so it must be safe for concurrent use. nil
 	// disables tracing; the run still aggregates Decomposition.Stats.
 	Recorder obs.Recorder
+	// Portfolio selects the member solvers raced by AlgPortfolio; empty
+	// means the default set (greedy, bb-ghw, hw-detk, ga-ghw, saiga-ghw).
+	// Members must be distinct ghw algorithms — treewidth algorithms
+	// optimize a different width and a nested portfolio is rejected.
+	Portfolio []Algorithm
+
+	// engine, when non-nil, injects a shared cover engine into the ghw
+	// solvers (the portfolio driver shares one across its members). Internal:
+	// the engine's recorder fields are unsynchronized, so only the fan-out
+	// site may attach one.
+	engine *setcover.Engine
+	// shared, when non-nil, is the cross-solver incumbent of a portfolio
+	// race, handed down to the search engines for pruning.
+	shared *search.Incumbent
 }
 
 // ClampWorkers normalizes a caller-supplied worker count for Options.Workers:
@@ -175,6 +199,12 @@ func Decompose(h *hypergraph.Hypergraph, opts Options) (*Decomposition, error) {
 	if !h.CoversAllVertices() && !opts.Algorithm.IsTreewidth() {
 		return nil, fmt.Errorf("core: hypergraph leaves vertices uncovered; ghw is undefined (add unary edges)")
 	}
+	if opts.Algorithm == AlgPortfolio {
+		// The portfolio has its own completion semantics (a proven win stops
+		// the shared budget on purpose), so it bypasses the tail below that
+		// would misread that stop as an interruption.
+		return decomposePortfolio(h, opts)
+	}
 	b := budget.New(opts.Ctx, budget.Limits{
 		Timeout:    opts.Timeout,
 		MaxNodes:   opts.MaxNodes,
@@ -198,7 +228,8 @@ func Decompose(h *hypergraph.Hypergraph, opts Options) (*Decomposition, error) {
 // decompose dispatches to the selected algorithm under the shared budget b
 // and post-processes the result into a validated decomposition.
 func decompose(h *hypergraph.Hypergraph, opts Options, b *budget.B) (*Decomposition, error) {
-	sopt := search.Options{Seed: opts.Seed, Budget: b, Recorder: opts.Recorder, Workers: opts.Workers}
+	sopt := search.Options{Seed: opts.Seed, Budget: b, Recorder: opts.Recorder, Workers: opts.Workers,
+		Engine: opts.engine, Shared: opts.shared}
 	var d *Decomposition
 	// pendingStop defers the algo_stop event of the core-level algorithms
 	// (greedy, interrupted hw-detk) to after post-processing, so the event
@@ -263,7 +294,13 @@ func decompose(h *hypergraph.Hypergraph, opts Options, b *budget.B) (*Decomposit
 		stats, rec := coreInstrument(opts, b, "greedy", h)
 		rng := rand.New(rand.NewSource(opts.Seed))
 		order := elim.MinFillOrderingBudget(h.PrimalGraph(), rng, b)
-		w := elim.NewGHWEvaluator(h, false, rng).Width(order)
+		var ev *elim.GHWEvaluator
+		if opts.engine != nil {
+			ev = elim.NewGHWEvaluatorWithEngine(opts.engine, false, rng)
+		} else {
+			ev = elim.NewGHWEvaluator(h, false, rng)
+		}
+		w := ev.Width(order)
 		rec.Record(obs.Event{Kind: obs.KindImprove, T: b.Elapsed(), Width: w, Nodes: b.Nodes()})
 		lb := bounds.TwKscWidth(h, rng)
 		rec.Record(obs.Event{Kind: obs.KindLowerBound, T: b.Elapsed(), LowerBound: lb, Nodes: b.Nodes()})
@@ -296,9 +333,13 @@ func decompose(h *hypergraph.Hypergraph, opts Options, b *budget.B) (*Decomposit
 				Stats:      stats,
 			}
 			// det-k-decomp builds the decomposition directly, not from an
-			// ordering; attach it and derive the TD view from its bags.
+			// ordering; attach it, derive the TD view from its bags, and
+			// derive the elimination ordering the struct contract promises
+			// from the rooted tree (Theorem 2 pipeline: the induced
+			// decomposition of the derived ordering is no wider).
 			d.GHD = g
 			d.TD = &g.TreeDecomposition
+			d.Ordering = decomp.OrderingFromDecomposition(h, d.TD)
 			rec.Record(obs.Event{Kind: obs.KindStop, T: b.Elapsed(), Algo: "hw-detk",
 				Width: w, LowerBound: lb, Exact: true, Nodes: b.Nodes()})
 			return d, nil
@@ -322,7 +363,8 @@ func decompose(h *hypergraph.Hypergraph, opts Options, b *budget.B) (*Decomposit
 		return nil, fmt.Errorf("core: unknown algorithm %q", opts.Algorithm)
 	}
 
-	if d.Ordering == nil {
+	fellBack := d.Ordering == nil
+	if fellBack {
 		// Budgeted run that never materialized an ordering: fall back to
 		// min-fill so the caller always gets a decomposition. The budget is
 		// already stopped here, so the greedy scorer inside degrades to a
@@ -333,8 +375,12 @@ func decompose(h *hypergraph.Hypergraph, opts Options, b *budget.B) (*Decomposit
 	if !opts.Algorithm.IsTreewidth() {
 		// Exact covers are exponential in the worst case; on an interrupted
 		// run stay polynomial with greedy covers so post-processing cannot
-		// blow past the budget the caller just hit.
-		exact := !b.Stopped()
+		// blow past the budget the caller just hit. A portfolio win is not a
+		// real interruption — the member realized its ordering before the
+		// race was called — so it keeps exact covers (on its own ordering
+		// only: fallback orderings were never scored and may cover badly).
+		exact := !b.Stopped() ||
+			(b.Reason() == budget.StopPortfolioWin && !fellBack)
 		g, err := elim.GHDFromOrdering(h, d.Ordering, exact, rand.New(rand.NewSource(opts.Seed)))
 		if err != nil {
 			return nil, fmt.Errorf("core: covering decomposition: %w", err)
@@ -439,6 +485,9 @@ func gaDefaults(cfg ga.Config, opts Options) ga.Config {
 	if cfg.Workers == 0 {
 		cfg.Workers = opts.Workers
 	}
+	if cfg.Engine == nil {
+		cfg.Engine = opts.engine
+	}
 	return cfg
 }
 
@@ -465,6 +514,12 @@ func saigaDefaults(cfg ga.SAIGAConfig, opts Options) ga.SAIGAConfig {
 	}
 	if cfg.Timeout == 0 {
 		cfg.Timeout = opts.Timeout
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = opts.Workers
+	}
+	if cfg.Engine == nil {
+		cfg.Engine = opts.engine
 	}
 	return cfg
 }

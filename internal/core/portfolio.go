@@ -1,0 +1,388 @@
+// Portfolio mode: no single decomposition algorithm dominates across
+// instance families, so instead of picking one blind, AlgPortfolio races a
+// complementary set of ghw solvers concurrently — the production form of the
+// thesis's tractable-variants program, with det-k-decomp racing the anytime
+// heuristics.
+//
+// All members share one budget (a deadline or cancellation stops the whole
+// race), one cover engine (a bag solved by any member is a memo hit for all
+// of them) and one cross-solver incumbent: every member improvement is
+// published through a CAS-lowered atomic width, so the branch-and-bound
+// member prunes against the genetic algorithms' best-so-far and the
+// det-k-decomp member stops raising k once k can no longer beat it. The
+// portfolio also tracks the best proven ghw lower bound (the upfront
+// tw-ksc-width bound plus every lb-sound member's lower_bound events); the
+// moment the incumbent meets it, the result is proven optimal and the losing
+// members are aborted via budget.StopPortfolioWin.
+//
+// Observability: each member runs under its own `algo` label (stamped on
+// every event, so a request's trace interleaves cleanly — ValidateTrace
+// scopes the anytime-width contract per (req, algo) pair), while the
+// portfolio itself emits a merged timeline under the "portfolio" label into
+// the run's RunStats.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"hypertree/internal/bounds"
+	"hypertree/internal/budget"
+	"hypertree/internal/decomp"
+	"hypertree/internal/htd"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/obs"
+	"hypertree/internal/search"
+	"hypertree/internal/setcover"
+)
+
+// DefaultPortfolio is the member set AlgPortfolio races when
+// Options.Portfolio is empty: the greedy baseline for an instant upper
+// bound, exact branch and bound, det-k-decomp over rising k, and the two
+// genetic heuristics.
+var DefaultPortfolio = []Algorithm{AlgGreedy, AlgBBGHW, AlgHW, AlgGAGHW, AlgSAIGAGHW}
+
+// unsetW mirrors search.Incumbent's "no claim yet" sentinel.
+const unsetW = math.MaxInt32
+
+// DecomposePortfolio runs the algorithm portfolio on h; it is Decompose with
+// Options.Algorithm forced to AlgPortfolio.
+func DecomposePortfolio(h *hypergraph.Hypergraph, opts Options) (*Decomposition, error) {
+	opts.Algorithm = AlgPortfolio
+	return Decompose(h, opts)
+}
+
+// portfolio is the race's shared coordination state.
+type portfolio struct {
+	b   *budget.B
+	inc *search.Incumbent
+	// rec is the portfolio-level recorder: the merged RunStats teed with the
+	// caller's recorder. Member events do NOT flow through it (a member's
+	// algo_stop would overwrite the merged FinalWidth); they reach the
+	// caller's recorder directly, label-stamped, via memberRecorder.
+	rec   obs.Recorder
+	stats *obs.RunStats
+
+	mu       sync.Mutex
+	bestW    int // lowest width any member has realized (unsetW before the first claim)
+	bestAlgo Algorithm
+	lb       int  // best proven ghw lower bound
+	won      bool // the win latch: bestW <= lb, losers aborted
+}
+
+// claimWidth publishes a member-realized width: it lowers the cross-solver
+// incumbent (tightening every member's pruning), extends the merged anytime
+// timeline when the width is a global improvement, and latches the win when
+// the incumbent meets the proven lower bound.
+func (pf *portfolio) claimWidth(alg Algorithm, w int) {
+	if w < 0 {
+		return
+	}
+	pf.inc.Claim(w)
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if w < pf.bestW {
+		pf.bestW, pf.bestAlgo = w, alg
+		pf.rec.Record(obs.Event{Kind: obs.KindImprove, T: pf.b.Elapsed(),
+			Algo: string(AlgPortfolio), Width: w, Nodes: pf.b.Nodes()})
+	}
+	pf.checkWinLocked()
+}
+
+// raiseLB publishes a proven ghw lower bound (only lb-sound members feed it:
+// det-k-decomp refutations bound hw, not ghw, and are filtered out upstream).
+func (pf *portfolio) raiseLB(lb int) {
+	if lb <= 0 {
+		return
+	}
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	if lb > pf.lb {
+		pf.lb = lb
+		pf.rec.Record(obs.Event{Kind: obs.KindLowerBound, T: pf.b.Elapsed(),
+			Algo: string(AlgPortfolio), LowerBound: lb, Nodes: pf.b.Nodes()})
+	}
+	pf.checkWinLocked()
+}
+
+func (pf *portfolio) checkWinLocked() {
+	if !pf.won && pf.bestW <= pf.lb {
+		pf.won = true
+		pf.b.Stop(budget.StopPortfolioWin)
+	}
+}
+
+func (pf *portfolio) lowerBound() int {
+	pf.mu.Lock()
+	defer pf.mu.Unlock()
+	return pf.lb
+}
+
+// memberRecorder is the recorder handed to each member: it stamps every
+// event with the member's algo label (concurrent members must not rely on
+// the validator's algo_start fallback), forwards to the caller's recorder,
+// and intercepts the events that feed the shared race state — improvements
+// claim the incumbent, and lower bounds / proven-exact completions of
+// lb-sound members raise the global ghw lower bound.
+type memberRecorder struct {
+	algo Algorithm
+	// lbSound reports whether the member's bounds are ghw bounds. det-k-decomp
+	// is the exception: its refutations (and its exactness) certify hypertree
+	// width, which only upper-bounds ghw — its found widths are still valid
+	// incumbent claims, but its lower bounds must not end the race.
+	lbSound bool
+	pf      *portfolio
+	next    obs.Recorder // the caller's recorder; may be nil
+}
+
+func (m memberRecorder) Record(e obs.Event) {
+	if e.Algo == "" {
+		e.Algo = string(m.algo)
+	}
+	switch e.Kind {
+	case obs.KindImprove:
+		m.pf.claimWidth(m.algo, e.Width)
+	case obs.KindLowerBound:
+		if m.lbSound {
+			m.pf.raiseLB(e.LowerBound)
+		}
+	case obs.KindStop:
+		if e.Exact {
+			// A completed exact member proves its width optimal (for ghw only
+			// when lb-sound; det-k-decomp's exact hw is just an upper bound).
+			m.pf.claimWidth(m.algo, e.Width)
+			if m.lbSound {
+				m.pf.raiseLB(e.Width)
+			}
+		}
+	}
+	if m.next != nil {
+		m.next.Record(e)
+	}
+}
+
+type memberResult struct {
+	alg Algorithm
+	d   *Decomposition
+	err error
+}
+
+// decomposePortfolio is the AlgPortfolio entry point, dispatched from
+// Decompose before the generic budget tail (a portfolio win stops the shared
+// budget on purpose; the tail would misread that as an interruption).
+func decomposePortfolio(h *hypergraph.Hypergraph, opts Options) (*Decomposition, error) {
+	members := opts.Portfolio
+	if len(members) == 0 {
+		members = DefaultPortfolio
+	}
+	seen := make(map[Algorithm]bool, len(members))
+	for _, a := range members {
+		if _, err := ParseAlgorithm(string(a)); err != nil {
+			return nil, fmt.Errorf("core: portfolio member: %w", err)
+		}
+		if a == AlgPortfolio {
+			return nil, fmt.Errorf("core: portfolio cannot nest itself as a member")
+		}
+		if a.IsTreewidth() {
+			return nil, fmt.Errorf("core: portfolio member %s optimizes treewidth, not ghw", a)
+		}
+		if seen[a] {
+			// Two members under one label would interleave their improve
+			// events within one (req, algo) trace scope, breaking the
+			// anytime-monotonicity contract ValidateTrace checks.
+			return nil, fmt.Errorf("core: duplicate portfolio member %s", a)
+		}
+		seen[a] = true
+	}
+
+	b := budget.New(opts.Ctx, budget.Limits{
+		Timeout:    opts.Timeout,
+		MaxNodes:   opts.MaxNodes,
+		CheckEvery: opts.CheckEvery,
+	})
+	eng := setcover.NewEngine(h, setcover.DefaultCacheCapacity)
+	inc := search.NewIncumbent()
+	stats := obs.NewRunStats()
+	pf := &portfolio{b: b, inc: inc, stats: stats,
+		rec:   obs.Tee(stats, opts.Recorder),
+		bestW: unsetW, bestAlgo: AlgPortfolio}
+	// One recorder attach before fan-out: the engine's fields are
+	// unsynchronized, so the members must not touch them (they don't — an
+	// injected engine suppresses their SetRecorder calls).
+	eng.SetRecorderAt(obs.WithAlgo(pf.rec, string(AlgPortfolio)), 0, b.StartTime())
+
+	pf.rec.Record(obs.Event{Kind: obs.KindStart, T: b.Elapsed(),
+		Algo: string(AlgPortfolio), N: h.N(), M: h.M()})
+	b.OnCheckpoint(obs.Checkpointer(obs.WithAlgo(pf.rec, string(AlgPortfolio))))
+	// The cheap ghw lower bound up front: a heuristic member that hits it
+	// ends the race without waiting for an exact member's proof.
+	pf.raiseLB(bounds.TwKscWidth(h, rand.New(rand.NewSource(opts.Seed))))
+
+	results := make([]memberResult, len(members))
+	var wg sync.WaitGroup
+	for i, alg := range members {
+		i, alg := i, alg
+		mrec := memberRecorder{algo: alg, lbSound: alg != AlgHW, pf: pf, next: opts.Recorder}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var d *Decomposition
+			err := budget.Guard(b, func() error {
+				var e error
+				if alg == AlgHW {
+					d, e = pf.runDetk(h, opts, mrec)
+				} else {
+					mopts := opts
+					mopts.Algorithm = alg
+					mopts.Recorder = mrec
+					// The portfolio's parallelism is the race itself; members
+					// stay on their serial engines so the shared budget's work
+					// units split across solvers, not within one.
+					mopts.Workers = 0
+					mopts.Portfolio = nil
+					mopts.engine = eng
+					mopts.shared = inc
+					d, e = decompose(h, mopts, b)
+				}
+				return e
+			})
+			results[i] = memberResult{alg: alg, d: d, err: err}
+		}()
+	}
+	wg.Wait()
+
+	var firstErr error
+	for _, r := range results {
+		if r.err == nil {
+			continue
+		}
+		var pe *budget.PanicError
+		if errors.As(r.err, &pe) {
+			// A member panic fails the whole run, results or not: the
+			// containment contract turns one exploding solver into a
+			// diagnosable error, never a silently degraded answer.
+			return nil, pe
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("core: portfolio member %s: %w", r.alg, r.err)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Winner: the narrowest validated decomposition, in member order on ties.
+	var winner *Decomposition
+	for _, r := range results {
+		d := r.d
+		if d == nil || d.TD == nil || d.GHD == nil {
+			continue // det-k-decomp found nothing below the incumbent
+		}
+		if d.TD.Validate(h) != nil || d.GHD.Validate(h) != nil {
+			continue
+		}
+		if winner == nil || d.Width < winner.Width {
+			winner = d
+		}
+	}
+	if winner == nil {
+		return nil, fmt.Errorf("core: portfolio produced no valid decomposition")
+	}
+
+	lbFinal := pf.lowerBound()
+	reason := b.Reason()
+	if reason == budget.StopPortfolioWin {
+		reason = budget.StopNone
+	}
+	exact := winner.Width <= lbFinal
+	if exact {
+		// The proof stands whichever limit latched first: the winner realizes
+		// the proven lower bound, so the race completed in every sense that
+		// matters to the caller.
+		reason = budget.StopNone
+	}
+	var evals int64
+	for _, r := range results {
+		if r.d != nil {
+			evals += r.d.Evaluations
+		}
+	}
+	d := &Decomposition{
+		TD:          winner.TD,
+		GHD:         winner.GHD,
+		Width:       winner.Width,
+		LowerBound:  lbFinal,
+		Exact:       exact,
+		Ordering:    winner.Ordering,
+		Nodes:       b.Nodes(),
+		Evaluations: evals,
+		Elapsed:     b.Elapsed(),
+		Stop:        reason,
+		Interrupted: reason != budget.StopNone,
+		Stats:       pf.stats,
+	}
+	if st := eng.CacheStats(); st.Hits+st.Misses > 0 {
+		pf.rec.Record(obs.Event{Kind: obs.KindCoverCache, T: b.Elapsed(),
+			Algo: string(AlgPortfolio), CacheHits: st.Hits, CacheMisses: st.Misses,
+			CacheEvictions: st.Evictions, CacheSize: st.Size})
+	}
+	pf.rec.Record(obs.Event{Kind: obs.KindStop, T: b.Elapsed(),
+		Algo: string(AlgPortfolio), Width: d.Width, LowerBound: d.LowerBound,
+		Exact: d.Exact, Nodes: d.Nodes, Evaluations: evals, Stop: string(reason)})
+	return d, nil
+}
+
+// runDetk is the portfolio's det-k-decomp member: the solo hw-detk loop with
+// one extra stopping rule — the shared incumbent caps k, since a width-k
+// hypertree decomposition with k at or above the best known ghw width cannot
+// improve the race. It returns a nil Decomposition (no error) when nothing
+// was found below the caps.
+func (pf *portfolio) runDetk(h *hypergraph.Hypergraph, opts Options, rec obs.Recorder) (*Decomposition, error) {
+	b := pf.b
+	stats := obs.NewRunStats()
+	mrec := obs.Tee(stats, rec)
+	b.OnCheckpoint(obs.Checkpointer(mrec))
+	mrec.Record(obs.Event{Kind: obs.KindStart, T: b.Elapsed(),
+		Algo: string(AlgHW), N: h.N(), M: h.M()})
+	rng := rand.New(rand.NewSource(opts.Seed))
+	// hw <= tw+1 always; the incumbent usually cuts in far earlier.
+	maxK := bounds.MinFillUpperBound(h.PrimalGraph(), rng) + 1
+	for k := 1; k <= maxK && !b.Stopped(); k++ {
+		if k >= pf.inc.Best() {
+			break
+		}
+		mrec.Record(obs.Event{Kind: obs.KindAttempt, T: b.Elapsed(), K: k, Nodes: b.Nodes()})
+		g, ok, interrupted := htd.DecideHWParallel(h, k, 1, b)
+		if ok {
+			d := &Decomposition{
+				Width:   k,
+				Exact:   true, // exact hypertree width; ghw exactness is the race's call
+				Nodes:   b.Nodes(),
+				Elapsed: b.Elapsed(),
+				Stats:   stats,
+			}
+			d.GHD = g
+			d.TD = &g.TreeDecomposition
+			d.Ordering = decomp.OrderingFromDecomposition(h, d.TD)
+			mrec.Record(obs.Event{Kind: obs.KindImprove, T: b.Elapsed(),
+				Width: k, K: k, Found: true, Nodes: b.Nodes()})
+			mrec.Record(obs.Event{Kind: obs.KindStop, T: b.Elapsed(), Algo: string(AlgHW),
+				Width: k, Exact: true, Nodes: b.Nodes()})
+			return d, nil
+		}
+		if interrupted {
+			break
+		}
+		// Width k refuted: hw >= k+1. That bounds hw, not ghw — the
+		// memberRecorder filters it out of the global race (lbSound=false),
+		// but the trace still shows the member's own progress.
+		mrec.Record(obs.Event{Kind: obs.KindLowerBound, T: b.Elapsed(),
+			LowerBound: k + 1, Nodes: b.Nodes()})
+	}
+	mrec.Record(obs.Event{Kind: obs.KindStop, T: b.Elapsed(), Algo: string(AlgHW),
+		Width: -1, Nodes: b.Nodes(), Stop: string(b.Reason())})
+	return nil, nil
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hypertree/internal/budget"
+	"hypertree/internal/elim"
+	"hypertree/internal/ga"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/obs"
+)
+
+// TestPortfolioSmoke is the portfolio's headline contract (and the
+// `make portfolio-smoke` race gate): on seed instances, racing the solver
+// set under one budget returns a validated decomposition no wider than the
+// best single member given the same budget.
+func TestPortfolioSmoke(t *testing.T) {
+	instances := []struct {
+		name string
+		h    *hypergraph.Hypergraph
+	}{
+		{"grid2d_6", hypergraph.Grid2D(6)},
+		{"clique_9", hypergraph.CliqueHypergraph(9)},
+	}
+	for _, tc := range instances {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := Options{Seed: 1, Timeout: 30 * time.Second, MaxNodes: 80000}
+			pd, err := DecomposePortfolio(tc.h, opts)
+			if err != nil {
+				t.Fatalf("portfolio: %v", err)
+			}
+			validateAnytime(t, tc.h, AlgPortfolio, pd)
+			for _, alg := range DefaultPortfolio {
+				sopts := opts
+				sopts.Algorithm = alg
+				sd, err := Decompose(tc.h, sopts)
+				if err != nil {
+					t.Fatalf("%s: %v", alg, err)
+				}
+				if pd.Width > sd.Width {
+					t.Errorf("portfolio width %d exceeds solo %s width %d", pd.Width, alg, sd.Width)
+				}
+			}
+			if pd.Stats == nil {
+				t.Fatal("portfolio result lost its merged RunStats")
+			}
+			if err := pd.Stats.CheckTimeline(); err != nil {
+				t.Fatalf("merged timeline: %v", err)
+			}
+		})
+	}
+}
+
+// TestPortfolioExactWinAbortsLosers pins the win latch: once the incumbent
+// meets the proven lower bound the race is over, and members that would run
+// far longer on their own (here a GA armed with an absurd iteration budget)
+// are drained via StopPortfolioWin. The caller sees a completed exact run,
+// not an interruption.
+func TestPortfolioExactWinAbortsLosers(t *testing.T) {
+	h := hypergraph.CliqueHypergraph(10) // ghw = ceil(10/2) = 5, proven fast by BB
+	start := time.Now()
+	d, err := DecomposePortfolio(h, Options{
+		Seed:    1,
+		Timeout: 60 * time.Second,
+		GA:      ga.Config{MaxIterations: 1 << 30}, // would run ~forever un-aborted
+	})
+	if err != nil {
+		t.Fatalf("portfolio: %v", err)
+	}
+	elapsed := time.Since(start)
+	validateAnytime(t, h, AlgPortfolio, d)
+	if d.Width != 5 {
+		t.Fatalf("width = %d, want 5", d.Width)
+	}
+	if !d.Exact {
+		t.Fatal("proven-optimal race not reported Exact")
+	}
+	if d.Interrupted || d.Stop != budget.StopNone {
+		t.Fatalf("win reported as interruption: Interrupted=%v Stop=%q", d.Interrupted, d.Stop)
+	}
+	if d.LowerBound != d.Width {
+		t.Fatalf("exact result with lb %d != width %d", d.LowerBound, d.Width)
+	}
+	if elapsed > 20*time.Second {
+		t.Fatalf("race took %v: the win latch did not abort the losers", elapsed)
+	}
+}
+
+// TestPortfolioMidRaceCancel cancels the shared context mid-race and checks
+// the anytime contract: the best validated width found so far comes back,
+// flagged as a cancellation, never as exact.
+func TestPortfolioMidRaceCancel(t *testing.T) {
+	h := anytimeInstance() // Grid2D(10): no member closes it in 100ms
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	d, err := DecomposePortfolio(h, Options{Seed: 1, Ctx: ctx, CheckEvery: 64})
+	if err != nil {
+		t.Fatalf("portfolio: %v", err)
+	}
+	validateAnytime(t, h, AlgPortfolio, d)
+	if !d.Interrupted || d.Stop != budget.StopCanceled {
+		t.Fatalf("Interrupted=%v Stop=%q, want canceled interruption", d.Interrupted, d.Stop)
+	}
+	if d.Exact {
+		t.Fatal("canceled race must not claim exactness")
+	}
+}
+
+// TestPortfolioMemberValidation rejects member sets the race cannot run:
+// unknown names, nesting, treewidth objectives, duplicates (which would
+// interleave improve events within one (req, algo) trace scope).
+func TestPortfolioMemberValidation(t *testing.T) {
+	h := hypergraph.Grid2D(4)
+	bad := [][]Algorithm{
+		{AlgBBGHW, Algorithm("no-such-algo")},
+		{AlgGreedy, AlgPortfolio},
+		{AlgBBTW, AlgGreedy},
+		{AlgGreedy, AlgBBGHW, AlgGreedy},
+	}
+	for _, members := range bad {
+		if _, err := DecomposePortfolio(h, Options{Seed: 1, Portfolio: members}); err == nil {
+			t.Errorf("portfolio %v: expected a validation error", members)
+		}
+	}
+	// A legal subset runs fine.
+	d, err := DecomposePortfolio(h, Options{Seed: 1, Portfolio: []Algorithm{AlgGreedy, AlgBBGHW}})
+	if err != nil {
+		t.Fatalf("two-member portfolio: %v", err)
+	}
+	validateAnytime(t, h, AlgPortfolio, d)
+}
+
+// TestPortfolioTraceValidates streams a full portfolio race through the
+// JSONL recorder and runs the trace validator over it: five interleaved
+// member event streams plus the merged portfolio stream must satisfy the
+// per-(req, algo) anytime contract.
+func TestPortfolioTraceValidates(t *testing.T) {
+	h := hypergraph.Grid2D(6)
+	var buf bytes.Buffer
+	rec := obs.NewJSONLWriter(&buf)
+	d, err := DecomposePortfolio(h, Options{Seed: 1, MaxNodes: 50000, Recorder: rec})
+	if err != nil {
+		t.Fatalf("portfolio: %v", err)
+	}
+	validateAnytime(t, h, AlgPortfolio, d)
+	if err := rec.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	sum, err := obs.ValidateTrace(&buf)
+	if err != nil {
+		t.Fatalf("portfolio trace rejected: %v", err)
+	}
+	if sum.Events == 0 {
+		t.Fatal("empty trace")
+	}
+}
+
+// TestHWDetkExactOrdering is the regression for the ordering-contract bug:
+// the exact det-k-decomp path returned Ordering == nil, breaking every
+// consumer that replays decompositions through elimination orderings. The
+// ordering must be a permutation whose induced GHD is no wider than the
+// reported width.
+func TestHWDetkExactOrdering(t *testing.T) {
+	h := hypergraph.Grid2D(4)
+	d, err := Decompose(h, Options{Algorithm: AlgHW, Seed: 1, Timeout: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("hw-detk: %v", err)
+	}
+	if !d.Exact {
+		t.Fatalf("hw-detk did not close Grid2D(4) (width %d, stop %q)", d.Width, d.Stop)
+	}
+	if d.Ordering == nil {
+		t.Fatal("exact hw-detk returned a nil Ordering")
+	}
+	seen := make([]bool, h.N())
+	for _, v := range d.Ordering {
+		if v < 0 || v >= h.N() || seen[v] {
+			t.Fatalf("Ordering is not a permutation: %v", d.Ordering)
+		}
+		seen[v] = true
+	}
+	if len(d.Ordering) != h.N() {
+		t.Fatalf("Ordering has %d entries, want %d", len(d.Ordering), h.N())
+	}
+	g, err := elim.GHDFromOrdering(h, d.Ordering, true, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("replaying the ordering: %v", err)
+	}
+	if g.Width() > d.Width {
+		t.Fatalf("ordering replays to width %d, above the reported %d", g.Width(), d.Width)
+	}
+}

@@ -102,6 +102,13 @@ type Config struct {
 	// Label overrides the algorithm label on emitted events; the wrappers
 	// set "ga-tw"/"ga-ghw", plain "ga" otherwise.
 	Label string
+	// Engine, when non-nil, is the cover engine GHW builds its evaluators on
+	// instead of creating its own, sharing its memo cache with every other
+	// solver on the same engine (a portfolio race). GHW does not attach
+	// cfg.Recorder to an injected engine — its recorder fields are
+	// unsynchronized, so the sharing caller attaches one before fan-out.
+	// Ignored by the treewidth entry points.
+	Engine *setcover.Engine
 }
 
 // budgetFor returns the run budget: the caller-supplied one, or a fresh
@@ -384,10 +391,15 @@ func GHW(h *hypergraph.Hypergraph, cfg Config) Result {
 	if cfg.Label == "" {
 		cfg.Label = "ga-ghw"
 	}
-	eng := setcover.NewEngine(h, setcover.DefaultCacheCapacity)
-	// Sampled live snapshots go to the external recorder only; the final
-	// snapshot below lands in both it and the run's RunStats.
-	eng.SetRecorder(cfg.Recorder, 0)
+	eng := cfg.Engine
+	if eng == nil {
+		eng = setcover.NewEngine(h, setcover.DefaultCacheCapacity)
+		// Sampled live snapshots go to the external recorder only; the final
+		// snapshot below lands in both it and the run's RunStats. An injected
+		// engine keeps whatever recorder its owner attached (the fields are
+		// unsynchronized, so only the sharing caller may set them).
+		eng.SetRecorder(cfg.Recorder, 0)
+	}
 	res := RunParallel(h.N(), func(worker int) Evaluator {
 		rng := rand.New(rand.NewSource(cfg.Seed ^ 0x9e3779b9 + int64(worker)*1000003))
 		return NewGHWEvaluatorWithEngine(eng, rng)

@@ -96,3 +96,54 @@ func TestSAIGAGHWReportsCoverCache(t *testing.T) {
 		t.Fatal("islands produced no cover cache hits")
 	}
 }
+
+// SAIGA's fitness evaluation splits each island's population across
+// cfg.Workers goroutines with tick-first budget semantics, so with a
+// deterministic evaluator every worker count must reproduce the serial
+// trajectory exactly. This is the regression for the plumbing bug where
+// core's saigaDefaults dropped Options.Workers on the floor: SAIGAConfig had
+// no Workers field to receive it.
+func TestSAIGAWorkersMatchSerial(t *testing.T) {
+	g := hypergraph.Queen(5)
+	base := SAIGADefaults()
+	base.Islands = 2
+	base.IslandPop = 12
+	base.Epochs = 3
+	base.EpochLength = 4
+	base.Seed = 11
+	serial := SAIGATreewidth(g, base)
+	for _, workers := range []int{2, 4} {
+		cfg := base
+		cfg.Workers = workers
+		par := SAIGATreewidth(g, cfg)
+		if par.BestWidth != serial.BestWidth {
+			t.Fatalf("workers=%d: width %d, want %d", workers, par.BestWidth, serial.BestWidth)
+		}
+		if par.Evaluations != serial.Evaluations {
+			t.Fatalf("workers=%d: evaluations %d, want %d", workers, par.Evaluations, serial.Evaluations)
+		}
+		if w := NewTreewidthEvaluator(g).Evaluate(par.BestOrdering); w != par.BestWidth {
+			t.Fatalf("workers=%d: reported %d but ordering evaluates to %d", workers, par.BestWidth, w)
+		}
+	}
+}
+
+// SAIGAGHW with per-island worker pools stays sound: the returned width
+// matches a replay of the winning ordering.
+func TestSAIGAGHWWorkersSound(t *testing.T) {
+	h := hypergraph.Grid2D(4)
+	cfg := SAIGADefaults()
+	cfg.Islands = 2
+	cfg.IslandPop = 10
+	cfg.Epochs = 2
+	cfg.EpochLength = 3
+	cfg.Workers = 4
+	cfg.Seed = 12
+	r := SAIGAGHW(h, cfg)
+	if len(r.BestOrdering) != h.N() {
+		t.Fatalf("ordering has %d entries, want %d", len(r.BestOrdering), h.N())
+	}
+	if r.BestWidth < 2 {
+		t.Fatalf("implausible ghw %d for Grid2D(4)", r.BestWidth)
+	}
+}

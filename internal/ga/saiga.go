@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"hypertree/internal/budget"
-	"hypertree/internal/budget/faultinject"
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/obs"
 	"hypertree/internal/setcover"
@@ -41,6 +40,21 @@ type SAIGAConfig struct {
 	// Label overrides the algorithm label on emitted events; the wrappers
 	// set "saiga-ghw"/"saiga-tw", plain "saiga" otherwise.
 	Label string
+	// Workers sets how many goroutines score each island's population
+	// (fitness evaluation); 0 or 1 keeps the serial per-island loop. The
+	// islands themselves always evolve concurrently, so the run's total
+	// goroutine count is Islands×Workers (the scheduler bounds actual
+	// parallelism at GOMAXPROCS). Like ga.Config.Workers, parallel scoring
+	// with randomized greedy covers can vary tie-breaking; deterministic
+	// evaluators (treewidth) produce identical results at any worker count.
+	Workers int
+	// Engine, when non-nil, is the cover engine SAIGAGHW builds its island
+	// evaluators on instead of creating its own, sharing its memo cache with
+	// every other solver on the same engine (a portfolio race). SAIGAGHW does
+	// not attach cfg.Recorder to an injected engine — its recorder fields are
+	// unsynchronized, so the sharing caller attaches one before fan-out.
+	// Ignored by SAIGATreewidth.
+	Engine *setcover.Engine
 }
 
 func (c SAIGAConfig) budgetFor() *budget.B {
@@ -152,12 +166,23 @@ type SAIGAResult struct {
 type island struct {
 	pop    [][]int
 	fit    []int
+	ok     []bool // per-individual scored flags, reset each generation
 	params paramVector
 	best   []int
 	bestF  int
 	rng    *rand.Rand
-	eval   Evaluator
-	evals  int64
+	// evs holds one evaluator per fitness worker (evaluators own scratch
+	// state, so each scoring goroutine needs its own); len(evs) == 1 keeps
+	// the serial per-island loop.
+	evs   []Evaluator
+	evals int64
+}
+
+// resetOK clears the scored flags before a generation's evaluation pass.
+func (isl *island) resetOK() {
+	for i := range isl.ok {
+		isl.ok[i] = false
+	}
 }
 
 // SAIGAGHW runs SAIGA-ghw on a hypergraph and returns an upper bound on its
@@ -168,12 +193,18 @@ func SAIGAGHW(h *hypergraph.Hypergraph, cfg SAIGAConfig) SAIGAResult {
 	if cfg.Label == "" {
 		cfg.Label = "saiga-ghw"
 	}
-	eng := setcover.NewEngine(h, setcover.DefaultCacheCapacity)
-	// Sampled live snapshots go to the external recorder only; the final
-	// snapshot below lands in both it and the run's RunStats.
-	eng.SetRecorder(cfg.Recorder, 0)
-	res := SAIGA(h.N(), func(i int) Evaluator {
-		return NewGHWEvaluatorWithEngine(eng, rand.New(rand.NewSource(cfg.Seed^0x51a+int64(i)*1000003)))
+	eng := cfg.Engine
+	if eng == nil {
+		eng = setcover.NewEngine(h, setcover.DefaultCacheCapacity)
+		// Sampled live snapshots go to the external recorder only; the final
+		// snapshot below lands in both it and the run's RunStats. An injected
+		// engine keeps whatever recorder its owner attached (the fields are
+		// unsynchronized, so only the sharing caller may set them).
+		eng.SetRecorder(cfg.Recorder, 0)
+	}
+	res := SAIGA(h.N(), func(i, worker int) Evaluator {
+		seed := cfg.Seed ^ 0x51a + int64(i)*1000003 + int64(worker)*7919
+		return NewGHWEvaluatorWithEngine(eng, rand.New(rand.NewSource(seed)))
 	}, cfg)
 	st := eng.CacheStats()
 	res.CoverCacheHits, res.CoverCacheMisses = st.Hits, st.Misses
@@ -194,13 +225,15 @@ func SAIGATreewidth(g *hypergraph.Graph, cfg SAIGAConfig) SAIGAResult {
 	if cfg.Label == "" {
 		cfg.Label = "saiga-tw"
 	}
-	return SAIGA(g.N(), func(int) Evaluator { return NewTreewidthEvaluator(g) }, cfg)
+	return SAIGA(g.N(), func(int, int) Evaluator { return NewTreewidthEvaluator(g) }, cfg)
 }
 
 // SAIGA runs the self-adaptive island GA over orderings of n vertices.
-// newEval builds one evaluator per island (evaluators own scratch state and
-// are not safe for concurrent use, so islands may not share one).
-func SAIGA(n int, newEval func(island int) Evaluator, cfg SAIGAConfig) SAIGAResult {
+// newEval builds one evaluator per (island, fitness worker) pair (evaluators
+// own scratch state and are not safe for concurrent use, so no two
+// goroutines may share one; cfg.Workers <= 1 asks for one worker per
+// island).
+func SAIGA(n int, newEval func(island, worker int) Evaluator, cfg SAIGAConfig) SAIGAResult {
 	if cfg.Islands < 2 {
 		panic("ga: SAIGA needs at least 2 islands")
 	}
@@ -216,35 +249,40 @@ func SAIGA(n int, newEval func(island int) Evaluator, cfg SAIGAConfig) SAIGAResu
 	b.OnCheckpoint(obs.Checkpointer(rec))
 	rec.Record(obs.Event{Kind: obs.KindStart, T: b.Elapsed(), Algo: label, N: n})
 
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > cfg.IslandPop {
+		workers = cfg.IslandPop
+	}
 	isles := make([]*island, cfg.Islands)
 	for i := range isles {
+		evs := make([]Evaluator, workers)
+		for w := range evs {
+			evs[w] = newEval(i, w)
+		}
 		isles[i] = &island{
 			pop:    make([][]int, cfg.IslandPop),
 			fit:    make([]int, cfg.IslandPop),
+			ok:     make([]bool, cfg.IslandPop),
 			params: randomParams(rng),
 			rng:    rand.New(rand.NewSource(cfg.Seed + 0x5eed*int64(i+1))),
-			eval:   newEval(i),
+			evs:    evs,
 			bestF:  int(^uint(0) >> 1), // until the first evaluation lands
 		}
 	}
 
-	// Initial populations, evaluated island-parallel.
+	// Initial populations, evaluated island-parallel (and, with Workers > 1,
+	// worker-parallel within each island).
 	runIslands(isles, func(isl *island) {
 		for j := range isl.pop {
 			isl.pop[j] = isl.rng.Perm(n)
 		}
-		evaluated := len(isl.pop)
+		isl.resetOK()
+		isl.evals += evalPop(isl.pop, isl.fit, isl.ok, 0, isl.evs, b)
 		for j := range isl.pop {
-			if !b.Tick() {
-				evaluated = j
-				break
-			}
-			faultinject.Hit(faultinject.SiteGAEval)
-			isl.fit[j] = isl.eval.Evaluate(isl.pop[j])
-			isl.evals++
-		}
-		for j := 0; j < evaluated; j++ {
-			if isl.fit[j] < isl.bestF {
+			if isl.ok[j] && isl.fit[j] < isl.bestF {
 				// Fresh copy: globalBest snapshots isl.best by reference.
 				isl.best = append([]int(nil), isl.pop[j]...)
 				isl.bestF = isl.fit[j]
@@ -276,7 +314,7 @@ func SAIGA(n int, newEval func(island int) Evaluator, cfg SAIGAConfig) SAIGAResu
 		// Budget exhausted before any evaluation: score one ordering anyway
 		// so the anytime contract (a valid result with a true width) holds.
 		globalBest = isles[0].pop[0]
-		globalF = isles[0].eval.Evaluate(globalBest)
+		globalF = isles[0].evs[0].Evaluate(globalBest)
 		isles[0].evals++
 		isles[0].best = append([]int(nil), globalBest...)
 		isles[0].bestF = globalF
@@ -303,7 +341,7 @@ func SAIGA(n int, newEval func(island int) Evaluator, cfg SAIGAConfig) SAIGAResu
 			improve(globalF, epoch+1)
 		}
 		for i, isl := range isles {
-			mean, std, distinct, _ := diversity(isl.fit, nil)
+			mean, std, distinct, _ := diversity(isl.fit, isl.ok)
 			rec.Record(obs.Event{Kind: obs.KindGeneration, T: b.Elapsed(),
 				Generation: epoch + 1, Island: i + 1, Width: isl.bestF,
 				MeanWidth: mean, WidthStd: std, DistinctWidths: distinct,
@@ -423,26 +461,23 @@ func evolveIsland(isl *island, cfg SAIGAConfig, b *budget.B) {
 			}
 		}
 		isl.pop = next
-		evaluated := popSize
+		isl.resetOK()
+		isl.evals += evalPop(isl.pop, isl.fit, isl.ok, 0, isl.evs, b)
+		// Trust only the scored individuals: on a mid-generation stop the
+		// unscored fit entries still hold the previous generation's values.
+		complete := true
 		for i := range isl.pop {
-			if !b.Tick() {
-				evaluated = i
-				break
+			if !isl.ok[i] {
+				complete = false
+				continue
 			}
-			faultinject.Hit(faultinject.SiteGAEval)
-			isl.fit[i] = isl.eval.Evaluate(isl.pop[i])
-			isl.evals++
-		}
-		// Trust only the evaluated prefix: on a mid-generation stop the fit
-		// tail still scores the previous generation.
-		for i := 0; i < evaluated; i++ {
 			if isl.fit[i] < isl.bestF {
 				// Fresh copy: globalBest snapshots isl.best by reference.
 				isl.best = append([]int(nil), isl.pop[i]...)
 				isl.bestF = isl.fit[i]
 			}
 		}
-		if evaluated < popSize {
+		if !complete {
 			return
 		}
 	}

@@ -217,6 +217,33 @@ func WithReq(rec Recorder, req string) Recorder {
 	return reqStamper{rec: rec, req: req}
 }
 
+// algoStamper wraps a Recorder, stamping every event with a run label.
+type algoStamper struct {
+	rec  Recorder
+	algo string
+}
+
+func (s algoStamper) Record(e Event) {
+	if e.Algo == "" {
+		e.Algo = s.algo
+	}
+	s.rec.Record(e)
+}
+
+// WithAlgo wraps rec so every event it records carries the run label algo
+// (events that already have one keep it). A portfolio run interleaves
+// several concurrent solvers into one trace; ValidateTrace scopes its
+// anytime-width check per (req, algo) pair, but only when concurrent
+// emitters stamp the label explicitly — the algo_start fallback assumes a
+// single run at a time. A nil rec returns nil, preserving the disabled fast
+// path.
+func WithAlgo(rec Recorder, algo string) Recorder {
+	if rec == nil {
+		return nil
+	}
+	return algoStamper{rec: rec, algo: algo}
+}
+
 // multi fans events out to several recorders in order.
 type multi []Recorder
 

@@ -27,8 +27,14 @@ func BBTreewidth(g *hypergraph.Graph, opts Options) Result {
 // simplicial reductions and the non-adjacent case of PR2.
 func BBGHW(h *hypergraph.Hypergraph, opts Options) Result {
 	if opts.Workers > 1 {
-		eng := setcover.NewEngine(h, setcover.DefaultCacheCapacity)
+		eng := opts.Engine
+		if eng == nil {
+			eng = setcover.NewEngine(h, setcover.DefaultCacheCapacity)
+		}
 		return runBBParallel(opts, "bb-ghw", func() model { return newGHWModelShared(eng, opts.Seed, true) })
+	}
+	if opts.Engine != nil {
+		return runBB(newGHWModelShared(opts.Engine, opts.Seed, true), opts, "bb-ghw")
 	}
 	return runBB(newGHWModel(h, opts.Seed, true), opts, "bb-ghw")
 }
@@ -38,8 +44,14 @@ func BBGHW(h *hypergraph.Hypergraph, opts Options) Result {
 // is only exact with respect to greedy covers.
 func BBGHWGreedy(h *hypergraph.Hypergraph, opts Options) Result {
 	if opts.Workers > 1 {
-		eng := setcover.NewEngine(h, setcover.DefaultCacheCapacity)
+		eng := opts.Engine
+		if eng == nil {
+			eng = setcover.NewEngine(h, setcover.DefaultCacheCapacity)
+		}
 		return runBBParallel(opts, "bb-ghw-greedy", func() model { return newGHWModelShared(eng, opts.Seed, false) })
+	}
+	if opts.Engine != nil {
+		return runBB(newGHWModelShared(opts.Engine, opts.Seed, false), opts, "bb-ghw-greedy")
 	}
 	return runBB(newGHWModel(h, opts.Seed, false), opts, "bb-ghw-greedy")
 }
@@ -53,10 +65,22 @@ type bbSearch struct {
 	ub     int
 	lbRoot int
 	best   []int
+	// bestW is the width realized by best (unsetWidth while best is nil).
+	// It can lag behind ub when a cross-solver incumbent lowered the bound
+	// past anything this search materialized itself; the result then reports
+	// a nil Ordering rather than a stale, wider one.
+	bestW  int
 	prefix []int
 	// shared is the parallel run's coordination state; nil in serial runs,
 	// where ub above is the sole incumbent.
 	shared *bbShared
+	// ext is the cross-solver incumbent of a portfolio race (Options.Shared);
+	// nil outside one. Serial runs re-read it at every sync point — the bound
+	// only ever decreases, so anything pruned against an intermediate value
+	// would also be pruned against the final one, keeping exactness sound.
+	// Parallel runs adopt it at start only: their exactness argument is tied
+	// to the shared in-run incumbent, which external claims bypass.
+	ext *Incumbent
 	// worker is the 1-based parallel worker id stamped on improve events;
 	// 0 for serial runs and the parallel coordinator.
 	worker int
@@ -84,6 +108,7 @@ func (s *bbSearch) claimImprove(w int) bool {
 			return false
 		}
 		s.ub = w
+		s.bestW = w
 		return true
 	}
 	for {
@@ -96,6 +121,7 @@ func (s *bbSearch) claimImprove(w int) bool {
 		}
 		if s.shared.ub.CompareAndSwap(cur, int64(w)) {
 			s.ub = w
+			s.bestW = w
 			return true
 		}
 	}
@@ -124,6 +150,10 @@ func (s *bbSearch) syncUB() {
 		if u := int(s.shared.ub.Load()); u < s.ub {
 			s.ub = u
 		}
+		return
+	}
+	if u := s.ext.Best(); u < s.ub {
+		s.ub = u
 	}
 }
 
@@ -136,7 +166,16 @@ func runBB(m model, opts Options, defaultLabel string) Result {
 		ub = opts.InitialUB
 		ordering = nil
 	}
-	s := &bbSearch{m: m, opts: opts, budget: b, rec: rec, shape: shape, ub: ub, lbRoot: lb, best: ordering}
+	if u := opts.Shared.Best(); u < ub {
+		ub = u
+		ordering = nil
+	}
+	s := &bbSearch{m: m, opts: opts, budget: b, rec: rec, shape: shape,
+		ub: ub, lbRoot: lb, best: ordering, ext: opts.Shared}
+	s.bestW = unsetWidth
+	if ordering != nil {
+		s.bestW = ub
+	}
 	s.improve(ub)
 	rec.Record(obs.Event{Kind: obs.KindLowerBound, T: b.Elapsed(), LowerBound: lb, Nodes: b.Nodes()})
 	if lb < ub && m.graph().N() > 0 {
@@ -148,11 +187,17 @@ func runBB(m model, opts Options, defaultLabel string) Result {
 		lbOut = s.ub
 		rec.Record(obs.Event{Kind: obs.KindLowerBound, T: b.Elapsed(), LowerBound: lbOut, Nodes: b.Nodes()})
 	}
+	best := s.best
+	if s.bestW > s.ub {
+		// The final bound came from the cross-solver incumbent (or the
+		// priming InitialUB), not from an ordering realized here.
+		best = nil
+	}
 	r := finish(m, Result{
 		Width:      s.ub,
 		LowerBound: lbOut,
 		Exact:      exact,
-		Ordering:   s.best,
+		Ordering:   best,
 		Nodes:      b.Nodes(),
 		Elapsed:    b.Elapsed(),
 		Stop:       b.Reason(),

@@ -1,0 +1,58 @@
+package search
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Incumbent is a cross-solver anytime upper bound: an atomic width that any
+// solver in a portfolio race can lower and every solver can prune against.
+// It generalizes the parallel BB engine's in-run shared bound (bbShared.ub)
+// to bounds shared *between* solver runs. The invariant callers must keep is
+// that every claimed width is realized by a decomposition some solver has
+// actually materialized — the serial BB search treats an adopted incumbent
+// exactly like Options.InitialUB ("a solution of this width exists
+// elsewhere"), so an unrealizable claim would corrupt exactness proofs.
+//
+// A nil *Incumbent is valid and inert: Best reports "no bound", Claim
+// reports false.
+type Incumbent struct {
+	w atomic.Int64
+}
+
+// unsetWidth is the sentinel for "no claim yet": larger than any real width.
+const unsetWidth = math.MaxInt32
+
+// NewIncumbent returns an incumbent with no claim.
+func NewIncumbent() *Incumbent {
+	u := &Incumbent{}
+	u.w.Store(unsetWidth)
+	return u
+}
+
+// Best returns the lowest claimed width, or math.MaxInt32 when nothing has
+// been claimed yet.
+func (u *Incumbent) Best() int {
+	if u == nil {
+		return unsetWidth
+	}
+	return int(u.w.Load())
+}
+
+// Claim installs w as the incumbent if it is strictly lower than the current
+// claim, reporting whether it won the race. Only widths realized by an
+// actual decomposition may be claimed (see the type comment).
+func (u *Incumbent) Claim(w int) bool {
+	if u == nil {
+		return false
+	}
+	for {
+		cur := u.w.Load()
+		if int64(w) >= cur {
+			return false
+		}
+		if u.w.CompareAndSwap(cur, int64(w)) {
+			return true
+		}
+	}
+}

@@ -231,6 +231,12 @@ func runBBParallel(opts Options, defaultLabel string, newModel func() model) Res
 		ub = opts.InitialUB
 		ordering = nil
 	}
+	if u := opts.Shared.Best(); u < ub {
+		// Adopted at start only: the parallel exactness argument rests on the
+		// in-run shared bound, which mid-run external claims would bypass.
+		ub = u
+		ordering = nil
+	}
 	sh := &bbShared{bestW: ub, best: ordering, deques: make([]bbDeque, nw)}
 	sh.ub.Store(int64(ub))
 	cs := &bbSearch{m: coord, opts: opts, budget: b, rec: rec, shape: shape,

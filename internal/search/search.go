@@ -43,6 +43,22 @@ type Options struct {
 	// (widths >= InitialUB are pruned; a solution of exactly InitialUB is
 	// assumed to exist elsewhere).
 	InitialUB int
+	// Shared, when non-nil, is a live cross-solver incumbent (a portfolio
+	// race). The search adopts it at start like InitialUB and the serial
+	// engine re-reads it at its pruning sync points, so another solver's
+	// improvement tightens this search's pruning mid-run. The search never
+	// writes to it — publication is the portfolio driver's job (it intercepts
+	// improve events), keeping the "claims are realized elsewhere" invariant
+	// in one place. Result.Ordering is nil when the final width came from the
+	// incumbent rather than from an ordering this search realized itself.
+	Shared *Incumbent
+	// Engine, when non-nil, is the cover engine the ghw searches build their
+	// evaluators on instead of creating their own, sharing its memo cache
+	// with every other solver on the same engine. The search does not attach
+	// its recorder to an injected engine (the engine's recorder fields are
+	// unsynchronized; the sharing caller attaches one before fan-out).
+	// Ignored by the treewidth searches.
+	Engine *setcover.Engine
 	// DisableReductions turns off the simplicial/almost-simplicial rules
 	// (thesis §4.4.3); used by the ablation benchmarks.
 	DisableReductions bool
@@ -154,7 +170,12 @@ func instrument(m model, opts Options, b *budget.B, defaultLabel string, g *gaug
 	if label == "" {
 		label = defaultLabel
 	}
-	m.setRecorder(rec, b.StartTime())
+	if opts.Engine == nil {
+		// An injected engine is shared across concurrent solvers; its recorder
+		// fields are unsynchronized, so only the sharing caller attaches one
+		// (before fan-out). Internally-created engines are private to this run.
+		m.setRecorder(rec, b.StartTime())
+	}
 	ms := obs.NewMemSampler(0)
 	b.OnCheckpoint(func(nodes int64, elapsed time.Duration) {
 		rec.Record(obs.Event{Kind: obs.KindCheckpoint, T: elapsed, Nodes: nodes,

@@ -420,3 +420,42 @@ func TestChaosHammerMixed(t *testing.T) {
 		t.Fatalf("post-soak drain left %d in flight (report %+v)", n, rep)
 	}
 }
+
+// TestChaosPortfolioRace storms the daemon with portfolio requests — plain,
+// SSE-streamed, deadline-stormed and panic-stricken at once. A racing
+// member's contained panic must fail only its own request (typed error
+// outcome), never the daemon, and every concurrent race still answers typed.
+func TestChaosPortfolioRace(t *testing.T) {
+	defer faultinject.Reset()
+	s := New(Config{Workers: 4, QueueDepth: 8, CheckEvery: 16})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	rearm(faultinject.SiteCover, 400, func() { panic("chaos: sporadic cover panic") })
+	grid := grid12HG(t)
+	results := hammer(t, ts, 24, func(i int) (string, []byte, context.Context) {
+		switch i % 4 {
+		case 0:
+			return "algo=portfolio", []byte(cycle6HG), nil
+		case 1:
+			return "algo=portfolio&timeout=40ms", grid, nil
+		case 2:
+			return fmt.Sprintf("algo=portfolio&stream=sse&timeout=30ms&seed=%d", i), grid, nil
+		default:
+			return "algo=portfolio", []byte(acyclic4HG), nil
+		}
+	})
+	byOutcome := assertAllTyped(t, results)
+	total := 0
+	for _, n := range byOutcome {
+		total += n
+	}
+	if total != 24 {
+		t.Errorf("typed outcomes for %d of 24 requests: %v", total, byOutcome)
+	}
+	faultinject.Reset()
+	assertAlive(t, ts)
+	if rep := s.Drain(2 * time.Second); s.InFlight() != 0 {
+		t.Fatalf("post-storm drain left requests in flight (report %+v)", rep)
+	}
+}

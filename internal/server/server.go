@@ -78,8 +78,10 @@ type Config struct {
 	// CacheCapacity bounds the exact-result cache: 0 selects
 	// DefaultCacheCapacity, negative disables caching.
 	CacheCapacity int
-	// Algorithm is the default algorithm when the request names none;
-	// empty selects bb-ghw (exact ghw, anytime-degradable).
+	// Algorithm is the default algorithm when the request names none; empty
+	// selects the algorithm portfolio (the racing solver set: exact when a
+	// member proves optimality in time, anytime-degradable otherwise).
+	// Requests that want one specific solver name it explicitly.
 	Algorithm core.Algorithm
 	// Trace, when non-nil, receives every served run's instrumentation
 	// events, each stamped with its request id (obs.Event.Req) so the
@@ -111,7 +113,7 @@ func (c Config) withDefaults() Config {
 		c.DefaultTimeout = c.MaxTimeout
 	}
 	if c.Algorithm == "" {
-		c.Algorithm = core.AlgBBGHW
+		c.Algorithm = core.AlgPortfolio
 	}
 	return c
 }

@@ -398,3 +398,87 @@ func TestResultCacheFIFOEviction(t *testing.T) {
 	}
 	nilCache.store("x", &Response{}) // must not panic
 }
+
+// TestPortfolioDefaultServes pins the daemon's new default: a request naming
+// no algorithm runs the portfolio and still gets the typed envelope — exact
+// on an instance the race closes instantly, with the merged anytime timeline
+// attached.
+func TestPortfolioDefaultServes(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	hr, resp := postDecompose(t, ts, "", []byte(cycle6HG))
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", hr.StatusCode)
+	}
+	if resp.Algo != "portfolio" {
+		t.Fatalf("default algo = %q, want portfolio", resp.Algo)
+	}
+	if resp.Outcome != OutcomeExact || !resp.Exact {
+		t.Fatalf("cycle6 through the portfolio: outcome %q exact=%v", resp.Outcome, resp.Exact)
+	}
+	if resp.Width != 2 || resp.LowerBound != 2 {
+		t.Fatalf("width=%d lb=%d, want 2/2", resp.Width, resp.LowerBound)
+	}
+	if len(resp.Timeline) == 0 {
+		t.Fatal("portfolio response missing the merged timeline")
+	}
+}
+
+// TestPortfolioDegradedEnvelope: a deadline mid-race comes back as the
+// degraded outcome with the best validated width, exactly like a single
+// solver would.
+func TestPortfolioDegradedEnvelope(t *testing.T) {
+	s := New(Config{CheckEvery: 16})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	hr, resp := postDecompose(t, ts, "algo=portfolio&timeout=100ms", grid12HG(t))
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", hr.StatusCode)
+	}
+	if resp.Outcome != OutcomeDegraded || resp.Stop != "deadline" {
+		t.Fatalf("outcome %q stop %q, want degraded deadline", resp.Outcome, resp.Stop)
+	}
+	if resp.Width <= 0 {
+		t.Fatalf("degraded race returned no width: %+v", resp)
+	}
+	if resp.Exact {
+		t.Fatal("degraded race must not claim exactness")
+	}
+}
+
+// TestPortfolioSSEStream: the streamed race interleaves member-labeled
+// frames with the portfolio's merged improve frames, and terminates in one
+// typed result frame.
+func TestPortfolioSSEStream(t *testing.T) {
+	s := New(Config{CheckEvery: 16})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	hr, err := http.Post(ts.URL+"/decompose?algo=portfolio&stream=sse&timeout=150ms", "text/plain",
+		bytes.NewReader(grid12HG(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if ct := hr.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	var b bytes.Buffer
+	if _, err := b.ReadFrom(hr.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	if !strings.Contains(body, "event: improve") {
+		t.Error("stream missing improve frames")
+	}
+	if !strings.Contains(body, `"algo":"portfolio"`) {
+		t.Error("stream missing portfolio-labeled frames")
+	}
+	resp := lastResultFrame(t, body)
+	if resp.Outcome != OutcomeDegraded || resp.Width <= 0 {
+		t.Fatalf("streamed terminal result: %+v", resp)
+	}
+}
