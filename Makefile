@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check par-smoke portfolio-smoke daemon-smoke bench-smoke bench-diff trace-smoke tracestat-smoke fuzz clean
+.PHONY: all build vet test race check par-smoke portfolio-smoke daemon-smoke latency-smoke bench-smoke bench-diff trace-smoke tracestat-smoke fuzz clean
 
 all: check
 
@@ -20,7 +20,7 @@ race:
 # test suite under the race detector (which subsumes plain `go test`), a
 # smoke run of the evaluator benchmarks with a regression diff against the
 # committed report, and trace emission + analysis smoke runs.
-check: vet build race par-smoke portfolio-smoke daemon-smoke bench-smoke bench-diff trace-smoke tracestat-smoke
+check: vet build race par-smoke portfolio-smoke daemon-smoke latency-smoke bench-smoke bench-diff trace-smoke tracestat-smoke
 
 # par-smoke is the quick parallel-correctness gate: one mid-size instance
 # through parallel BB-ghw and one through parallel det-k-decomp, Workers=4,
@@ -46,6 +46,16 @@ portfolio-smoke:
 # this target is the process-boundary gate.)
 daemon-smoke:
 	$(GO) test -race -count=1 -run 'TestDaemonSmoke' ./cmd/decomposed/
+
+# latency-smoke is the request-lifecycle observability gate: start the
+# daemon with tracing, access logging and the slow ring enabled, fire a
+# mixed burst (exact, cached, rejected, degraded), and assert the /metrics
+# latency histograms are populated with P50/P95/P99 summaries, /debug/slow
+# retained the outlier with its event trace, the access log has one JSON
+# line per request, the drain dumps the slow ring, and tracestat summary on
+# the daemon trace prints a per-phase latency breakdown.
+latency-smoke:
+	$(GO) test -race -count=1 -run 'TestLatencySmoke' ./cmd/decomposed/
 
 # bench-smoke reruns the ghw evaluator microbenchmarks (benchstat-compatible
 # output) into a scratch report and validates both it and the committed

@@ -45,6 +45,8 @@ func main() {
 		cacheCap   = flag.Int("cache", 0, "exact-result cache capacity in entries (0 = default, -1 = disabled)")
 		algo       = flag.String("algo", "", "default algorithm when the request names none (empty = portfolio)")
 		tracePath  = flag.String("trace", "", "append every served run's instrumentation events as JSONL to this file")
+		accessPath = flag.String("access-log", "", "append one JSON line per finished request to this file (- = stdout)")
+		slowN      = flag.Int("slow", 0, "slowest-requests ring size for /debug/slow and the drain dump (0 = default, -1 = disabled)")
 		drainGrace = flag.Duration("drain-grace", 15*time.Second, "how long a drain lets in-flight runs finish before canceling their budgets")
 	)
 	flag.Parse()
@@ -69,6 +71,16 @@ func main() {
 		}
 		trace = obs.NewJSONLWriter(f)
 	}
+	var accessLog *os.File
+	if *accessPath == "-" {
+		accessLog = os.Stdout
+	} else if *accessPath != "" {
+		f, err := os.Create(*accessPath)
+		if err != nil {
+			fatal(err)
+		}
+		accessLog = f
+	}
 
 	cfg := server.Config{
 		Workers:         core.ClampWorkers(*workers),
@@ -79,11 +91,16 @@ func main() {
 		MaxNodes:        *maxNodes,
 		CacheCapacity:   *cacheCap,
 		Algorithm:       defaultAlgo,
+		SlowN:           *slowN,
 	}
 	if trace != nil {
 		// Assign only a live writer: a nil *JSONLWriter boxed into the
 		// Recorder interface would look non-nil to the server.
 		cfg.Trace = trace
+	}
+	if accessLog != nil {
+		// Same typed-nil discipline as the trace writer above.
+		cfg.AccessLog = accessLog
 	}
 	srv := server.New(cfg)
 
@@ -126,6 +143,22 @@ func main() {
 	if trace != nil {
 		if err := trace.Close(); err != nil {
 			fatal(fmt.Errorf("writing trace %s: %w", *tracePath, err))
+		}
+	}
+	if accessLog != nil && accessLog != os.Stdout {
+		if err := accessLog.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "decomposed: closing access log:", err)
+		}
+	}
+	// Dump the slowest retained requests: the last chance to see why the
+	// tail was slow once the process is gone.
+	if slow := srv.SlowRuns(); len(slow) > 0 {
+		fmt.Printf("decomposed: slowest %d requests this run:\n", len(slow))
+		for _, sr := range slow {
+			fmt.Printf("  %s [%s] %s: %v total, %v queued, %d events\n",
+				sr.Req, sr.Algo, sr.Outcome,
+				sr.Elapsed.Round(time.Millisecond), sr.QueueWait.Round(time.Millisecond),
+				len(sr.Events))
 		}
 	}
 	how := "all in-flight requests finished"

@@ -294,3 +294,131 @@ func TestDaemonRejectsNegativeWorkers(t *testing.T) {
 		t.Fatalf("missing validation message:\n%s", out)
 	}
 }
+
+// TestLatencySmoke is the Makefile latency-smoke gate: start the daemon
+// with tracing, access logging and the slow ring on, fire a mixed burst,
+// and assert (1) /metrics exposes populated latency histograms with
+// P50/P95/P99 summaries, (2) the access log has one JSON line per request,
+// (3) the drain dumps the slowest requests, and (4) tracestat summary on
+// the trace prints a sane per-phase breakdown.
+func TestLatencySmoke(t *testing.T) {
+	bin := buildDaemon(t)
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "latency.jsonl")
+	accessPath := filepath.Join(dir, "access.jsonl")
+	d := startDaemon(t, bin, "-workers", "2", "-drain-grace", "5s",
+		"-trace", tracePath, "-access-log", accessPath, "-slow", "4")
+
+	payload, err := os.ReadFile(filepath.Join("..", "..", "examples", "instances", "cycle6.hg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var grid bytes.Buffer
+	if err := hypergraph.WriteHG(&grid, hypergraph.Grid2D(12)); err != nil {
+		t.Fatal(err)
+	}
+
+	// The burst: exact solves, a cache hit, a rejection, a degraded run.
+	for i := 0; i < 3; i++ {
+		if status, resp := d.post(t, "algo=bb-ghw", payload); status != 200 {
+			t.Fatalf("burst solve %d: status %d, %v", i, status, resp)
+		}
+	}
+	if status, _, _ := d.tryPost("algo=nope", payload); status != 400 {
+		t.Fatalf("rejection status = %d, want 400", status)
+	}
+	if status, resp := d.post(t, "algo=bb-ghw&timeout=200ms", grid.Bytes()); status != 200 || resp["outcome"] != "degraded" {
+		t.Fatalf("degraded run: status %d, %v", status, resp)
+	}
+
+	// Every envelope carries waited_ms and a timings block.
+	if _, resp := d.post(t, "algo=bb-ghw", payload); resp["timings"] == nil {
+		t.Fatalf("envelope missing timings: %v", resp)
+	}
+
+	hr, err := http.Get(d.url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	for _, want := range []string{
+		`hypertree_daemon_request_seconds_bucket{outcome="exact",le="+Inf"}`,
+		`hypertree_daemon_request_seconds_bucket{outcome="degraded",le="+Inf"} 1`,
+		"# TYPE hypertree_daemon_queue_wait_seconds histogram",
+		`hypertree_daemon_request_latency_seconds{quantile="0.5"}`,
+		`hypertree_daemon_request_latency_seconds{quantile="0.95"}`,
+		`hypertree_daemon_request_latency_seconds{quantile="0.99"}`,
+		`hypertree_daemon_phase_seconds{phase="queue_wait",quantile="0.99"}`,
+		`hypertree_daemon_phase_seconds{phase="solve",quantile="0.5"}`,
+	} {
+		if !bytes.Contains(metrics, []byte(want)) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// /debug/slow retains the degraded grid run as the slowest, with events.
+	hr, err = http.Get(d.url + "/debug/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slowPage struct {
+		Retained int `json:"retained"`
+		Runs     []struct {
+			Req    string           `json:"req"`
+			Events []map[string]any `json:"events"`
+		} `json:"runs"`
+	}
+	err = json.NewDecoder(hr.Body).Decode(&slowPage)
+	hr.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowPage.Retained == 0 || len(slowPage.Runs[0].Events) == 0 {
+		t.Fatalf("/debug/slow retained nothing useful: %+v", slowPage)
+	}
+
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := d.wait(t); code != 0 {
+		t.Fatalf("drain exited %d\nstdout tail:\n%s", code, d.tail.String())
+	}
+	if !strings.Contains(d.tail.String(), "slowest") {
+		t.Errorf("drain did not dump the slow ring:\n%s", d.tail.String())
+	}
+
+	// The access log: one JSON line per finished request (6 posts above).
+	access, err := os.ReadFile(accessPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(access), []byte("\n"))
+	if len(lines) != 6 {
+		t.Fatalf("access log has %d lines, want 6:\n%s", len(lines), access)
+	}
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("access line %d not JSON: %v", i, err)
+		}
+		if rec["req"] == "" || rec["outcome"] == "" || rec["status"] == nil {
+			t.Fatalf("access line %d incomplete: %s", i, line)
+		}
+	}
+
+	// tracestat summary on the daemon trace prints the per-phase breakdown.
+	tracestat := filepath.Join(t.TempDir(), "tracestat")
+	if out, err := exec.Command("go", "build", "-o", tracestat, "../tracestat").CombinedOutput(); err != nil {
+		t.Fatalf("building tracestat: %v\n%s", err, out)
+	}
+	out, err := exec.Command(tracestat, "summary", tracePath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("tracestat summary: %v\n%s", err, out)
+	}
+	for _, want := range []string{"requests: ", "latency: p50", "phase means:", "solve="} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("tracestat summary missing %q:\n%s", want, out)
+		}
+	}
+}

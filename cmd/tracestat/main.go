@@ -78,10 +78,21 @@ func runSummary(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	profiles := analyze.Profiles(tr, analyze.StallOptions{MinGap: *stallGap, Fraction: *stallFrac})
+	requests := analyze.Requests(tr)
 	if *asJSON {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(profiles); err != nil {
+		// CLI traces keep the historical plain-array shape; daemon traces
+		// (request spans present) get an object with both views.
+		var payload any = profiles
+		if len(requests) > 0 {
+			payload = struct {
+				Runs     []*analyze.Profile        `json:"runs"`
+				Requests []*analyze.RequestProfile `json:"requests"`
+				Summary  *analyze.RequestSummary   `json:"request_summary"`
+			}{profiles, requests, analyze.SummarizeRequests(requests)}
+		}
+		if err := enc.Encode(payload); err != nil {
 			fmt.Fprintf(stderr, "tracestat: %v\n", err)
 			return 2
 		}
@@ -93,10 +104,67 @@ func runSummary(args []string, stdout, stderr io.Writer) int {
 		}
 		writeProfile(stdout, p)
 	}
+	if len(requests) > 0 {
+		if len(profiles) > 0 {
+			fmt.Fprintln(stdout)
+		}
+		writeRequests(stdout, requests)
+	}
 	if tr.Unknown > 0 {
 		fmt.Fprintf(stdout, "\n%d events with unknown kind (newer writer?)\n", tr.Unknown)
 	}
 	return 0
+}
+
+// writeRequests renders the serving-side view of a daemon trace: the
+// cross-request latency/queue-wait percentiles, the per-phase means, and a
+// per-request phase breakdown.
+func writeRequests(w io.Writer, reqs []*analyze.RequestProfile) {
+	sum := analyze.SummarizeRequests(reqs)
+	fmt.Fprintf(w, "requests: %d served", sum.Requests)
+	if len(sum.ByOutcome) > 0 {
+		fmt.Fprint(w, " (")
+		first := true
+		for _, o := range []string{"exact", "upper-bound", "degraded", "rejected", "error"} {
+			if n := sum.ByOutcome[o]; n > 0 {
+				if !first {
+					fmt.Fprint(w, ", ")
+				}
+				fmt.Fprintf(w, "%d %s", n, o)
+				first = false
+			}
+		}
+		fmt.Fprint(w, ")")
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  latency: p50 %v, p95 %v, p99 %v, max %v\n",
+		sum.Latency.P50.Round(time.Microsecond), sum.Latency.P95.Round(time.Microsecond),
+		sum.Latency.P99.Round(time.Microsecond), sum.Latency.Max.Round(time.Microsecond))
+	if sum.QueueWait.Count > 0 {
+		fmt.Fprintf(w, "  queue wait: p50 %v, p95 %v, p99 %v, max %v\n",
+			sum.QueueWait.P50.Round(time.Microsecond), sum.QueueWait.P95.Round(time.Microsecond),
+			sum.QueueWait.P99.Round(time.Microsecond), sum.QueueWait.Max.Round(time.Microsecond))
+	}
+	fmt.Fprint(w, "  phase means:")
+	for _, phase := range []string{"queue_wait", "parse", "cache", "solve", "encode"} {
+		if d, ok := sum.PhaseMeans[phase]; ok {
+			fmt.Fprintf(w, " %s=%v", phase, d.Round(time.Microsecond))
+		}
+	}
+	fmt.Fprintln(w)
+	for _, rp := range reqs {
+		fmt.Fprintf(w, "  %s [%s]", rp.Req, rp.Algo)
+		if rp.Outcome != "" {
+			fmt.Fprintf(w, " %s", rp.Outcome)
+		}
+		fmt.Fprintf(w, " total %v:", rp.Total.Round(time.Microsecond))
+		for _, phase := range []string{"queue_wait", "parse", "cache", "solve", "encode"} {
+			if d, ok := rp.Phases[phase]; ok {
+				fmt.Fprintf(w, " %s=%v", phase, d.Round(time.Microsecond))
+			}
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 func writeProfile(w io.Writer, p *analyze.Profile) {
@@ -226,6 +294,20 @@ func writeComparison(w io.Writer, c *analyze.Comparison) {
 	}
 	if len(c.Deltas) == 0 {
 		fmt.Fprintln(w, "no matching runs to compare")
+	}
+	if l := c.Latency; l != nil {
+		verdict := "ok"
+		if l.Regressed {
+			verdict = "REGRESSED"
+		}
+		fmt.Fprintf(w, "%-16s p95 %v -> %v (%.2fx), p50 %v -> %v, %d -> %d requests: %s\n",
+			"serving latency",
+			l.Old.P95.Round(time.Millisecond), l.New.P95.Round(time.Millisecond), l.P95Ratio,
+			l.Old.P50.Round(time.Millisecond), l.New.P50.Round(time.Millisecond),
+			l.OldRequests, l.NewRequests, verdict)
+		for _, r := range l.Reasons {
+			fmt.Fprintf(w, "  reason: %s\n", r)
+		}
 	}
 }
 

@@ -39,6 +39,11 @@ type Run struct {
 // Trace is a loaded JSONL trace.
 type Trace struct {
 	Runs []*Run
+	// Spans are the daemon's request-lifecycle span events, kept out of the
+	// solver run grouping: their clock is request-relative, not
+	// budget-relative, and one request's spans bracket (not belong to) its
+	// solver run. Requests() derives per-request profiles from them.
+	Spans []obs.Event
 	// Unknown counts events whose kind is outside this build's taxonomy;
 	// they are kept in their run's Events (the format is forward-compatible)
 	// but excluded from profile aggregation.
@@ -67,6 +72,10 @@ func Load(r io.Reader) (*Trace, error) {
 		if !obs.ValidKind(e.Kind) {
 			tr.Unknown++
 		}
+		if e.Kind == obs.KindSpan {
+			tr.Spans = append(tr.Spans, e)
+			continue
+		}
 		if e.Kind == obs.KindStart || cur == nil {
 			cur = &Run{Algo: e.Algo, N: e.N, M: e.M}
 			tr.Runs = append(tr.Runs, cur)
@@ -76,7 +85,7 @@ func Load(r io.Reader) (*Trace, error) {
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("analyze: reading trace: %w", err)
 	}
-	if len(tr.Runs) == 0 {
+	if len(tr.Runs) == 0 && len(tr.Spans) == 0 {
 		return nil, fmt.Errorf("analyze: trace is empty")
 	}
 	return tr, nil

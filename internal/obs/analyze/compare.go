@@ -83,16 +83,20 @@ type Comparison struct {
 	// OldOnly and NewOnly list run labels present in only one trace.
 	OldOnly []string `json:"old_only,omitempty"`
 	NewOnly []string `json:"new_only,omitempty"`
+	// Latency is the serving-latency verdict, present only when both traces
+	// carry request spans (daemon traces).
+	Latency *LatencyDelta `json:"latency,omitempty"`
 }
 
-// Regressed reports whether any matched run regressed.
+// Regressed reports whether any matched run — or the serving latency —
+// regressed.
 func (c *Comparison) Regressed() bool {
 	for _, d := range c.Deltas {
 		if d.Regressed {
 			return true
 		}
 	}
-	return false
+	return c.Latency != nil && c.Latency.Regressed
 }
 
 // Compare diffs two traces of the same instance run by run. Runs are matched
@@ -135,6 +139,7 @@ func Compare(oldT, newT *Trace, opt CompareOptions) *Comparison {
 			}
 		}
 	}
+	c.Latency = CompareRequests(oldT, newT, opt)
 	return c
 }
 

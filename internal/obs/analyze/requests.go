@@ -1,0 +1,197 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// RequestProfile is one served request reconstructed from its span events:
+// the phase breakdown the daemon stamped onto the trace.
+type RequestProfile struct {
+	Req     string `json:"req"`
+	Algo    string `json:"algo,omitempty"`
+	Outcome string `json:"outcome,omitempty"`
+	// Phases maps phase name ("queue_wait", "parse", "cache", "solve",
+	// "encode") to its duration; phases the request never reached are absent.
+	Phases map[string]time.Duration `json:"phases_ns,omitempty"`
+	// Total is the request's end-to-end wall-clock (the "total" span);
+	// QueueWait is broken out because it is the first diagnostic question.
+	Total     time.Duration `json:"total_ns"`
+	QueueWait time.Duration `json:"queue_wait_ns,omitempty"`
+}
+
+// Requests derives per-request profiles from a trace's span events, in
+// order of first appearance. Requests whose total span is missing (trace
+// cut mid-request) still appear, with Total falling back to the sum of the
+// phases seen.
+func Requests(t *Trace) []*RequestProfile {
+	byReq := map[string]*RequestProfile{}
+	var order []string
+	for _, e := range t.Spans {
+		rp := byReq[e.Req]
+		if rp == nil {
+			rp = &RequestProfile{Req: e.Req, Phases: map[string]time.Duration{}}
+			byReq[e.Req] = rp
+			order = append(order, e.Req)
+		}
+		if rp.Algo == "" {
+			rp.Algo = e.Algo
+		}
+		if e.Phase == "total" {
+			rp.Total = e.Dur
+			rp.Outcome = e.Outcome
+			continue
+		}
+		rp.Phases[e.Phase] = e.Dur
+		if e.Phase == "queue_wait" {
+			rp.QueueWait = e.Dur
+		}
+	}
+	out := make([]*RequestProfile, len(order))
+	for i, req := range order {
+		rp := byReq[req]
+		if rp.Total == 0 {
+			for _, d := range rp.Phases {
+				rp.Total += d
+			}
+		}
+		out[i] = rp
+	}
+	return out
+}
+
+// LatencyStats summarizes a latency sample with exact (nearest-rank)
+// percentiles — the analysis side holds every sample, so unlike the
+// daemon's bucketed histograms it does not need to approximate.
+type LatencyStats struct {
+	Count int           `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+func latencyStats(samples []time.Duration) LatencyStats {
+	st := LatencyStats{Count: len(samples)}
+	if st.Count == 0 {
+		return st
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	st.Mean = sum / time.Duration(st.Count)
+	rank := func(q float64) time.Duration {
+		// Nearest-rank: the smallest sample with cumulative share >= q.
+		i := int(q*float64(st.Count)+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= st.Count {
+			i = st.Count - 1
+		}
+		return sorted[i]
+	}
+	st.P50, st.P95, st.P99 = rank(0.50), rank(0.95), rank(0.99)
+	st.Max = sorted[st.Count-1]
+	return st
+}
+
+// RequestSummary is the cross-request report: latency and queue-wait
+// percentiles over all requests, per-phase mean shares, and the per-outcome
+// census.
+type RequestSummary struct {
+	Requests  int            `json:"requests"`
+	ByOutcome map[string]int `json:"by_outcome,omitempty"`
+	Latency   LatencyStats   `json:"latency"`
+	QueueWait LatencyStats   `json:"queue_wait"`
+	// PhaseMeans maps each phase to its mean duration over the requests
+	// that reached it.
+	PhaseMeans map[string]time.Duration `json:"phase_means_ns,omitempty"`
+}
+
+// SummarizeRequests aggregates per-request profiles into the cross-request
+// report. Returns nil when the trace carries no spans (a CLI trace).
+func SummarizeRequests(reqs []*RequestProfile) *RequestSummary {
+	if len(reqs) == 0 {
+		return nil
+	}
+	sum := &RequestSummary{
+		Requests:   len(reqs),
+		ByOutcome:  map[string]int{},
+		PhaseMeans: map[string]time.Duration{},
+	}
+	var totals, waits []time.Duration
+	phaseSums := map[string]time.Duration{}
+	phaseCounts := map[string]int{}
+	for _, rp := range reqs {
+		totals = append(totals, rp.Total)
+		if _, ok := rp.Phases["queue_wait"]; ok {
+			waits = append(waits, rp.QueueWait)
+		}
+		if rp.Outcome != "" {
+			sum.ByOutcome[rp.Outcome]++
+		}
+		for phase, d := range rp.Phases {
+			phaseSums[phase] += d
+			phaseCounts[phase]++
+		}
+	}
+	sum.Latency = latencyStats(totals)
+	sum.QueueWait = latencyStats(waits)
+	for phase, total := range phaseSums {
+		sum.PhaseMeans[phase] = total / time.Duration(phaseCounts[phase])
+	}
+	return sum
+}
+
+// LatencyDelta is the cross-trace serving-latency verdict: old vs new
+// request percentiles under the comparison's noise rules.
+type LatencyDelta struct {
+	OldRequests int          `json:"old_requests"`
+	NewRequests int          `json:"new_requests"`
+	Old         LatencyStats `json:"old"`
+	New         LatencyStats `json:"new"`
+	// P95Ratio is new/old P95 (0 when old P95 is 0).
+	P95Ratio float64 `json:"p95_ratio"`
+	// Regressed fires when new P95 exceeds old P95 by more than the
+	// comparison's TimeThreshold AND either side's P95 clears the MinElapsed
+	// noise floor — single-digit-millisecond shifts are scheduler jitter,
+	// not regressions.
+	Regressed bool     `json:"regressed"`
+	Reasons   []string `json:"reasons,omitempty"`
+}
+
+// CompareRequests diffs the serving latency of two traces. Returns nil
+// unless both traces carry spans (nothing to verdict otherwise).
+func CompareRequests(oldT, newT *Trace, opt CompareOptions) *LatencyDelta {
+	opt = opt.withDefaults()
+	oldReqs, newReqs := Requests(oldT), Requests(newT)
+	if len(oldReqs) == 0 || len(newReqs) == 0 {
+		return nil
+	}
+	oldSum, newSum := SummarizeRequests(oldReqs), SummarizeRequests(newReqs)
+	d := &LatencyDelta{
+		OldRequests: oldSum.Requests,
+		NewRequests: newSum.Requests,
+		Old:         oldSum.Latency,
+		New:         newSum.Latency,
+	}
+	if d.Old.P95 > 0 {
+		d.P95Ratio = float64(d.New.P95) / float64(d.Old.P95)
+	}
+	slow := d.New.P95 > time.Duration(float64(d.Old.P95)*(1+opt.TimeThreshold))
+	aboveFloor := d.New.P95 > opt.MinElapsed || d.Old.P95 > opt.MinElapsed
+	if slow && aboveFloor {
+		d.Regressed = true
+		d.Reasons = append(d.Reasons, fmt.Sprintf("request P95 %v -> %v (%.2fx > %.2fx tolerance)",
+			d.Old.P95.Round(time.Millisecond), d.New.P95.Round(time.Millisecond),
+			d.P95Ratio, 1+opt.TimeThreshold))
+	}
+	return d
+}

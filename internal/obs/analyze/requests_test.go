@@ -1,0 +1,133 @@
+package analyze
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// spanTrace renders a JSONL trace of request span events: each (req, total)
+// pair becomes a full phase set where solve is 80% and queue wait 10% of the
+// total.
+func spanTrace(reqs ...[2]any) string {
+	var b strings.Builder
+	for _, r := range reqs {
+		req := r[0].(string)
+		total := r[1].(time.Duration)
+		solve := total * 8 / 10
+		wait := total / 10
+		for _, pair := range []struct {
+			phase string
+			dur   time.Duration
+		}{
+			{"cache", time.Microsecond},
+			{"queue_wait", wait},
+			{"parse", time.Microsecond},
+			{"solve", solve},
+			{"encode", time.Microsecond},
+		} {
+			b.WriteString(`{"kind":"span","t_ns":1,"req":"` + req + `","algo":"bb-ghw","phase":"` + pair.phase + `","dur_ns":` + durNS(pair.dur) + "}\n")
+		}
+		b.WriteString(`{"kind":"span","t_ns":2,"req":"` + req + `","algo":"bb-ghw","phase":"total","outcome":"exact","dur_ns":` + durNS(total) + "}\n")
+	}
+	return b.String()
+}
+
+func durNS(d time.Duration) string {
+	return strconv.FormatInt(int64(d), 10)
+}
+
+func TestRequestsFromSpans(t *testing.T) {
+	tr, err := Load(strings.NewReader(spanTrace(
+		[2]any{"r1", 100 * time.Millisecond},
+		[2]any{"r2", 10 * time.Millisecond},
+	)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Runs) != 0 {
+		t.Fatalf("spans leaked into run grouping: %d runs", len(tr.Runs))
+	}
+	reqs := Requests(tr)
+	if len(reqs) != 2 {
+		t.Fatalf("got %d requests, want 2", len(reqs))
+	}
+	r1 := reqs[0]
+	if r1.Req != "r1" || r1.Outcome != "exact" || r1.Algo != "bb-ghw" {
+		t.Fatalf("first request wrong: %+v", r1)
+	}
+	if r1.Total != 100*time.Millisecond {
+		t.Fatalf("r1 total = %v", r1.Total)
+	}
+	if r1.QueueWait != 10*time.Millisecond || r1.Phases["solve"] != 80*time.Millisecond {
+		t.Fatalf("r1 phases wrong: %+v", r1.Phases)
+	}
+
+	sum := SummarizeRequests(reqs)
+	if sum.Requests != 2 || sum.ByOutcome["exact"] != 2 {
+		t.Fatalf("summary census wrong: %+v", sum)
+	}
+	if sum.Latency.Max != 100*time.Millisecond || sum.Latency.P50 != 10*time.Millisecond {
+		t.Fatalf("latency stats wrong: %+v", sum.Latency)
+	}
+	if sum.PhaseMeans["solve"] != 44*time.Millisecond {
+		t.Fatalf("solve phase mean = %v, want 44ms", sum.PhaseMeans["solve"])
+	}
+}
+
+func TestSummarizeRequestsEmpty(t *testing.T) {
+	if s := SummarizeRequests(nil); s != nil {
+		t.Fatalf("summary of no requests should be nil, got %+v", s)
+	}
+}
+
+func TestCompareRequestsLatencyVerdict(t *testing.T) {
+	oldT, err := Load(strings.NewReader(spanTrace(
+		[2]any{"r1", 100 * time.Millisecond},
+		[2]any{"r2", 100 * time.Millisecond},
+	)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowT, err := Load(strings.NewReader(spanTrace(
+		[2]any{"r1", 400 * time.Millisecond},
+		[2]any{"r2", 400 * time.Millisecond},
+	)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4x slower P95 far above the floor: regression.
+	d := CompareRequests(oldT, slowT, CompareOptions{})
+	if d == nil || !d.Regressed {
+		t.Fatalf("4x P95 slowdown not flagged: %+v", d)
+	}
+	// Same traces: no regression.
+	if d := CompareRequests(oldT, oldT, CompareOptions{}); d == nil || d.Regressed {
+		t.Fatalf("identical traces flagged: %+v", d)
+	}
+	// Below the noise floor nothing regresses, however large the ratio.
+	fastOld, _ := Load(strings.NewReader(spanTrace([2]any{"r1", time.Millisecond})))
+	fastNew, _ := Load(strings.NewReader(spanTrace([2]any{"r1", 5 * time.Millisecond})))
+	if d := CompareRequests(fastOld, fastNew, CompareOptions{}); d == nil || d.Regressed {
+		t.Fatalf("sub-floor jitter flagged as regression: %+v", d)
+	}
+
+	// A CLI trace (no spans) yields no verdict.
+	cli, err := Load(strings.NewReader(`{"kind":"algo_start","t_ns":0,"algo":"bb-ghw"}
+{"kind":"algo_stop","t_ns":100,"algo":"bb-ghw","width":2}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := CompareRequests(cli, oldT, CompareOptions{}); d != nil {
+		t.Fatalf("span-less trace produced a latency delta: %+v", d)
+	}
+
+	// And the full Compare carries the verdict into Regressed().
+	cmp := Compare(oldT, slowT, CompareOptions{})
+	if cmp.Latency == nil || !cmp.Regressed() {
+		t.Fatalf("Compare did not propagate the latency regression: %+v", cmp)
+	}
+}

@@ -66,6 +66,16 @@ const (
 	// heap reserved, live objects, GC cycles and total pause. These are what
 	// diagnose the memory blow-ups that kill det-k-style searches in practice.
 	KindMemSample Kind = "mem_sample"
+	// KindSpan is one finished phase of a request's serving lifecycle
+	// (queue_wait, parse, cache, solve, encode, and the pseudo-phase total):
+	// Phase names it, Dur is how long it took, T is when it *ended* relative
+	// to the request's arrival. Spans are emitted by the decomposition daemon,
+	// one per phase per request, each stamped with the request id — they are
+	// what turns "this request took 2 seconds" into "1.9 of them were queue
+	// wait". Note the clock: span T is request-relative while solver events
+	// inside the same request are budget-relative (the solve span marks the
+	// offset between the two bases).
+	KindSpan Kind = "span"
 )
 
 // Event is one instrumentation record. Fields are kind-specific; unset
@@ -155,12 +165,20 @@ type Event struct {
 	// it is what separates the interleaved event streams of concurrent
 	// requests.
 	Req string `json:"req,omitempty"`
+	// Phase and Dur are the span payload: the lifecycle phase that finished
+	// and how long it took. Outcome is set on the "total" span only — the
+	// request's typed disposition (exact, degraded, rejected, ...), so a
+	// trace can slice latency distributions by outcome without joining
+	// against an access log.
+	Phase   string        `json:"phase,omitempty"`
+	Dur     time.Duration `json:"dur_ns,omitempty"`
+	Outcome string        `json:"outcome,omitempty"`
 }
 
 // Kinds lists the full event taxonomy, for validation.
 var Kinds = []Kind{
 	KindStart, KindStop, KindCheckpoint, KindImprove, KindLowerBound,
-	KindGeneration, KindCoverCache, KindAttempt, KindMemSample,
+	KindGeneration, KindCoverCache, KindAttempt, KindMemSample, KindSpan,
 }
 
 // ValidKind reports whether k is part of the taxonomy.

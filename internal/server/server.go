@@ -36,6 +36,7 @@ import (
 	"hypertree/internal/core"
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/obs"
+	"hypertree/internal/obs/hist"
 )
 
 // Defaults for the zero-valued Config fields.
@@ -88,6 +89,15 @@ type Config struct {
 	// interleaved streams of concurrent requests stay attributable. Must be
 	// safe for concurrent use (obs.JSONLWriter is).
 	Trace obs.Recorder
+	// SlowN sizes the slowest-requests ring (/debug/slow): the N slowest
+	// finished requests retain their full event traces for post-hoc
+	// diagnosis. 0 selects DefaultSlowN, negative disables retention (and
+	// with it the per-request event capture cost).
+	SlowN int
+	// AccessLog, when non-nil, receives one JSON line per finished request
+	// (see accessRecord). Writes are serialized by the server; the writer
+	// itself need not be concurrency-safe.
+	AccessLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +124,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Algorithm == "" {
 		c.Algorithm = core.AlgPortfolio
+	}
+	switch {
+	case c.SlowN == 0:
+		c.SlowN = DefaultSlowN
+	case c.SlowN < 0:
+		c.SlowN = 0
 	}
 	return c
 }
@@ -165,6 +181,14 @@ type Response struct {
 	ElapsedMS   int64  `json:"elapsed_ms"`
 	// Cached reports the response was served from the exact-result cache.
 	Cached bool `json:"cached,omitempty"`
+	// WaitedMS is how long the request waited for a worker slot before its
+	// run started (0 for cache hits and pre-admission rejections). Always
+	// present: queue wait is the first thing to check when latency spikes.
+	WaitedMS int64 `json:"waited_ms"`
+	// Timings is the per-phase latency breakdown of the request's serving
+	// lifecycle. ElapsedMS remains the solve wall-clock alone; Timings.Total
+	// is the whole request.
+	Timings *Timings `json:"timings,omitempty"`
 	// Timeline is the anytime best-width trajectory of the run.
 	Timeline []obs.WidthPoint `json:"timeline,omitempty"`
 	// Tree is the decomposition itself, when the request asked for it
@@ -211,6 +235,16 @@ type Server struct {
 	streamTotal  atomic.Int64
 	counters     *obs.EventCounters
 	cache        *resultCache
+
+	// The latency layer: end-to-end request histograms per typed outcome,
+	// per-phase histograms (queue wait, parse, cache, solve, encode), the
+	// live in-flight registry behind /debug/runs, and the slowest-N ring
+	// behind /debug/slow.
+	reqHist   [len(outcomes)]*hist.Histogram
+	phaseHist [numPhases]*hist.Histogram
+	registry  inflightRegistry
+	slow      *slowRing
+	accessMu  sync.Mutex // serializes Config.AccessLog writes
 }
 
 // New builds a Server from cfg.
@@ -224,6 +258,13 @@ func New(cfg Config) *Server {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		counters:   obs.NewEventCounters(),
+		slow:       newSlowRing(cfg.SlowN),
+	}
+	for i := range s.reqHist {
+		s.reqHist[i] = hist.New()
+	}
+	for i := range s.phaseHist {
+		s.phaseHist[i] = hist.New()
 	}
 	// Config speaks "0 = default, negative = disabled"; newResultCache
 	// speaks entry counts with 0 = disabled.
@@ -239,6 +280,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("GET /debug/runs", s.handleDebugRuns)
+	s.mux.HandleFunc("GET /debug/slow", s.handleDebugSlow)
 	return s
 }
 
@@ -370,10 +413,12 @@ func (s *Server) parseParams(r *http.Request) (reqParams, error) {
 }
 
 // handleDecompose is the serving path; see the package comment for the
-// discipline it implements.
+// discipline it implements. Every exit goes through the request's lifecycle
+// (lc): phase timings, span events, the timings block, histograms.
 func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 	id := fmt.Sprintf("r%06d", s.reqSeq.Add(1))
 	w.Header().Set("X-Request-ID", id)
+	lc := s.newLifecycle(id)
 
 	// Count the request for drain before checking the flag: a request is
 	// either rejected-by-draining or fully waited for — never silently
@@ -381,15 +426,16 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 	s.wg.Add(1)
 	defer s.wg.Done()
 	if s.draining.Load() {
-		s.reject(w, http.StatusServiceUnavailable, id, "draining: not admitting new requests", 0)
+		s.reject(w, lc, http.StatusServiceUnavailable, "draining: not admitting new requests", drainingRetrySeconds)
 		return
 	}
 
 	p, err := s.parseParams(r)
 	if err != nil {
-		s.reject(w, http.StatusBadRequest, id, err.Error(), 0)
+		s.reject(w, lc, http.StatusBadRequest, err.Error(), 0)
 		return
 	}
+	lc.algo = string(p.algo)
 
 	// The body is read (capped) before admission: cheap, and the content
 	// hash can answer retries from the cache without spending a worker slot.
@@ -397,22 +443,30 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooBig *hypergraph.PayloadTooLargeError
 		if errors.As(err, &tooBig) {
-			s.reject(w, http.StatusRequestEntityTooLarge, id,
+			s.reject(w, lc, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("payload exceeds %d-byte limit", tooBig.Limit), 0)
 			return
 		}
-		s.reject(w, http.StatusBadRequest, id, fmt.Sprintf("reading body: %v", err), 0)
+		s.reject(w, lc, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err), 0)
 		return
 	}
 	key := resultKey(body, p.format, p.algo, p.seed)
-	if cached, ok := s.cache.lookup(key); ok && !p.stream {
+	cstart := time.Now()
+	cached, hit := s.cache.lookup(key)
+	lc.phase(phaseCache, time.Since(cstart))
+	if hit && !p.stream {
 		cp := *cached
 		cp.Req = id
 		cp.Cached = true
 		if !p.tree {
 			cp.Tree = nil
 		}
+		// The hit gets its own fresh timings (the stored entry carries none):
+		// a cached 2ms answer must not report the original 2s solve.
+		cp.Timings = lc.finish(cp.Outcome)
+		cp.WaitedMS = 0
 		s.count(cp.Outcome)
+		s.logAccess(http.StatusOK, &cp, false)
 		s.writeJSON(w, http.StatusOK, &cp)
 		return
 	}
@@ -421,21 +475,34 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 	// beyond Workers+QueueDepth the request is shed with backpressure.
 	if s.pending.Add(1) > int64(s.cfg.Workers+s.cfg.QueueDepth) {
 		s.pending.Add(-1)
-		s.reject(w, http.StatusTooManyRequests, id, "saturated: worker pool and queue full", 1)
+		s.reject(w, lc, http.StatusTooManyRequests, "saturated: worker pool and queue full", saturatedRetrySeconds)
 		return
 	}
 	defer s.pending.Add(-1)
 
+	// Admitted: visible in /debug/runs from here (state "queued") until the
+	// response is built.
+	ri := &runInfo{id: id, algo: string(p.algo), start: time.Now()}
+	s.registry.add(ri)
+	defer s.registry.remove(id)
+
+	qstart := time.Now()
 	select {
 	case s.sem <- struct{}{}:
 	case <-r.Context().Done():
-		s.reject(w, statusClientClosedRequest, id, "client canceled while queued", 0)
+		lc.phase(phaseQueueWait, time.Since(qstart))
+		s.reject(w, lc, statusClientClosedRequest, "client canceled while queued", 0)
 		return
 	case <-s.baseCtx.Done():
-		s.reject(w, http.StatusServiceUnavailable, id, "draining: canceled while queued", 0)
+		lc.phase(phaseQueueWait, time.Since(qstart))
+		s.reject(w, lc, http.StatusServiceUnavailable, "draining: canceled while queued", drainingRetrySeconds)
 		return
 	}
 	defer func() { <-s.sem }()
+	wait := time.Since(qstart)
+	lc.phase(phaseQueueWait, wait)
+	ri.waitNS.Store(int64(wait))
+	ri.running.Store(true)
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 
@@ -445,9 +512,11 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 	// storm of slow parses degrades into queueing + 429, never into
 	// unbounded goroutines.
 	faultinject.Hit(faultinject.SiteServerParse)
+	pstart := time.Now()
 	h, err := parsePayload(body, p.format)
+	lc.phase(phaseParse, time.Since(pstart))
 	if err != nil {
-		s.reject(w, http.StatusBadRequest, id, fmt.Sprintf("parsing %s payload: %v", p.format, err), 0)
+		s.reject(w, lc, http.StatusBadRequest, fmt.Sprintf("parsing %s payload: %v", p.format, err), 0)
 		return
 	}
 
@@ -458,12 +527,15 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 	unhook := context.AfterFunc(s.baseCtx, cancel)
 	defer unhook()
 
+	// The run's recorder fans out to: obs counters + request-stamped trace +
+	// slow-ring capture (all via lc.spans), the in-flight registry gauges,
+	// and — when streaming — the SSE writer.
 	var sse *sseWriter
-	rec := obs.Tee(s.counters, obs.WithReq(s.cfg.Trace, id))
+	rec := obs.Tee(lc.spans, ri)
 	if p.stream {
 		sse = newSSEWriter(w, id)
 		if sse == nil {
-			s.reject(w, http.StatusNotAcceptable, id, "response writer cannot stream (no http.Flusher)", 0)
+			s.reject(w, lc, http.StatusNotAcceptable, "response writer cannot stream (no http.Flusher)", 0)
 			return
 		}
 		s.streamTotal.Add(1)
@@ -481,12 +553,18 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 		Workers:    p.workers,
 		Recorder:   rec,
 	})
-	resp := s.buildResponse(id, p, h, d, derr, time.Since(start))
+	solveDur := time.Since(start)
+	lc.phase(phaseSolve, solveDur)
+
+	estart := time.Now()
+	resp := s.buildResponse(id, p, h, d, derr, solveDur)
 
 	if resp.Outcome == OutcomeExact && derr == nil {
 		// Cache a request-agnostic copy (with the tree: a later include=tree
 		// hit wants it; misses strip it). Exact widths are deterministic for
 		// the keyed (payload, format, algo, seed), so retries are idempotent.
+		// Taken before the timings stamp below, so stored entries carry no
+		// stale per-request timings.
 		cp := *resp
 		cp.Req = ""
 		cp.Cached = false
@@ -495,12 +573,13 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 		}
 		s.cache.store(key, &cp)
 	}
+	lc.phase(phaseEncode, time.Since(estart))
+
+	resp.Timings = lc.finish(resp.Outcome)
+	resp.WaitedMS = lc.waitedMS()
+	s.offerSlow(lc, resp)
 
 	s.count(resp.Outcome)
-	if sse != nil {
-		sse.finish(resp)
-		return
-	}
 	status := http.StatusOK
 	switch resp.Outcome {
 	case OutcomeError:
@@ -508,7 +587,44 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 	case OutcomeRejected:
 		status = http.StatusUnprocessableEntity
 	}
+	s.logAccess(status, resp, sse != nil)
+	if sse != nil {
+		sse.finish(resp)
+		return
+	}
 	s.writeJSON(w, status, resp)
+}
+
+// Retry-After hints on backpressure rejections. A saturated pool usually
+// clears in about one service time, so 1s is an honest backoff; a draining
+// server will not come back, so 1s there means "fail over promptly, don't
+// linger".
+const (
+	saturatedRetrySeconds = 1
+	drainingRetrySeconds  = 1
+)
+
+// offerSlow hands a finished request (with its captured event trace) to the
+// slowest-N ring.
+func (s *Server) offerSlow(lc *lifecycle, resp *Response) {
+	if s.slow == nil {
+		return
+	}
+	run := &SlowRun{
+		Req:       resp.Req,
+		Algo:      resp.Algo,
+		Outcome:   resp.Outcome,
+		Width:     resp.Width,
+		Stop:      resp.Stop,
+		Start:     lc.start,
+		QueueWait: lc.phases[phaseQueueWait],
+		Timings:   resp.Timings,
+	}
+	if resp.Timings != nil {
+		run.Elapsed = resp.Timings.Total
+	}
+	run.Events, run.DroppedEvents = lc.capture.take()
+	s.slow.offer(run)
 }
 
 // statusClientClosedRequest is nginx's conventional code for "the client went
@@ -636,13 +752,18 @@ func parsePayload(body []byte, format string) (*hypergraph.Hypergraph, error) {
 }
 
 // reject answers a request that will not run, with backpressure hints when
-// retrySeconds is positive.
-func (s *Server) reject(w http.ResponseWriter, status int, id, msg string, retrySeconds int) {
+// retrySeconds is positive. It closes the request's lifecycle, so even
+// rejections land in the latency histograms and carry a timings block.
+func (s *Server) reject(w http.ResponseWriter, lc *lifecycle, status int, msg string, retrySeconds int) {
 	s.count(OutcomeRejected)
-	resp := &Response{Outcome: OutcomeRejected, Req: id, Error: msg, RetrySeconds: retrySeconds}
+	resp := &Response{Outcome: OutcomeRejected, Req: lc.id, Error: msg, RetrySeconds: retrySeconds}
+	resp.Timings = lc.finish(OutcomeRejected)
+	resp.WaitedMS = lc.waitedMS()
+	s.offerSlow(lc, resp)
 	if retrySeconds > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(retrySeconds))
 	}
+	s.logAccess(status, resp, false)
 	s.writeJSON(w, status, resp)
 }
 
@@ -653,28 +774,34 @@ func (s *Server) respond(w http.ResponseWriter, status int, resp *Response) {
 	s.writeJSON(w, status, resp)
 }
 
-func (s *Server) writeJSON(w http.ResponseWriter, status int, resp *Response) {
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	// Encode errors mean the client went away; there is nobody to tell.
-	_ = json.NewEncoder(w).Encode(resp)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// outcomeIndex maps an Outcome to its slot in the counter/histogram banks
+// (-1 for unknown values).
+func outcomeIndex(o Outcome) int {
+	for i, known := range outcomes {
+		if o == known {
+			return i
+		}
+	}
+	return -1
 }
 
 func (s *Server) count(o Outcome) {
-	for i, known := range outcomes {
-		if o == known {
-			s.outcomeCount[i].Add(1)
-			return
-		}
+	if i := outcomeIndex(o); i >= 0 {
+		s.outcomeCount[i].Add(1)
 	}
 }
 
 // OutcomeCount returns how many responses carried outcome o.
 func (s *Server) OutcomeCount(o Outcome) int64 {
-	for i, known := range outcomes {
-		if o == known {
-			return s.outcomeCount[i].Load()
-		}
+	if i := outcomeIndex(o); i >= 0 {
+		return s.outcomeCount[i].Load()
 	}
 	return 0
 }
@@ -760,9 +887,48 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(&b, "# HELP hypertree_daemon_result_cache_misses Exact-result cache misses.\n# TYPE hypertree_daemon_result_cache_misses counter\nhypertree_daemon_result_cache_misses %d\n", cs.Misses)
 	fmt.Fprintf(&b, "# HELP hypertree_daemon_result_cache_evictions Exact-result cache FIFO evictions.\n# TYPE hypertree_daemon_result_cache_evictions counter\nhypertree_daemon_result_cache_evictions %d\n", cs.Evictions)
 	fmt.Fprintf(&b, "# HELP hypertree_daemon_result_cache_size Exact-result cache resident entries.\n# TYPE hypertree_daemon_result_cache_size gauge\nhypertree_daemon_result_cache_size %d\n", cs.Size)
+	s.writeLatencyMetrics(&b)
 	w.Write(b.Bytes())
 	if err := s.counters.WriteOpenMetrics(w); err != nil {
 		// The scrape connection broke mid-write; nothing to clean up.
 		return
 	}
+}
+
+// latencyQuantiles are the percentiles the /metrics summaries expose — the
+// P50/P95/P99 triple the serving-benchmark ROADMAP item asks for.
+var latencyQuantiles = []float64{0.5, 0.95, 0.99}
+
+// writeLatencyMetrics renders the request/phase latency families: the
+// per-outcome end-to-end histogram, the queue-wait histogram, and quantile
+// summaries per phase and overall (the overall one merges the per-outcome
+// snapshots — the hist.Snapshot.Merge path in production use). Writes to a
+// bytes.Buffer never fail, so errors are discarded.
+func (s *Server) writeLatencyMetrics(b *bytes.Buffer) {
+	reqSeries := make([]hist.Series, len(outcomes))
+	overall := &hist.Snapshot{}
+	for i, o := range outcomes {
+		snap := s.reqHist[i].Snapshot()
+		reqSeries[i] = hist.Series{Labels: []hist.Label{{Name: "outcome", Value: string(o)}}, Snap: snap}
+		// Same bucket layout by construction; Merge cannot fail.
+		_ = overall.Merge(snap)
+	}
+	_ = hist.WriteHistogramFamily(b, "hypertree_daemon_request_seconds",
+		"End-to-end request latency by typed outcome.", reqSeries...)
+	_ = hist.WriteHistogramFamily(b, "hypertree_daemon_queue_wait_seconds",
+		"Time admitted requests spent waiting for a worker slot.",
+		hist.Series{Snap: s.phaseHist[phaseQueueWait].Snapshot()})
+	_ = hist.WriteSummaryFamily(b, "hypertree_daemon_request_latency_seconds",
+		"End-to-end request latency quantiles across all outcomes.", latencyQuantiles,
+		hist.Series{Snap: overall})
+	phaseSeries := make([]hist.Series, numPhases)
+	for p := reqPhase(0); p < numPhases; p++ {
+		phaseSeries[p] = hist.Series{
+			Labels: []hist.Label{{Name: "phase", Value: phaseNames[p]}},
+			Snap:   s.phaseHist[p].Snapshot(),
+		}
+	}
+	_ = hist.WriteSummaryFamily(b, "hypertree_daemon_phase_seconds",
+		"Per-phase latency quantiles of the request serving lifecycle.", latencyQuantiles,
+		phaseSeries...)
 }
