@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check par-smoke portfolio-smoke daemon-smoke latency-smoke bench-smoke bench-diff trace-smoke tracestat-smoke fuzz clean
+.PHONY: all build vet staticcheck test race check par-smoke portfolio-smoke daemon-smoke latency-smoke attr-smoke bench-smoke bench-diff trace-smoke tracestat-smoke fuzz clean
 
 all: check
 
@@ -9,6 +9,16 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs the deeper linter when the binary is on PATH and falls
+# back to `go vet` otherwise, so `make check` works on a bare toolchain and
+# tightens automatically on machines that have staticcheck installed.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; falling back to $(GO) vet ./..."; $(GO) vet ./...; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -20,7 +30,7 @@ race:
 # test suite under the race detector (which subsumes plain `go test`), a
 # smoke run of the evaluator benchmarks with a regression diff against the
 # committed report, and trace emission + analysis smoke runs.
-check: vet build race par-smoke portfolio-smoke daemon-smoke latency-smoke bench-smoke bench-diff trace-smoke tracestat-smoke
+check: vet staticcheck build race par-smoke portfolio-smoke daemon-smoke latency-smoke attr-smoke bench-smoke bench-diff trace-smoke tracestat-smoke
 
 # par-smoke is the quick parallel-correctness gate: one mid-size instance
 # through parallel BB-ghw and one through parallel det-k-decomp, Workers=4,
@@ -56,6 +66,15 @@ daemon-smoke:
 # the daemon trace prints a per-phase latency breakdown.
 latency-smoke:
 	$(GO) test -race -count=1 -run 'TestLatencySmoke' ./cmd/decomposed/
+
+# attr-smoke is the cost-accounting gate: a portfolio request through the
+# live daemon must come back with a balanced attribution ledger in its
+# envelope (member nodes summing to the global count, the winner named),
+# the hypertree_portfolio_member_* metric families must reflect it, and
+# tracestat attr on the daemon's trace must render the per-algorithm
+# contribution table.
+attr-smoke:
+	$(GO) test -race -count=1 -run 'TestAttributionSmoke' ./cmd/decomposed/
 
 # bench-smoke reruns the ghw evaluator microbenchmarks (benchstat-compatible
 # output) into a scratch report and validates both it and the committed

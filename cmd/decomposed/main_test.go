@@ -280,6 +280,106 @@ func TestDaemonSmokeSecondSignalForcesExit(t *testing.T) {
 	}
 }
 
+// TestAttributionSmoke is the Makefile attr-smoke gate: a portfolio request
+// through the live daemon must come back with a balanced attribution ledger
+// in its envelope (member nodes summing to the global count, the winner
+// named with a winner-role row), the cumulative hypertree_portfolio_member_*
+// metric families must reflect it, and tracestat attr on the daemon's
+// flushed trace must render the per-algorithm contribution table.
+func TestAttributionSmoke(t *testing.T) {
+	bin := buildDaemon(t)
+	tracePath := filepath.Join(t.TempDir(), "attr.jsonl")
+	d := startDaemon(t, bin, "-workers", "2", "-drain-grace", "5s", "-trace", tracePath)
+
+	payload, err := os.ReadFile(filepath.Join("..", "..", "examples", "instances", "cycle6.hg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, resp := d.post(t, "algo=portfolio", payload)
+	if status != 200 {
+		t.Fatalf("portfolio request: status %d, %v", status, resp)
+	}
+
+	led, ok := resp["attribution"].(map[string]any)
+	if !ok {
+		t.Fatalf("envelope has no attribution block: %v", resp)
+	}
+	if led["portfolio"] != true {
+		t.Fatalf("portfolio run's ledger not marked portfolio: %v", led)
+	}
+	members, _ := led["members"].([]any)
+	if len(members) < 2 {
+		t.Fatalf("portfolio ledger has %d member rows, want >= 2: %v", len(members), led)
+	}
+	// The conservation invariant, re-checked from the raw envelope JSON:
+	// member nodes sum exactly to the ledger's global count, which is the
+	// envelope's own node count.
+	var sum float64
+	winner, _ := led["winner"].(string)
+	winnerRole := ""
+	for _, m := range members {
+		row := m.(map[string]any)
+		n, _ := row["nodes"].(float64)
+		sum += n
+		if row["algo"] == winner {
+			winnerRole, _ = row["role"].(string)
+		}
+	}
+	total, _ := led["total_nodes"].(float64)
+	if sum != total || total != resp["nodes"] {
+		t.Fatalf("ledger unbalanced: member sum %v, total_nodes %v, envelope nodes %v", sum, total, resp["nodes"])
+	}
+	if winner == "" || winnerRole != "winner" {
+		t.Fatalf("ledger winner %q has role %q, want a winner-role member row", winner, winnerRole)
+	}
+
+	hr, err := http.Get(d.url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	for _, want := range []string{
+		`hypertree_portfolio_member_wins_total{algo="` + winner + `"} 1`,
+		"# TYPE hypertree_portfolio_member_nodes_total counter",
+		"# TYPE hypertree_portfolio_member_node_share gauge",
+	} {
+		if !bytes.Contains(metrics, []byte(want)) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := d.wait(t); code != 0 {
+		t.Fatalf("drain exited %d\nstdout tail:\n%s", code, d.tail.String())
+	}
+
+	// The flushed trace carries the attr terminal events, and tracestat attr
+	// renders them as the per-algorithm contribution table.
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(trace, []byte(`"kind":"attr"`)) {
+		t.Fatalf("trace has no attr events:\n%.400s", trace)
+	}
+	tracestat := filepath.Join(t.TempDir(), "tracestat")
+	if out, err := exec.Command("go", "build", "-o", tracestat, "../tracestat").CombinedOutput(); err != nil {
+		t.Fatalf("building tracestat: %v\n%s", err, out)
+	}
+	out, err := exec.Command(tracestat, "attr", tracePath).CombinedOutput()
+	if err != nil {
+		t.Fatalf("tracestat attr: %v\n%s", err, out)
+	}
+	for _, want := range []string{"attribution: 1 runs", "algo", "share", winner} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("tracestat attr missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestDaemonRejectsNegativeWorkers: flag validation happens before the
 // listener opens.
 func TestDaemonRejectsNegativeWorkers(t *testing.T) {

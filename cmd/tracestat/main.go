@@ -30,6 +30,11 @@ commands:
   check [-strict] trace.jsonl...
       validate traces against the event schema; -strict also rejects unknown
       event kinds and non-monotonic timestamps (single-threaded traces only)
+  attr [-json] [-share-threshold f] trace.jsonl [new.jsonl]
+      per-algorithm attribution report from the trace's resource-ledger
+      events: wins, win rate, incumbent improvements, attributed nodes and
+      node share, CPU estimate, cache traffic; with a second trace, diffs
+      the two and exits 1 when a member's cost share regressed
 `
 
 func main() {
@@ -48,6 +53,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runCompare(args[1:], stdout, stderr)
 	case "check":
 		return runCheck(args[1:], stdout, stderr)
+	case "attr":
+		return runAttr(args[1:], stdout, stderr)
 	case "-h", "-help", "--help", "help":
 		fmt.Fprint(stdout, usage)
 		return 0
@@ -308,6 +315,107 @@ func writeComparison(w io.Writer, c *analyze.Comparison) {
 		for _, r := range l.Reasons {
 			fmt.Fprintf(w, "  reason: %s\n", r)
 		}
+	}
+}
+
+// runAttr renders the attribution report of one trace, or — given two
+// traces — the cost-accounting diff between them.
+func runAttr(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("attr", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit the report (or comparison) as JSON")
+	shareThreshold := fs.Float64("share-threshold", analyze.DefaultAttrCompareOptions().ShareThreshold,
+		"absolute node-share growth tolerated before a member counts as a cost regression")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 && fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "tracestat attr: expected trace.jsonl [new.jsonl]")
+		return 2
+	}
+	reports := make([]*analyze.AttributionReport, fs.NArg())
+	for i := 0; i < fs.NArg(); i++ {
+		tr, err := analyze.LoadFile(fs.Arg(i))
+		if err != nil {
+			fmt.Fprintf(stderr, "tracestat: %v\n", err)
+			return 2
+		}
+		if reports[i] = analyze.Attribution(tr); reports[i] == nil {
+			fmt.Fprintf(stderr, "tracestat: %s carries no attribution events (pre-ledger writer?)\n", fs.Arg(i))
+			return 1
+		}
+	}
+	enc := func(v any) int {
+		e := json.NewEncoder(stdout)
+		e.SetIndent("", "  ")
+		if err := e.Encode(v); err != nil {
+			fmt.Fprintf(stderr, "tracestat: %v\n", err)
+			return 2
+		}
+		return 0
+	}
+	if fs.NArg() == 1 {
+		if *asJSON {
+			return enc(reports[0])
+		}
+		writeAttribution(stdout, reports[0])
+		return 0
+	}
+	cmp := analyze.CompareAttribution(reports[0], reports[1],
+		analyze.AttrCompareOptions{ShareThreshold: *shareThreshold})
+	if *asJSON {
+		if rc := enc(cmp); rc != 0 {
+			return rc
+		}
+	} else {
+		writeAttrComparison(stdout, cmp)
+	}
+	if cmp.Regressed() {
+		fmt.Fprintln(stderr, "tracestat: cost-share regression detected")
+		return 1
+	}
+	return 0
+}
+
+// writeAttribution renders the per-algorithm contribution/cost table.
+func writeAttribution(w io.Writer, rep *analyze.AttributionReport) {
+	fmt.Fprintf(w, "attribution: %d runs, %d attributed nodes\n", rep.Runs, rep.TotalNodes)
+	fmt.Fprintf(w, "%-16s %5s %5s %6s %8s %12s %7s %10s %12s %6s\n",
+		"algo", "runs", "wins", "win%", "improve", "nodes", "share", "cpu", "cache h/m", "width")
+	for i := range rep.Members {
+		m := &rep.Members[i]
+		width := "-"
+		if m.BestWidth > 0 {
+			width = fmt.Sprintf("%d", m.BestWidth)
+		}
+		fmt.Fprintf(w, "%-16s %5d %5d %5.0f%% %8d %12d %6.1f%% %10v %6d/%-5d %6s\n",
+			m.Algo, m.Runs, m.Wins, 100*m.WinRate(), m.Improvements, m.Nodes,
+			100*m.Share, m.CPU.Round(time.Millisecond), m.CacheHits, m.CacheMisses, width)
+	}
+}
+
+// writeAttrComparison renders the cost-accounting diff, one verdict line per
+// member present in both traces.
+func writeAttrComparison(w io.Writer, c *analyze.AttrComparison) {
+	for _, d := range c.Deltas {
+		verdict := "ok"
+		if d.Regressed {
+			verdict = "COST REGRESSED"
+		}
+		fmt.Fprintf(w, "%-16s share %5.1f%% -> %5.1f%%, win rate %3.0f%% -> %3.0f%%: %s\n",
+			d.Algo, 100*d.OldShare, 100*d.NewShare, 100*d.OldWinRate, 100*d.NewWinRate, verdict)
+		for _, r := range d.Reasons {
+			fmt.Fprintf(w, "  reason: %s\n", r)
+		}
+	}
+	for _, a := range c.OldOnly {
+		fmt.Fprintf(w, "%-16s only in old trace\n", a)
+	}
+	for _, a := range c.NewOnly {
+		fmt.Fprintf(w, "%-16s only in new trace\n", a)
+	}
+	if len(c.Deltas) == 0 {
+		fmt.Fprintln(w, "no members to compare")
 	}
 }
 

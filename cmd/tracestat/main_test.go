@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"hypertree/internal/budget/faultinject"
+	"hypertree/internal/core"
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/obs"
 	"hypertree/internal/search"
@@ -153,6 +154,67 @@ func TestCheckSubcommand(t *testing.T) {
 	}
 	if code, _, errw := runCLI(t, "check", "-strict", unknown); code != 1 || !strings.Contains(errw, "INVALID") {
 		t.Fatalf("strict check should reject unknown kinds (exit %d): %s", code, errw)
+	}
+}
+
+// writeLedgerTrace records a real serial core.Decompose run — whose tail
+// emits the one-member resource ledger as attr events — into a JSONL file.
+func writeLedgerTrace(t *testing.T, path string) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := obs.NewJSONLWriter(f)
+	if _, err := core.Decompose(hypergraph.Grid2D(5), core.Options{
+		Algorithm: core.AlgBBGHW, Seed: 1, Recorder: w,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAttrSubcommand checks the attribution report end to end on a real
+// ledger-bearing trace: the table renders the per-algorithm rows, JSON mode
+// parses, compare mode diffs two traces, and a pre-ledger trace is called
+// out rather than silently reporting nothing.
+func TestAttrSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "ledger.jsonl")
+	writeLedgerTrace(t, trace)
+
+	code, out, errw := runCLI(t, "attr", trace)
+	if code != 0 {
+		t.Fatalf("attr exit %d, stderr: %s", code, errw)
+	}
+	for _, want := range []string{"attribution: 1 runs", "algo", "share", "bb-ghw", "100%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("attr report missing %q:\n%s", want, out)
+		}
+	}
+
+	code, out, _ = runCLI(t, "attr", "-json", trace)
+	if code != 0 || !strings.HasPrefix(strings.TrimSpace(out), "{") {
+		t.Fatalf("json attr wrong (exit %d):\n%s", code, out)
+	}
+
+	// Compare a trace against itself: identical shares, no regression.
+	code, out, errw = runCLI(t, "attr", trace, trace)
+	if code != 0 {
+		t.Fatalf("self-compare exit %d, stderr: %s", code, errw)
+	}
+	if !strings.Contains(out, "share") || !strings.Contains(out, "ok") {
+		t.Fatalf("self-compare output:\n%s", out)
+	}
+
+	// A trace from a pre-ledger writer (plain search run, no attr events)
+	// must be reported as such, not rendered as an empty table.
+	old := filepath.Join(dir, "preledger.jsonl")
+	writeTrace(t, old, search.Options{Seed: 1})
+	if code, _, errw := runCLI(t, "attr", old); code != 1 || !strings.Contains(errw, "no attribution events") {
+		t.Fatalf("pre-ledger trace exit %d: %s", code, errw)
 	}
 }
 

@@ -59,6 +59,15 @@ type Limits struct {
 
 // B is a run budget. The zero value is not useful; use New. A nil *B is
 // valid and unlimited.
+//
+// A budget is either a root (parent == nil) or an attributed member view of
+// a root (see Member). A member view shares the root's limits, stop latch
+// and clock — every limit check reads root state — but keeps its own node
+// counter, so concurrent solvers racing on one budget can each account for
+// the work they personally ticked. Conservation holds by construction:
+// every member Tick increments exactly the member's counter and the root's
+// counter, so as long as nothing ticks the root directly, the member counts
+// sum to the root's Nodes().
 type B struct {
 	ctx        context.Context
 	deadline   time.Time
@@ -71,6 +80,12 @@ type B struct {
 	// piggybacks on the cancellation polls the algorithms already perform, so
 	// observing a run adds no new hot-path branches.
 	onCheck atomic.Pointer[[]CheckpointFunc]
+
+	// parent and label make this budget an attributed member view; both are
+	// immutable after Member. nodes is the root's global work counter on a
+	// root, and the member's attributed share on a view.
+	parent *B
+	label  string
 
 	nodes   atomic.Int64
 	stopped atomic.Bool
@@ -103,19 +118,71 @@ func New(ctx context.Context, l Limits) *B {
 	return b
 }
 
+// Member returns an attributed view of b labeled label (typically the
+// member's algorithm name). The view enforces the same limits and shares the
+// same stop latch, clock and checkpoint observers as b, but Nodes() on the
+// view returns only the work ticked *through the view*. Ticks through a view
+// still count against the root's global budget, so the per-member counts of
+// all views plus any direct root ticks sum exactly to the root's Nodes().
+// Member of a member attaches to the same root (views do not nest); Member
+// of a nil budget is nil (unlimited, unattributed).
+func (b *B) Member(label string) *B {
+	if b == nil {
+		return nil
+	}
+	return &B{parent: b.root(), label: label}
+}
+
+// root resolves the budget whose limits and counters govern this one:
+// itself for a root budget, the shared root for a member view.
+func (b *B) root() *B {
+	if b.parent != nil {
+		return b.parent
+	}
+	return b
+}
+
+// Label returns the attribution label given to Member, or "" for a root or
+// nil budget.
+func (b *B) Label() string {
+	if b == nil {
+		return ""
+	}
+	return b.label
+}
+
 // Context returns the budget's context, or context.Background for a nil or
 // context-less budget.
 func (b *B) Context() context.Context {
-	if b == nil || b.ctx == nil {
+	if b == nil || b.root().ctx == nil {
 		return context.Background()
 	}
-	return b.ctx
+	return b.root().ctx
 }
 
 // Tick counts one unit of work and reports whether the run may continue.
-// Every checkEvery-th tick is also a Check checkpoint.
+// Every checkEvery-th tick is also a Check checkpoint. On a member view the
+// tick lands on both the view's attributed counter and the root's global
+// counter — unconditionally paired once past the stopped gate, which is what
+// makes the conservation invariant exact rather than approximate (a stop
+// racing in between still sees both increments).
 func (b *B) Tick() bool {
 	if b == nil {
+		return true
+	}
+	if p := b.parent; p != nil {
+		if p.stopped.Load() {
+			return false
+		}
+		b.nodes.Add(1)
+		n := p.nodes.Add(1)
+		if p.maxNodes > 0 && n > p.maxNodes {
+			p.Stop(StopNodes)
+			return false
+		}
+		if n%p.checkEvery == 0 {
+			return p.Check()
+		}
 		return true
 	}
 	if b.stopped.Load() {
@@ -137,6 +204,9 @@ func (b *B) Tick() bool {
 func (b *B) Check() bool {
 	if b == nil {
 		return true
+	}
+	if b.parent != nil {
+		return b.parent.Check()
 	}
 	faultinject.Hit(faultinject.SiteCheckpoint)
 	if b.stopped.Load() {
@@ -172,6 +242,21 @@ func (b *B) OnCheckpoint(fn CheckpointFunc) {
 	if b == nil {
 		return
 	}
+	if p := b.parent; p != nil {
+		// A member view installs onto the shared root, re-basing the reported
+		// node count to the member's attributed share — the observer sees the
+		// member's cost, not the portfolio's. Clearing (fn == nil) is a
+		// root-level operation: a member must not be able to wipe its
+		// siblings' observers, so nil is a no-op here.
+		if fn == nil {
+			return
+		}
+		view := b
+		p.OnCheckpoint(func(_ int64, elapsed time.Duration) {
+			fn(view.nodes.Load(), elapsed)
+		})
+		return
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if fn == nil {
@@ -194,6 +279,10 @@ func (b *B) Stop(r StopReason) {
 	if b == nil {
 		return
 	}
+	if b.parent != nil {
+		b.parent.Stop(r)
+		return
+	}
 	b.mu.Lock()
 	if b.reason == StopNone {
 		b.reason = r
@@ -203,19 +292,21 @@ func (b *B) Stop(r StopReason) {
 }
 
 // Stopped reports whether any limit tripped (or Stop was called).
-func (b *B) Stopped() bool { return b != nil && b.stopped.Load() }
+func (b *B) Stopped() bool { return b != nil && b.root().stopped.Load() }
 
 // Reason returns why the budget stopped, or StopNone while it is live.
 func (b *B) Reason() StopReason {
 	if b == nil {
 		return StopNone
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.reason
+	r := b.root()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reason
 }
 
-// Nodes returns the number of work units ticked so far.
+// Nodes returns the number of work units ticked so far: the global total on
+// a root budget, the view's attributed share on a member view.
 func (b *B) Nodes() int64 {
 	if b == nil {
 		return 0
@@ -228,7 +319,7 @@ func (b *B) Elapsed() time.Duration {
 	if b == nil {
 		return 0
 	}
-	return time.Since(b.start)
+	return time.Since(b.root().start)
 }
 
 // StartTime returns the instant the budget's clock started. Instrumentation
@@ -239,7 +330,7 @@ func (b *B) StartTime() time.Time {
 	if b == nil {
 		return time.Now()
 	}
-	return b.start
+	return b.root().start
 }
 
 // PanicError is the typed error a contained panic converts into: the

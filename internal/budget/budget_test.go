@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -152,5 +153,116 @@ func TestAsPanicErrorPassthrough(t *testing.T) {
 	again := AsPanicError(orig)
 	if again != orig {
 		t.Fatal("an existing *PanicError must pass through unchanged (stack preservation)")
+	}
+}
+
+func TestMemberConservation(t *testing.T) {
+	b := New(nil, Limits{MaxNodes: 10_000, CheckEvery: 64})
+	labels := []string{"bb-ghw", "ga-ghw", "saiga-ghw", "hw-detk"}
+	members := make([]*B, len(labels))
+	for i, l := range labels {
+		members[i] = b.Member(l)
+		if got := members[i].Label(); got != l {
+			t.Fatalf("Label() = %q, want %q", got, l)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, m := range members {
+		wg.Add(1)
+		go func(m *B) {
+			defer wg.Done()
+			for m.Tick() {
+			}
+		}(m)
+	}
+	wg.Wait()
+	var sum int64
+	for _, m := range members {
+		sum += m.Nodes()
+	}
+	if sum != b.Nodes() {
+		t.Fatalf("member node counts sum to %d, global Nodes() = %d", sum, b.Nodes())
+	}
+	if b.Reason() != StopNodes {
+		t.Fatalf("reason = %q, want %q", b.Reason(), StopNodes)
+	}
+	for _, m := range members {
+		if !m.Stopped() {
+			t.Fatal("member view must see the shared stop latch")
+		}
+		if m.Reason() != StopNodes {
+			t.Fatalf("member reason = %q, want %q", m.Reason(), StopNodes)
+		}
+	}
+}
+
+func TestMemberEnforcesSharedLimits(t *testing.T) {
+	b := New(nil, Limits{MaxNodes: 10})
+	m1, m2 := b.Member("a"), b.Member("b")
+	ticks := 0
+	for i := 0; i < 100; i++ {
+		m := m1
+		if i%2 == 1 {
+			m = m2
+		}
+		if !m.Tick() {
+			break
+		}
+		ticks++
+	}
+	if ticks != 10 {
+		t.Fatalf("got %d ticks across members within a 10-node budget", ticks)
+	}
+	if m1.Nodes()+m2.Nodes() != b.Nodes() {
+		t.Fatalf("conservation broke: %d + %d != %d", m1.Nodes(), m2.Nodes(), b.Nodes())
+	}
+	// A member's Stop trips the shared latch.
+	b2 := New(nil, Limits{})
+	v := b2.Member("x")
+	v.Stop(StopCanceled)
+	if !b2.Stopped() || b2.Reason() != StopCanceled {
+		t.Fatal("member Stop must latch the root")
+	}
+	if v.Tick() {
+		t.Fatal("member of a stopped root must refuse work")
+	}
+}
+
+func TestMemberCheckpointReportsAttributedNodes(t *testing.T) {
+	b := New(nil, Limits{CheckEvery: 8})
+	m := b.Member("m")
+	// Seed the root with unattributed ticks so global != member count.
+	for i := 0; i < 5; i++ {
+		b.Tick()
+	}
+	var seen []int64
+	m.OnCheckpoint(func(nodes int64, _ time.Duration) {
+		seen = append(seen, nodes)
+	})
+	m.OnCheckpoint(nil) // must be a no-op on a view, not clear the root
+	for i := 0; i < 32; i++ {
+		m.Tick()
+	}
+	if len(seen) == 0 {
+		t.Fatal("member checkpoint observer never fired")
+	}
+	for _, n := range seen {
+		if n > m.Nodes() || n <= 0 {
+			t.Fatalf("observer saw %d nodes, member ticked %d", n, m.Nodes())
+		}
+	}
+	if b.Nodes() != m.Nodes()+5 {
+		t.Fatalf("global %d != member %d + 5 seed ticks", b.Nodes(), m.Nodes())
+	}
+	// Member of a member attaches to the root, not a chain.
+	mm := m.Member("mm")
+	mm.Tick()
+	if b.Nodes() != m.Nodes()+mm.Nodes()+5 {
+		t.Fatal("nested Member must attach to the root")
+	}
+	// Member of nil stays nil-safe.
+	var nilB *B
+	if nilB.Member("x") != nil {
+		t.Fatal("Member of a nil budget must be nil")
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"hypertree/internal/htd"
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/obs"
+	"hypertree/internal/obs/attr"
 	"hypertree/internal/search"
 	"hypertree/internal/setcover"
 )
@@ -180,6 +181,12 @@ type Decomposition struct {
 	// Stats aggregates the run's instrumentation events: the anytime-width
 	// timeline, effort counters, cover-cache traffic. Always populated.
 	Stats *obs.RunStats
+	// Ledger is the run's per-member attribution record: one row per
+	// portfolio member saying what it cost (attributed nodes, CPU estimate,
+	// cache traffic) and what it contributed (incumbent claims, lower
+	// bounds) plus its final role. Serial runs carry the degenerate
+	// one-member ledger, so consumers handle one shape. Always populated.
+	Ledger *attr.Ledger
 }
 
 // Decompose runs the selected algorithm on h. For the treewidth algorithms
@@ -222,7 +229,45 @@ func Decompose(h *hypergraph.Hypergraph, opts Options) (*Decomposition, error) {
 	d.Stop = b.Reason()
 	d.Interrupted = d.Stop != budget.StopNone
 	d.Exact = d.Exact && !d.Interrupted
+	// The degenerate one-member ledger of a serial run: same shape as a
+	// portfolio ledger so every consumer (envelope, metrics, tracestat) has
+	// one code path, with the sole member as the trivial winner.
+	d.Ledger = serialLedger(string(opts.Algorithm), d, b)
+	for _, ev := range d.Ledger.Events(b.Elapsed()) {
+		recordPost(d, opts, ev)
+	}
 	return d, nil
+}
+
+// serialLedger builds the one-member attribution ledger of a non-portfolio
+// run. The costs are the run's own totals (one member did everything, so
+// conservation is trivial); the claims are the run's anytime timeline,
+// deduplicated to strict improvements.
+func serialLedger(algo string, d *Decomposition, b *budget.B) *attr.Ledger {
+	m := attr.Member{
+		Algo:       algo,
+		Role:       attr.RoleWinner,
+		Nodes:      b.Nodes(),
+		CPU:        d.Elapsed,
+		BestWidth:  d.Width,
+		LowerBound: d.LowerBound,
+		Stop:       string(d.Stop),
+	}
+	if d.Stats != nil {
+		snap := d.Stats.Snapshot()
+		m.CacheHits, m.CacheMisses = snap.CacheHits, snap.CacheMisses
+		m.Checkpoints = snap.Checkpoints
+		for _, p := range snap.Timeline {
+			if len(m.Claims) == 0 || p.Width < m.Claims[len(m.Claims)-1].Width {
+				m.Claims = append(m.Claims, attr.Claim{Width: p.Width, T: p.T})
+			}
+		}
+	}
+	return &attr.Ledger{
+		Winner:     algo,
+		TotalNodes: b.Nodes(),
+		Members:    []attr.Member{m},
+	}
 }
 
 // decompose dispatches to the selected algorithm under the shared budget b

@@ -28,6 +28,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"time"
 
 	"hypertree/internal/bounds"
 	"hypertree/internal/budget"
@@ -35,6 +36,7 @@ import (
 	"hypertree/internal/htd"
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/obs"
+	"hypertree/internal/obs/attr"
 	"hypertree/internal/search"
 	"hypertree/internal/setcover"
 )
@@ -65,6 +67,10 @@ type portfolio struct {
 	// caller's recorder directly, label-stamped, via memberRecorder.
 	rec   obs.Recorder
 	stats *obs.RunStats
+	// col accumulates the contribution side of the attribution ledger:
+	// per-member claims, lower bounds, checkpoints and stop reasons, fed by
+	// the memberRecorders while members run.
+	col *attr.Collector
 
 	mu       sync.Mutex
 	bestW    int // lowest width any member has realized (unsetW before the first claim)
@@ -86,7 +92,12 @@ func (pf *portfolio) claimWidth(alg Algorithm, w int) {
 	defer pf.mu.Unlock()
 	if w < pf.bestW {
 		pf.bestW, pf.bestAlgo = w, alg
-		pf.rec.Record(obs.Event{Kind: obs.KindImprove, T: pf.b.Elapsed(),
+		t := pf.b.Elapsed()
+		// Under the same lock that decided the claim, so the ledger's claim
+		// order is the true incumbent order and every improvement of the
+		// merged timeline names exactly one member.
+		pf.col.Claim(string(alg), w, t)
+		pf.rec.Record(obs.Event{Kind: obs.KindImprove, T: t,
 			Algo: string(AlgPortfolio), Width: w, Nodes: pf.b.Nodes()})
 	}
 	pf.checkWinLocked()
@@ -142,6 +153,7 @@ func (m memberRecorder) Record(e obs.Event) {
 	if e.Algo == "" {
 		e.Algo = string(m.algo)
 	}
+	m.pf.col.Observe(string(m.algo), e)
 	switch e.Kind {
 	case obs.KindImprove:
 		m.pf.claimWidth(m.algo, e.Width)
@@ -168,6 +180,9 @@ type memberResult struct {
 	alg Algorithm
 	d   *Decomposition
 	err error
+	// wall is the member goroutine's wall-clock: the ledger's CPU-time
+	// estimate (members solve on one goroutine each — inner Workers are 0).
+	wall time.Duration
 }
 
 // decomposePortfolio is the AlgPortfolio entry point, dispatched from
@@ -207,7 +222,7 @@ func decomposePortfolio(h *hypergraph.Hypergraph, opts Options) (*Decomposition,
 	inc := search.NewIncumbent()
 	stats := obs.NewRunStats()
 	pf := &portfolio{b: b, inc: inc, stats: stats,
-		rec:   obs.Tee(stats, opts.Recorder),
+		rec: obs.Tee(stats, opts.Recorder), col: attr.NewCollector(),
 		bestW: unsetW, bestAlgo: AlgPortfolio}
 	// One recorder attach before fan-out: the engine's fields are
 	// unsynchronized, so the members must not touch them (they don't — an
@@ -221,19 +236,29 @@ func decomposePortfolio(h *hypergraph.Hypergraph, opts Options) (*Decomposition,
 	// ends the race without waiting for an exact member's proof.
 	pf.raiseLB(bounds.TwKscWidth(h, rand.New(rand.NewSource(opts.Seed))))
 
+	// Per-member attribution instruments: a budget member view (its Ticks
+	// count against the shared budget AND the member's own ledger row — the
+	// conservation invariant: the views' node counts sum exactly to
+	// b.Nodes()) and a cover-engine member view (shared memo cache, hits and
+	// misses attributed to the member that queried).
+	children := make([]*budget.B, len(members))
+	engines := make([]*setcover.Engine, len(members))
 	results := make([]memberResult, len(members))
 	var wg sync.WaitGroup
 	for i, alg := range members {
 		i, alg := i, alg
+		children[i] = b.Member(string(alg))
+		engines[i] = eng.Member()
 		mrec := memberRecorder{algo: alg, lbSound: alg != AlgHW, pf: pf, next: opts.Recorder}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			start := time.Now()
 			var d *Decomposition
 			err := budget.Guard(b, func() error {
 				var e error
 				if alg == AlgHW {
-					d, e = pf.runDetk(h, opts, mrec)
+					d, e = pf.runDetk(h, opts, mrec, children[i])
 				} else {
 					mopts := opts
 					mopts.Algorithm = alg
@@ -243,13 +268,13 @@ func decomposePortfolio(h *hypergraph.Hypergraph, opts Options) (*Decomposition,
 					// units split across solvers, not within one.
 					mopts.Workers = 0
 					mopts.Portfolio = nil
-					mopts.engine = eng
+					mopts.engine = engines[i]
 					mopts.shared = inc
-					d, e = decompose(h, mopts, b)
+					d, e = decompose(h, mopts, children[i])
 				}
 				return e
 			})
-			results[i] = memberResult{alg: alg, d: d, err: err}
+			results[i] = memberResult{alg: alg, d: d, err: err, wall: time.Since(start)}
 		}()
 	}
 	wg.Wait()
@@ -276,6 +301,7 @@ func decomposePortfolio(h *hypergraph.Hypergraph, opts Options) (*Decomposition,
 
 	// Winner: the narrowest validated decomposition, in member order on ties.
 	var winner *Decomposition
+	var winnerAlg Algorithm
 	for _, r := range results {
 		d := r.d
 		if d == nil || d.TD == nil || d.GHD == nil {
@@ -285,7 +311,7 @@ func decomposePortfolio(h *hypergraph.Hypergraph, opts Options) (*Decomposition,
 			continue
 		}
 		if winner == nil || d.Width < winner.Width {
-			winner = d
+			winner, winnerAlg = d, r.alg
 		}
 	}
 	if winner == nil {
@@ -310,6 +336,20 @@ func decomposePortfolio(h *hypergraph.Hypergraph, opts Options) (*Decomposition,
 			evals += r.d.Evaluations
 		}
 	}
+	// All members have joined, so the global counter is final: read it once
+	// and use it for both the result and the ledger, keeping the
+	// conservation check (member views sum to TotalNodes) exact.
+	total := b.Nodes()
+	led := &attr.Ledger{Portfolio: true, Winner: string(winnerAlg), TotalNodes: total}
+	for i, alg := range members {
+		m := pf.col.Member(string(alg))
+		m.Nodes = children[i].Nodes()
+		m.CPU = results[i].wall
+		st := engines[i].CacheStats()
+		m.CacheHits, m.CacheMisses = st.Hits, st.Misses
+		m.Role = attr.Role(alg == winnerAlg, m.Stop)
+		led.Members = append(led.Members, m)
+	}
 	d := &Decomposition{
 		TD:          winner.TD,
 		GHD:         winner.GHD,
@@ -317,12 +357,13 @@ func decomposePortfolio(h *hypergraph.Hypergraph, opts Options) (*Decomposition,
 		LowerBound:  lbFinal,
 		Exact:       exact,
 		Ordering:    winner.Ordering,
-		Nodes:       b.Nodes(),
+		Nodes:       total,
 		Evaluations: evals,
 		Elapsed:     b.Elapsed(),
 		Stop:        reason,
 		Interrupted: reason != budget.StopNone,
 		Stats:       pf.stats,
+		Ledger:      led,
 	}
 	if st := eng.CacheStats(); st.Hits+st.Misses > 0 {
 		pf.rec.Record(obs.Event{Kind: obs.KindCoverCache, T: b.Elapsed(),
@@ -332,6 +373,11 @@ func decomposePortfolio(h *hypergraph.Hypergraph, opts Options) (*Decomposition,
 	pf.rec.Record(obs.Event{Kind: obs.KindStop, T: b.Elapsed(),
 		Algo: string(AlgPortfolio), Width: d.Width, LowerBound: d.LowerBound,
 		Exact: d.Exact, Nodes: d.Nodes, Evaluations: evals, Stop: string(reason)})
+	// The terminal attr events: one per member, after the portfolio's
+	// algo_stop, each carrying that member's ledger row into the trace.
+	for _, ev := range led.Events(b.Elapsed()) {
+		pf.rec.Record(ev)
+	}
 	return d, nil
 }
 
@@ -340,8 +386,7 @@ func decomposePortfolio(h *hypergraph.Hypergraph, opts Options) (*Decomposition,
 // hypertree decomposition with k at or above the best known ghw width cannot
 // improve the race. It returns a nil Decomposition (no error) when nothing
 // was found below the caps.
-func (pf *portfolio) runDetk(h *hypergraph.Hypergraph, opts Options, rec obs.Recorder) (*Decomposition, error) {
-	b := pf.b
+func (pf *portfolio) runDetk(h *hypergraph.Hypergraph, opts Options, rec obs.Recorder, b *budget.B) (*Decomposition, error) {
 	stats := obs.NewRunStats()
 	mrec := obs.Tee(stats, rec)
 	b.OnCheckpoint(obs.Checkpointer(mrec))

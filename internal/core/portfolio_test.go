@@ -198,3 +198,107 @@ func TestHWDetkExactOrdering(t *testing.T) {
 		t.Fatalf("ordering replays to width %d, above the reported %d", g.Width(), d.Width)
 	}
 }
+
+// TestPortfolioLedgerConservation is the attribution contract under -race:
+// on a real multi-member race the ledger's per-member attributed node
+// counts must sum exactly to the run's global budget.Nodes(), every
+// incumbent improvement of the merged timeline must name the member that
+// claimed it, and the winner's row must carry the winner role.
+func TestPortfolioLedgerConservation(t *testing.T) {
+	h := hypergraph.Grid2D(6)
+	d, err := DecomposePortfolio(h, Options{Seed: 1, Timeout: 30 * time.Second, MaxNodes: 60000})
+	if err != nil {
+		t.Fatalf("portfolio: %v", err)
+	}
+	led := d.Ledger
+	if led == nil {
+		t.Fatal("portfolio result carries no ledger")
+	}
+	if !led.Portfolio {
+		t.Fatal("ledger not marked as a portfolio ledger")
+	}
+	if len(led.Members) != len(DefaultPortfolio) {
+		t.Fatalf("ledger has %d members, portfolio raced %d", len(led.Members), len(DefaultPortfolio))
+	}
+	if led.TotalNodes != d.Nodes {
+		t.Fatalf("ledger TotalNodes %d != result Nodes %d", led.TotalNodes, d.Nodes)
+	}
+	if err := led.Conserved(); err != nil {
+		t.Fatalf("conservation invariant: %v", err)
+	}
+	if led.Winner == "" || led.Find(led.Winner) == nil {
+		t.Fatalf("ledger names no valid winner: %q", led.Winner)
+	}
+	// Every improvement of the merged timeline appears as exactly one
+	// member claim — claims are attributed, not merely counted.
+	var claims int
+	for i := range led.Members {
+		m := &led.Members[i]
+		claims += len(m.Claims)
+		if m.Role == "" {
+			t.Fatalf("member %s has no role", m.Algo)
+		}
+		for _, c := range m.Claims {
+			if c.Width <= 0 {
+				t.Fatalf("member %s claimed a non-width: %+v", m.Algo, c)
+			}
+		}
+	}
+	merged := d.Stats.Snapshot().Timeline
+	if claims != len(merged) {
+		t.Fatalf("ledger attributes %d claims, merged timeline has %d improvements", claims, len(merged))
+	}
+	// The narrowest claim across members is the result's width, and the
+	// winner claimed a width at least as narrow as everyone else's best.
+	win := led.Find(led.Winner)
+	if win.Role != "winner" {
+		t.Fatalf("winner row role = %q", win.Role)
+	}
+	if win.BestWidth != d.Width {
+		t.Fatalf("winner best width %d != result width %d", win.BestWidth, d.Width)
+	}
+	// CPU estimates exist for every member (they all at least started).
+	for i := range led.Members {
+		if led.Members[i].CPU <= 0 {
+			t.Fatalf("member %s has no CPU estimate", led.Members[i].Algo)
+		}
+	}
+}
+
+// TestSerialLedgerShape pins the degenerate one-member ledger of a
+// non-portfolio run: same shape, trivial conservation, sole member wins.
+func TestSerialLedgerShape(t *testing.T) {
+	h := hypergraph.Grid2D(5)
+	d, err := Decompose(h, Options{Algorithm: AlgBBGHW, Seed: 1, Timeout: 20 * time.Second, MaxNodes: 30000})
+	if err != nil {
+		t.Fatalf("bb-ghw: %v", err)
+	}
+	led := d.Ledger
+	if led == nil {
+		t.Fatal("serial result carries no ledger")
+	}
+	if led.Portfolio {
+		t.Fatal("serial ledger marked as portfolio")
+	}
+	if len(led.Members) != 1 {
+		t.Fatalf("serial ledger has %d members, want 1", len(led.Members))
+	}
+	if err := led.Conserved(); err != nil {
+		t.Fatalf("serial conservation: %v", err)
+	}
+	m := &led.Members[0]
+	if m.Algo != string(AlgBBGHW) || m.Role != "winner" || led.Winner != m.Algo {
+		t.Fatalf("serial member row = %+v, winner %q", m, led.Winner)
+	}
+	if m.Nodes != d.Nodes {
+		t.Fatalf("serial member nodes %d != run nodes %d", m.Nodes, d.Nodes)
+	}
+	if m.BestWidth != d.Width {
+		t.Fatalf("serial member best width %d != run width %d", m.BestWidth, d.Width)
+	}
+	for i := 1; i < len(m.Claims); i++ {
+		if m.Claims[i].Width >= m.Claims[i-1].Width {
+			t.Fatalf("serial claims not strictly decreasing: %+v", m.Claims)
+		}
+	}
+}

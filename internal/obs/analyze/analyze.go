@@ -44,6 +44,13 @@ type Trace struct {
 	// budget-relative, and one request's spans bracket (not belong to) its
 	// solver run. Requests() derives per-request profiles from them.
 	Spans []obs.Event
+	// Attr are the terminal attribution events — one per portfolio member
+	// (or the serial run's one member) carrying its resource-ledger row.
+	// They are diverted from the run grouping for the same reason spans are:
+	// a member's attr event is emitted under the member's algo label after
+	// the portfolio's algo_stop and would otherwise open a phantom run.
+	// Attribution() aggregates them into the per-algorithm cost report.
+	Attr []obs.Event
 	// Unknown counts events whose kind is outside this build's taxonomy;
 	// they are kept in their run's Events (the format is forward-compatible)
 	// but excluded from profile aggregation.
@@ -76,6 +83,10 @@ func Load(r io.Reader) (*Trace, error) {
 			tr.Spans = append(tr.Spans, e)
 			continue
 		}
+		if e.Kind == obs.KindAttr {
+			tr.Attr = append(tr.Attr, e)
+			continue
+		}
 		if e.Kind == obs.KindStart || cur == nil {
 			cur = &Run{Algo: e.Algo, N: e.N, M: e.M}
 			tr.Runs = append(tr.Runs, cur)
@@ -85,7 +96,7 @@ func Load(r io.Reader) (*Trace, error) {
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("analyze: reading trace: %w", err)
 	}
-	if len(tr.Runs) == 0 && len(tr.Spans) == 0 {
+	if len(tr.Runs) == 0 && len(tr.Spans) == 0 && len(tr.Attr) == 0 {
 		return nil, fmt.Errorf("analyze: trace is empty")
 	}
 	return tr, nil

@@ -1,0 +1,201 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hypertree/internal/obs/attr"
+)
+
+// MemberReport is one algorithm's aggregated attribution across every run
+// of a trace: what the solver cost the process and what it contributed, the
+// numbers a dispatch decision ("stop racing the GA on this family") is
+// grounded in.
+type MemberReport struct {
+	Algo string `json:"algo"`
+	// Runs counts the runs this member took part in; Wins how many of those
+	// returned its decomposition.
+	Runs int `json:"runs"`
+	Wins int `json:"wins"`
+	// Improvements counts the incumbent claims the member contributed.
+	Improvements int `json:"improvements"`
+	// Nodes is the member's attributed search-node total; Share its fraction
+	// of all attributed nodes in the trace (cost), to hold against WinRate
+	// (value).
+	Nodes int64   `json:"nodes"`
+	Share float64 `json:"share"`
+	// CPU sums the member's per-run CPU-time estimates.
+	CPU time.Duration `json:"cpu_ns"`
+	// CacheHits and CacheMisses are the member's attributed cover-cache
+	// traffic.
+	CacheHits   int64 `json:"cache_hits,omitempty"`
+	CacheMisses int64 `json:"cache_misses,omitempty"`
+	// BestWidth is the narrowest width the member realized anywhere in the
+	// trace (0 = none); BestLowerBound the strongest bound it proved.
+	BestWidth      int `json:"best_width,omitempty"`
+	BestLowerBound int `json:"best_lower_bound,omitempty"`
+}
+
+// WinRate is Wins/Runs, or 0 for a member that never ran.
+func (m *MemberReport) WinRate() float64 {
+	if m.Runs == 0 {
+		return 0
+	}
+	return float64(m.Wins) / float64(m.Runs)
+}
+
+// AttributionReport aggregates a trace's attr events per algorithm.
+type AttributionReport struct {
+	// Members are the per-algorithm rows, sorted by algo label.
+	Members []MemberReport `json:"members"`
+	// Runs counts distinct attributed runs (sets of attr events); TotalNodes
+	// the attributed node total the shares are fractions of.
+	Runs       int   `json:"runs"`
+	TotalNodes int64 `json:"total_nodes"`
+}
+
+// Find returns the report row for algo, or nil.
+func (r *AttributionReport) Find(algo string) *MemberReport {
+	for i := range r.Members {
+		if r.Members[i].Algo == algo {
+			return &r.Members[i]
+		}
+	}
+	return nil
+}
+
+// Attribution folds a trace's attr events into the per-algorithm cost
+// report. Returns nil when the trace carries no attribution (written by a
+// pre-ledger build).
+func Attribution(t *Trace) *AttributionReport {
+	if len(t.Attr) == 0 {
+		return nil
+	}
+	rows := map[string]*MemberReport{}
+	rep := &AttributionReport{}
+	// Run counting: every member of one run shares the run's winner row, so
+	// count runs as the number of winner-role events (every ledger names
+	// exactly one winner).
+	for _, e := range t.Attr {
+		m := attr.FromEvent(e)
+		row := rows[m.Algo]
+		if row == nil {
+			row = &MemberReport{Algo: m.Algo}
+			rows[m.Algo] = row
+		}
+		row.Runs++
+		if m.Role == attr.RoleWinner {
+			row.Wins++
+			rep.Runs++
+		}
+		row.Improvements += e.Improvements
+		row.Nodes += m.Nodes
+		row.CPU += m.CPU
+		row.CacheHits += m.CacheHits
+		row.CacheMisses += m.CacheMisses
+		if m.BestWidth > 0 && (row.BestWidth == 0 || m.BestWidth < row.BestWidth) {
+			row.BestWidth = m.BestWidth
+		}
+		if m.LowerBound > row.BestLowerBound {
+			row.BestLowerBound = m.LowerBound
+		}
+		rep.TotalNodes += m.Nodes
+	}
+	for _, row := range rows {
+		if rep.TotalNodes > 0 {
+			row.Share = float64(row.Nodes) / float64(rep.TotalNodes)
+		}
+		rep.Members = append(rep.Members, *row)
+	}
+	sort.Slice(rep.Members, func(i, j int) bool { return rep.Members[i].Algo < rep.Members[j].Algo })
+	return rep
+}
+
+// AttrCompareOptions tunes CompareAttribution.
+type AttrCompareOptions struct {
+	// ShareThreshold is the absolute node-share growth tolerated before a
+	// member whose win rate did not improve counts as a cost regression.
+	// Default 0.10 (ten percentage points).
+	ShareThreshold float64
+}
+
+// DefaultAttrCompareOptions returns the thresholds used for a zero options
+// value.
+func DefaultAttrCompareOptions() AttrCompareOptions {
+	return AttrCompareOptions{ShareThreshold: 0.10}
+}
+
+// AttrDelta is one algorithm's cost-accounting diff between two traces.
+type AttrDelta struct {
+	Algo       string  `json:"algo"`
+	OldShare   float64 `json:"old_share"`
+	NewShare   float64 `json:"new_share"`
+	OldWinRate float64 `json:"old_win_rate"`
+	NewWinRate float64 `json:"new_win_rate"`
+	// Regressed marks a member that got more expensive without getting more
+	// valuable: its node share grew past the threshold while its win rate
+	// did not improve.
+	Regressed bool     `json:"regressed"`
+	Reasons   []string `json:"reasons,omitempty"`
+}
+
+// AttrComparison is the cross-trace cost-accounting diff.
+type AttrComparison struct {
+	Deltas []AttrDelta `json:"deltas"`
+	// OldOnly and NewOnly list algos present in only one trace.
+	OldOnly []string `json:"old_only,omitempty"`
+	NewOnly []string `json:"new_only,omitempty"`
+}
+
+// Regressed reports whether any member's cost share regressed.
+func (c *AttrComparison) Regressed() bool {
+	for _, d := range c.Deltas {
+		if d.Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+// CompareAttribution diffs two attribution reports member by member,
+// flagging cost-share regressions: a member whose fraction of the attributed
+// work grew beyond opt.ShareThreshold without its win rate improving is paying
+// more for the same value — the signal to re-tune the portfolio.
+func CompareAttribution(oldR, newR *AttributionReport, opt AttrCompareOptions) *AttrComparison {
+	if opt.ShareThreshold <= 0 {
+		opt.ShareThreshold = DefaultAttrCompareOptions().ShareThreshold
+	}
+	cmp := &AttrComparison{}
+	if oldR == nil || newR == nil {
+		return cmp
+	}
+	for i := range oldR.Members {
+		o := &oldR.Members[i]
+		n := newR.Find(o.Algo)
+		if n == nil {
+			cmp.OldOnly = append(cmp.OldOnly, o.Algo)
+			continue
+		}
+		d := AttrDelta{
+			Algo:       o.Algo,
+			OldShare:   o.Share,
+			NewShare:   n.Share,
+			OldWinRate: o.WinRate(),
+			NewWinRate: n.WinRate(),
+		}
+		if grow := d.NewShare - d.OldShare; grow > opt.ShareThreshold && d.NewWinRate <= d.OldWinRate {
+			d.Regressed = true
+			d.Reasons = append(d.Reasons, fmt.Sprintf(
+				"node share grew %.1f%% -> %.1f%% with win rate %.0f%% -> %.0f%%",
+				100*d.OldShare, 100*d.NewShare, 100*d.OldWinRate, 100*d.NewWinRate))
+		}
+		cmp.Deltas = append(cmp.Deltas, d)
+	}
+	for i := range newR.Members {
+		if oldR.Find(newR.Members[i].Algo) == nil {
+			cmp.NewOnly = append(cmp.NewOnly, newR.Members[i].Algo)
+		}
+	}
+	return cmp
+}

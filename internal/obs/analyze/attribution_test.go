@@ -1,0 +1,116 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hypertree/internal/obs"
+	"hypertree/internal/obs/attr"
+)
+
+// ledgerEvents renders a two-member portfolio ledger into its attr events,
+// the same path the solvers use.
+func ledgerEvents(winnerNodes, loserNodes int64) []obs.Event {
+	l := &attr.Ledger{
+		Portfolio:  true,
+		Winner:     "bb-ghw",
+		TotalNodes: winnerNodes + loserNodes,
+		Members: []attr.Member{
+			{Algo: "bb-ghw", Role: attr.RoleWinner, Nodes: winnerNodes, CPU: time.Second,
+				CacheHits: 5, CacheMisses: 2, BestWidth: 3,
+				Claims: []attr.Claim{{Width: 4, T: time.Millisecond}, {Width: 3, T: 2 * time.Millisecond}}},
+			{Algo: "ga-ghw", Role: attr.RoleAbortedLoser, Nodes: loserNodes,
+				CPU: 2 * time.Second, BestWidth: 4, Stop: "portfolio-win"},
+		},
+	}
+	return l.Events(3 * time.Second)
+}
+
+func TestLoadDivertsAttrEvents(t *testing.T) {
+	trace := `{"kind":"algo_start","t_ns":0,"algo":"bb-ghw","n":4,"m":3}
+{"kind":"algo_stop","t_ns":100,"algo":"bb-ghw","width":2}
+{"kind":"attr","t_ns":100,"algo":"bb-ghw","role":"winner","nodes":10,"share":1}
+`
+	tr, err := Load(strings.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Attr) != 1 {
+		t.Fatalf("Attr events = %d, want 1", len(tr.Attr))
+	}
+	// The attr event must not have opened a phantom run or joined the real
+	// one's event stream.
+	if len(tr.Runs) != 1 || len(tr.Runs[0].Events) != 2 {
+		t.Fatalf("runs = %d (events %d), want 1 run with 2 events", len(tr.Runs), len(tr.Runs[0].Events))
+	}
+}
+
+func TestAttributionAggregates(t *testing.T) {
+	tr := &Trace{Attr: append(ledgerEvents(60, 40), ledgerEvents(30, 70)...)}
+	rep := Attribution(tr)
+	if rep == nil {
+		t.Fatal("no report from a trace with attr events")
+	}
+	if rep.Runs != 2 || rep.TotalNodes != 200 {
+		t.Fatalf("runs %d total %d, want 2 / 200", rep.Runs, rep.TotalNodes)
+	}
+	bb := rep.Find("bb-ghw")
+	if bb == nil || bb.Runs != 2 || bb.Wins != 2 || bb.Nodes != 90 {
+		t.Fatalf("bb-ghw row: %+v", bb)
+	}
+	if bb.Improvements != 4 || bb.WinRate() != 1.0 {
+		t.Fatalf("bb-ghw improvements %d win rate %v", bb.Improvements, bb.WinRate())
+	}
+	if bb.Share != 0.45 {
+		t.Fatalf("bb-ghw share = %v, want 0.45", bb.Share)
+	}
+	ga := rep.Find("ga-ghw")
+	if ga == nil || ga.Wins != 0 || ga.Nodes != 110 || ga.Share != 0.55 {
+		t.Fatalf("ga-ghw row: %+v", ga)
+	}
+	if ga.CPU != 4*time.Second {
+		t.Fatalf("ga-ghw cpu = %v, want 4s", ga.CPU)
+	}
+	if Attribution(&Trace{}) != nil {
+		t.Fatal("empty trace must yield a nil report")
+	}
+}
+
+func TestCompareAttributionFlagsCostShareRegression(t *testing.T) {
+	oldR := Attribution(&Trace{Attr: ledgerEvents(60, 40)})
+	// ga-ghw's share grows 40% -> 70% with its win rate flat at 0: a cost
+	// regression. bb-ghw's share shrank, which never regresses.
+	newR := Attribution(&Trace{Attr: ledgerEvents(30, 70)})
+	cmp := CompareAttribution(oldR, newR, AttrCompareOptions{})
+	if !cmp.Regressed() {
+		t.Fatalf("share growth past threshold not flagged: %+v", cmp.Deltas)
+	}
+	for _, d := range cmp.Deltas {
+		switch d.Algo {
+		case "ga-ghw":
+			if !d.Regressed || len(d.Reasons) == 0 {
+				t.Fatalf("ga-ghw delta: %+v", d)
+			}
+		case "bb-ghw":
+			if d.Regressed {
+				t.Fatalf("bb-ghw flagged despite shrinking share: %+v", d)
+			}
+		}
+	}
+	// A wide threshold tolerates the same growth.
+	if CompareAttribution(oldR, newR, AttrCompareOptions{ShareThreshold: 0.5}).Regressed() {
+		t.Fatal("growth under threshold still flagged")
+	}
+	// A member that wins more is allowed to cost more: same share growth,
+	// but the new trace's ga-ghw rows become winners.
+	winEvs := ledgerEvents(30, 70)
+	for i := range winEvs {
+		if winEvs[i].Algo == "ga-ghw" {
+			winEvs[i].Role = attr.RoleWinner
+		}
+	}
+	if CompareAttribution(oldR, Attribution(&Trace{Attr: winEvs}), AttrCompareOptions{}).Regressed() {
+		t.Fatal("share growth with improved win rate must not regress")
+	}
+}

@@ -1,0 +1,143 @@
+package attr
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"hypertree/internal/obs"
+)
+
+func TestRole(t *testing.T) {
+	cases := []struct {
+		winner bool
+		stop   string
+		want   string
+	}{
+		{true, "", RoleWinner},
+		{true, "portfolio-win", RoleWinner},
+		{false, "portfolio-win", RoleAbortedLoser},
+		{false, "deadline", "deadline"},
+		{false, "node-budget", "node-budget"},
+		{false, "canceled", "canceled"},
+		{false, "", RoleCompleted},
+	}
+	for _, c := range cases {
+		if got := Role(c.winner, c.stop); got != c.want {
+			t.Errorf("Role(%v, %q) = %q, want %q", c.winner, c.stop, got, c.want)
+		}
+	}
+}
+
+func TestLedgerConserved(t *testing.T) {
+	l := &Ledger{
+		Portfolio:  true,
+		Winner:     "bb-ghw",
+		TotalNodes: 100,
+		Members: []Member{
+			{Algo: "bb-ghw", Role: RoleWinner, Nodes: 60,
+				Claims: []Claim{{Width: 5, T: time.Millisecond}, {Width: 3, T: 2 * time.Millisecond}}},
+			{Algo: "ga-ghw", Role: RoleAbortedLoser, Nodes: 40},
+		},
+	}
+	if err := l.Conserved(); err != nil {
+		t.Fatalf("balanced ledger reported unbalanced: %v", err)
+	}
+	if s := l.Share(l.Find("bb-ghw")); s != 0.6 {
+		t.Fatalf("Share = %v, want 0.6", s)
+	}
+
+	l.Members[1].Nodes = 41
+	if err := l.Conserved(); err == nil {
+		t.Fatal("unbalanced node sum must fail Conserved")
+	}
+	l.Members[1].Nodes = 40
+
+	l.Winner = "nobody"
+	if err := l.Conserved(); err == nil {
+		t.Fatal("winner without a member row must fail Conserved")
+	}
+	l.Winner = "ga-ghw"
+	if err := l.Conserved(); err == nil {
+		t.Fatal("winner with a non-winner role must fail Conserved")
+	}
+	l.Winner = "bb-ghw"
+
+	l.Members[0].Claims = []Claim{{Width: 3}, {Width: 5}}
+	if err := l.Conserved(); err == nil {
+		t.Fatal("width-increasing claims must fail Conserved")
+	}
+}
+
+func TestLedgerEventsRoundTrip(t *testing.T) {
+	l := &Ledger{
+		Portfolio:  true,
+		Winner:     "greedy-ghw",
+		TotalNodes: 10,
+		Members: []Member{
+			{Algo: "greedy-ghw", Role: RoleWinner, Nodes: 10, CPU: time.Second,
+				CacheHits: 7, CacheMisses: 3, BestWidth: 4, LowerBound: 2,
+				Claims: []Claim{{Width: 4, T: time.Millisecond}}, Stop: "deadline"},
+		},
+	}
+	evs := l.Events(3 * time.Second)
+	if len(evs) != 1 {
+		t.Fatalf("got %d events, want 1", len(evs))
+	}
+	e := evs[0]
+	if e.Kind != obs.KindAttr || e.T != 3*time.Second {
+		t.Fatalf("bad event header: %+v", e)
+	}
+	if e.Improvements != 1 || e.Share != 1.0 || e.Role != RoleWinner {
+		t.Fatalf("bad attr payload: %+v", e)
+	}
+	m := FromEvent(e)
+	want := l.Members[0]
+	if m.Algo != want.Algo || m.Role != want.Role || m.Nodes != want.Nodes ||
+		m.CPU != want.CPU || m.CacheHits != want.CacheHits ||
+		m.CacheMisses != want.CacheMisses || m.BestWidth != want.BestWidth ||
+		m.LowerBound != want.LowerBound || m.Stop != want.Stop {
+		t.Fatalf("FromEvent mismatch: got %+v, want %+v", m, want)
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector()
+	algos := []string{"a", "b", "c"}
+	var wg sync.WaitGroup
+	for i, algo := range algos {
+		wg.Add(1)
+		go func(i int, algo string) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				c.Observe(algo, obs.Event{Kind: obs.KindCheckpoint})
+			}
+			c.Observe(algo, obs.Event{Kind: obs.KindLowerBound, LowerBound: i + 1})
+			c.Claim(algo, 10-i, time.Duration(i)*time.Millisecond)
+			c.Observe(algo, obs.Event{Kind: obs.KindStop, Stop: "deadline", Width: 10 - i})
+		}(i, algo)
+	}
+	wg.Wait()
+	for i, algo := range algos {
+		m := c.Member(algo)
+		if m.Checkpoints != 50 {
+			t.Fatalf("%s: checkpoints = %d, want 50", algo, m.Checkpoints)
+		}
+		if m.LowerBound != i+1 {
+			t.Fatalf("%s: lower bound = %d, want %d", algo, m.LowerBound, i+1)
+		}
+		if len(m.Claims) != 1 || m.Claims[0].Width != 10-i {
+			t.Fatalf("%s: claims = %+v", algo, m.Claims)
+		}
+		if m.BestWidth != 10-i || m.Stop != "deadline" {
+			t.Fatalf("%s: best width %d stop %q", algo, m.BestWidth, m.Stop)
+		}
+	}
+	// Nil collector is a no-op, not a crash.
+	var nc *Collector
+	nc.Observe("x", obs.Event{Kind: obs.KindCheckpoint})
+	nc.Claim("x", 1, 0)
+	if m := nc.Member("x"); m.Algo != "x" || m.Checkpoints != 0 {
+		t.Fatalf("nil collector Member = %+v", m)
+	}
+}

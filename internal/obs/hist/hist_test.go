@@ -286,3 +286,86 @@ func TestNewWithBoundsPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestQuantileEdges pins the boundary contracts of Quantile: q at or below 0
+// clamps to the smallest positive quantile (never "before the data"), q
+// above 1 clamps to 1, and q=1 lands exactly on the winning bucket's upper
+// bound for a single-valued population.
+func TestQuantileEdges(t *testing.T) {
+	h := New()
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	// All mass sits in the (500µs, 1ms] bucket, so every quantile must too.
+	lo, hi := 500*time.Microsecond, time.Millisecond
+	if q := s.Quantile(0); q <= lo || q > hi {
+		t.Fatalf("Quantile(0) = %v, want in (%v, %v]", q, lo, hi)
+	}
+	if s.Quantile(-3) != s.Quantile(0) {
+		t.Fatalf("negative q %v != q=0 %v", s.Quantile(-3), s.Quantile(0))
+	}
+	if q := s.Quantile(1); q != hi {
+		t.Fatalf("Quantile(1) = %v, want bucket bound %v", q, hi)
+	}
+	if s.Quantile(5) != s.Quantile(1) {
+		t.Fatalf("q>1 %v != q=1 %v", s.Quantile(5), s.Quantile(1))
+	}
+}
+
+// TestMergeEmptyIntoPopulated is the no-op direction of Merge: folding an
+// empty (or nil) snapshot into a populated one must change nothing — the
+// daemon's overall-latency merge hits this on outcomes that never occurred.
+func TestMergeEmptyIntoPopulated(t *testing.T) {
+	h := New()
+	for i := 0; i < 5; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	count, sum := s.Count, s.Sum
+	if err := s.Merge(&Snapshot{}); err != nil {
+		t.Fatalf("merging empty snapshot: %v", err)
+	}
+	if err := s.Merge(nil); err != nil {
+		t.Fatalf("merging nil snapshot: %v", err)
+	}
+	if s.Count != count || s.Sum != sum {
+		t.Fatalf("no-op merge mutated snapshot: count %d->%d sum %v->%v", count, s.Count, sum, s.Sum)
+	}
+	if q := s.Quantile(0.5); q <= 0 {
+		t.Fatalf("median lost after no-op merges: %v", q)
+	}
+}
+
+// TestOverflowOnlyDistribution covers a population living entirely in the
+// overflow bucket: quantiles saturate at the last bound (the histogram's
+// honest best), the mean stays exact (Sum tracks true durations), and the
+// OpenMetrics rendering keeps the +Inf == _count identity.
+func TestOverflowOnlyDistribution(t *testing.T) {
+	h := NewWithBounds([]time.Duration{time.Millisecond, time.Second})
+	for i := 0; i < 3; i++ {
+		h.Observe(time.Minute)
+	}
+	s := h.Snapshot()
+	if s.Counts[2] != 3 || s.Counts[0] != 0 || s.Counts[1] != 0 {
+		t.Fatalf("overflow-only counts wrong: %v", s.Counts)
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := s.Quantile(q); got != time.Second {
+			t.Fatalf("Quantile(%g) = %v, want last bound 1s", q, got)
+		}
+	}
+	if s.Mean() != time.Minute {
+		t.Fatalf("Mean = %v, want exact 1m", s.Mean())
+	}
+	var b strings.Builder
+	if err := WriteHistogramFamily(&b, "overflow_test_seconds", "Overflow-only.", Series{Snap: s}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`le="0.001"} 0`, `le="1"} 0`, `le="+Inf"} 3`, "overflow_test_seconds_count 3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}

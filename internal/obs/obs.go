@@ -76,6 +76,16 @@ const (
 	// inside the same request are budget-relative (the solve span marks the
 	// offset between the two bases).
 	KindSpan Kind = "span"
+	// KindAttr is one member's terminal attribution record: after a run ends,
+	// one attr event per portfolio member (and exactly one for a serial run)
+	// summarizes that member's share of the bill — attributed nodes, CPU-time
+	// estimate (Dur), cover-cache traffic, checkpoints, improvements
+	// contributed, best lower bound, node share (Share) and final Role
+	// (winner / aborted-loser / deadline / ...). The per-member Nodes fields
+	// of a portfolio's attr events sum exactly to the run's global node
+	// count — the conservation invariant tracestat's attribution report
+	// re-checks.
+	KindAttr Kind = "attr"
 )
 
 // Event is one instrumentation record. Fields are kind-specific; unset
@@ -173,12 +183,21 @@ type Event struct {
 	Phase   string        `json:"phase,omitempty"`
 	Dur     time.Duration `json:"dur_ns,omitempty"`
 	Outcome string        `json:"outcome,omitempty"`
+	// Role, Improvements and Share are the attr payload: the member's final
+	// role in the run (winner, aborted-loser, deadline, ...), how many
+	// incumbent improvements it claimed, and its fraction of the run's global
+	// node count. The attr event reuses Nodes/Dur/Cache*/Width/LowerBound for
+	// the rest of the ledger; see internal/obs/attr.
+	Role         string  `json:"role,omitempty"`
+	Improvements int     `json:"improvements,omitempty"`
+	Share        float64 `json:"share,omitempty"`
 }
 
 // Kinds lists the full event taxonomy, for validation.
 var Kinds = []Kind{
 	KindStart, KindStop, KindCheckpoint, KindImprove, KindLowerBound,
 	KindGeneration, KindCoverCache, KindAttempt, KindMemSample, KindSpan,
+	KindAttr,
 }
 
 // ValidKind reports whether k is part of the taxonomy.

@@ -33,12 +33,30 @@ type runInfo struct {
 	width     atomic.Int64 // best anytime width so far; 0 = none yet
 	lower     atomic.Int64 // best proven lower bound so far
 	nodes     atomic.Int64 // latest checkpoint node count
+
+	// members holds per-member gauges for portfolio runs, keyed by the algo
+	// label member events are stamped with. The map only grows (one entry
+	// per racer), so the mutex guards insertion; the gauges themselves stay
+	// atomic for the same writer/reader split as the top-level ones.
+	memberMu sync.Mutex
+	members  map[string]*memberGauges
+}
+
+// memberGauges mirrors the top-level width/lower/nodes gauges for one
+// portfolio member, fed by that member's algo-stamped events.
+type memberGauges struct {
+	width atomic.Int64
+	lower atomic.Int64
+	nodes atomic.Int64
 }
 
 // Record implements obs.Recorder: the registry rides the existing event
 // stream rather than adding solver hooks. Width keeps the minimum ever seen
 // (portfolio members improve independently, so "latest" could regress);
-// nodes and lower bound keep the maximum.
+// nodes and lower bound keep the maximum. Events stamped with a member algo
+// (different from the request's own label — only portfolio racers are) also
+// feed that member's row, so /debug/runs can show who is doing what
+// mid-race.
 func (ri *runInfo) Record(e obs.Event) {
 	switch e.Kind {
 	case obs.KindImprove:
@@ -47,7 +65,38 @@ func (ri *runInfo) Record(e obs.Event) {
 		storeMax(&ri.lower, int64(e.LowerBound))
 	case obs.KindCheckpoint:
 		storeMax(&ri.nodes, e.Nodes)
+	default:
+		return
 	}
+	if e.Algo == "" || e.Algo == ri.algo {
+		return
+	}
+	mg := ri.member(e.Algo)
+	switch e.Kind {
+	case obs.KindImprove:
+		storeMin(&mg.width, int64(e.Width))
+	case obs.KindLowerBound:
+		storeMax(&mg.lower, int64(e.LowerBound))
+	case obs.KindCheckpoint:
+		// Member checkpoints carry the member's attributed node count (its
+		// budget view re-bases the observer), so the row gauges are the
+		// live form of the ledger's per-member costs.
+		storeMax(&mg.nodes, e.Nodes)
+	}
+}
+
+func (ri *runInfo) member(algo string) *memberGauges {
+	ri.memberMu.Lock()
+	defer ri.memberMu.Unlock()
+	if ri.members == nil {
+		ri.members = make(map[string]*memberGauges)
+	}
+	mg := ri.members[algo]
+	if mg == nil {
+		mg = &memberGauges{}
+		ri.members[algo] = mg
+	}
+	return mg
 }
 
 // storeMin lowers a to v unless a already holds a smaller non-zero value
@@ -106,7 +155,15 @@ func (r *inflightRegistry) snapshot() []*runInfo {
 		runs = append(runs, ri)
 	}
 	r.mu.Unlock()
-	sort.Slice(runs, func(i, j int) bool { return runs[i].start.Before(runs[j].start) })
+	// Start-time order with the request id as tie-break: the map iteration
+	// above is randomized, and two requests admitted within one clock tick
+	// must not make consecutive /debug/runs reads disagree on order.
+	sort.Slice(runs, func(i, j int) bool {
+		if runs[i].start.Equal(runs[j].start) {
+			return runs[i].id < runs[j].id
+		}
+		return runs[i].start.Before(runs[j].start)
+	})
 	return runs
 }
 
@@ -126,6 +183,20 @@ type RunStatus struct {
 	Width      int   `json:"width,omitempty"`
 	LowerBound int   `json:"lower_bound,omitempty"`
 	Nodes      int64 `json:"nodes,omitempty"`
+	// Members break a portfolio run's gauges down by racer, sorted by algo
+	// label; absent for serial runs (the top-level gauges are the one
+	// member).
+	Members []MemberStatus `json:"members,omitempty"`
+}
+
+// MemberStatus is one portfolio member's live row inside a RunStatus: the
+// same width/lower-bound/nodes gauges, scoped to that racer's algo-stamped
+// events.
+type MemberStatus struct {
+	Algo       string `json:"algo"`
+	Width      int    `json:"width,omitempty"`
+	LowerBound int    `json:"lower_bound,omitempty"`
+	Nodes      int64  `json:"nodes,omitempty"`
 }
 
 func (ri *runInfo) status(now time.Time) RunStatus {
@@ -143,6 +214,17 @@ func (ri *runInfo) status(now time.Time) RunStatus {
 		st.State = "running"
 		st.WaitedMS = time.Duration(ri.waitNS.Load()).Milliseconds()
 	}
+	ri.memberMu.Lock()
+	for algo, mg := range ri.members {
+		st.Members = append(st.Members, MemberStatus{
+			Algo:       algo,
+			Width:      int(mg.width.Load()),
+			LowerBound: int(mg.lower.Load()),
+			Nodes:      mg.nodes.Load(),
+		})
+	}
+	ri.memberMu.Unlock()
+	sort.Slice(st.Members, func(i, j int) bool { return st.Members[i].Algo < st.Members[j].Algo })
 	return st
 }
 
@@ -229,7 +311,14 @@ func (r *slowRing) snapshot() []*SlowRun {
 	out := make([]*SlowRun, len(r.runs))
 	copy(out, r.runs)
 	r.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].Elapsed > out[j].Elapsed })
+	// Slowest first, request id as tie-break, so repeated /debug/slow reads
+	// of an unchanged ring are byte-identical.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Elapsed == out[j].Elapsed {
+			return out[i].Req < out[j].Req
+		}
+		return out[i].Elapsed > out[j].Elapsed
+	})
 	return out
 }
 

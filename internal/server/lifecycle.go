@@ -59,7 +59,10 @@ type lifecycle struct {
 	s     *Server
 	id    string
 	algo  string
-	start time.Time
+	// remote is the client's network address (http.Request.RemoteAddr),
+	// carried to the access log so lines are attributable to callers.
+	remote string
+	start  time.Time
 	// touched marks phases that ran (a 0ns phase is still a phase; an
 	// unreached one is absent from the timings block).
 	phases  [numPhases]time.Duration
@@ -72,13 +75,14 @@ type lifecycle struct {
 	capture *eventCapture
 }
 
-func (s *Server) newLifecycle(id string) *lifecycle {
+func (s *Server) newLifecycle(id, remote string) *lifecycle {
 	// algo stays empty until parseParams resolves one, so spans emitted for
 	// pre-parse rejections match the envelope (no algorithm ever chosen).
 	lc := &lifecycle{
-		s:     s,
-		id:    id,
-		start: time.Now(),
+		s:      s,
+		id:     id,
+		remote: remote,
+		start:  time.Now(),
 	}
 	if s.slow != nil {
 		lc.capture = &eventCapture{}
@@ -155,12 +159,17 @@ func (lc *lifecycle) waitedMS() int64 {
 type accessRecord struct {
 	Time    string  `json:"time"`
 	Req     string  `json:"req"`
+	Remote  string  `json:"remote,omitempty"`
 	Outcome Outcome `json:"outcome"`
 	Status  int     `json:"status"`
 	Algo    string  `json:"algo,omitempty"`
-	N       int     `json:"n,omitempty"`
-	M       int     `json:"m,omitempty"`
-	Width   int     `json:"width,omitempty"`
+	// Winner is the algo label of the attribution ledger's winning member:
+	// for portfolio runs, which racer actually produced the answer (Algo
+	// says only "portfolio"); for serial runs it repeats Algo.
+	Winner string `json:"winner,omitempty"`
+	N      int    `json:"n,omitempty"`
+	M      int    `json:"m,omitempty"`
+	Width  int    `json:"width,omitempty"`
 	Exact   bool    `json:"exact,omitempty"`
 	Stop    string  `json:"stop,omitempty"`
 	Cached  bool    `json:"cached,omitempty"`
@@ -177,13 +186,14 @@ type accessRecord struct {
 // serialized under accessMu, and each line is a single Write call, so
 // concurrent requests never interleave bytes. Called before the response is
 // sent: a log reader that sees a client's response also sees its line.
-func (s *Server) logAccess(status int, resp *Response, stream bool) {
+func (s *Server) logAccess(lc *lifecycle, status int, resp *Response, stream bool) {
 	if s.cfg.AccessLog == nil {
 		return
 	}
 	rec := accessRecord{
 		Time:      time.Now().UTC().Format(time.RFC3339Nano),
 		Req:       resp.Req,
+		Remote:    lc.remote,
 		Outcome:   resp.Outcome,
 		Status:    status,
 		Algo:      resp.Algo,
@@ -198,6 +208,9 @@ func (s *Server) logAccess(status int, resp *Response, stream bool) {
 		ElapsedMS: resp.ElapsedMS,
 		Timings:   resp.Timings,
 		Error:     resp.Error,
+	}
+	if resp.Attribution != nil {
+		rec.Winner = resp.Attribution.Winner
 	}
 	if resp.Timings != nil {
 		rec.ElapsedMS = resp.Timings.Total.Milliseconds()

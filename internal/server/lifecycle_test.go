@@ -193,8 +193,11 @@ func TestDebugRunsMidSolve(t *testing.T) {
 		if err := json.NewDecoder(hr.Body).Decode(&page); err != nil {
 			return false
 		}
+		// The first improve (the greedy initial incumbent) can precede the
+		// first budget checkpoint, so poll until both gauges are live rather
+		// than asserting nodes off a sample that raced that window.
 		for _, r := range page.Runs {
-			if r.State == "running" && r.Width > 0 {
+			if r.State == "running" && r.Width > 0 && r.Nodes > 0 {
 				seen = r
 				return true
 			}
@@ -203,9 +206,6 @@ func TestDebugRunsMidSolve(t *testing.T) {
 	})
 	if seen.Algo != "bb-ghw" {
 		t.Errorf("in-flight run algo = %q, want bb-ghw", seen.Algo)
-	}
-	if seen.Nodes == 0 {
-		t.Errorf("in-flight run reports no checkpoint nodes: %+v", seen)
 	}
 	<-done
 

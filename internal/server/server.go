@@ -26,6 +26,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -36,6 +37,7 @@ import (
 	"hypertree/internal/core"
 	"hypertree/internal/hypergraph"
 	"hypertree/internal/obs"
+	"hypertree/internal/obs/attr"
 	"hypertree/internal/obs/hist"
 )
 
@@ -191,6 +193,13 @@ type Response struct {
 	Timings *Timings `json:"timings,omitempty"`
 	// Timeline is the anytime best-width trajectory of the run.
 	Timeline []obs.WidthPoint `json:"timeline,omitempty"`
+	// Attribution is the run's per-member resource ledger: what each solver
+	// cost (attributed nodes, CPU estimate, cover-cache traffic) and what it
+	// contributed (incumbent claims, lower bounds, terminal role). Portfolio
+	// runs carry one member per racer; serial runs the degenerate one-member
+	// ledger — one shape either way. Absent on cache hits (a hit spends no
+	// solver work, so there is nothing to account).
+	Attribution *attr.Ledger `json:"attribution,omitempty"`
 	// Tree is the decomposition itself, when the request asked for it
 	// (include=tree).
 	Tree *TreeJSON `json:"tree,omitempty"`
@@ -245,6 +254,48 @@ type Server struct {
 	registry  inflightRegistry
 	slow      *slowRing
 	accessMu  sync.Mutex // serializes Config.AccessLog writes
+
+	// The attribution layer: cumulative per-member cost accounting across
+	// every solved request, folded out of each response's ledger and served
+	// as the hypertree_portfolio_member_* metric families.
+	attrMu    sync.Mutex
+	attrStats map[string]*memberTotals
+}
+
+// memberTotals is one algorithm's cumulative cost-accounting row: wins,
+// incumbent improvements and attributed search nodes across all requests
+// this process served (serial runs count as their one member's totals).
+type memberTotals struct {
+	wins         int64
+	improvements int64
+	nodes        int64
+}
+
+// recordAttribution folds one finished run's ledger into the cumulative
+// per-member totals behind /metrics. Cache hits carry no ledger and pass a
+// nil, which is a no-op — cached answers cost no solver work.
+func (s *Server) recordAttribution(led *attr.Ledger) {
+	if led == nil {
+		return
+	}
+	s.attrMu.Lock()
+	defer s.attrMu.Unlock()
+	if s.attrStats == nil {
+		s.attrStats = make(map[string]*memberTotals)
+	}
+	for i := range led.Members {
+		m := &led.Members[i]
+		t := s.attrStats[m.Algo]
+		if t == nil {
+			t = &memberTotals{}
+			s.attrStats[m.Algo] = t
+		}
+		if m.Role == attr.RoleWinner {
+			t.wins++
+		}
+		t.improvements += int64(len(m.Claims))
+		t.nodes += m.Nodes
+	}
 }
 
 // New builds a Server from cfg.
@@ -418,7 +469,7 @@ func (s *Server) parseParams(r *http.Request) (reqParams, error) {
 func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 	id := fmt.Sprintf("r%06d", s.reqSeq.Add(1))
 	w.Header().Set("X-Request-ID", id)
-	lc := s.newLifecycle(id)
+	lc := s.newLifecycle(id, r.RemoteAddr)
 
 	// Count the request for drain before checking the flag: a request is
 	// either rejected-by-draining or fully waited for — never silently
@@ -462,11 +513,14 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 			cp.Tree = nil
 		}
 		// The hit gets its own fresh timings (the stored entry carries none):
-		// a cached 2ms answer must not report the original 2s solve.
+		// a cached 2ms answer must not report the original 2s solve. The
+		// stored ledger is stripped for the same reason — this request spent
+		// no solver work, so it has no costs to attribute.
+		cp.Attribution = nil
 		cp.Timings = lc.finish(cp.Outcome)
 		cp.WaitedMS = 0
 		s.count(cp.Outcome)
-		s.logAccess(http.StatusOK, &cp, false)
+		s.logAccess(lc, http.StatusOK, &cp, false)
 		s.writeJSON(w, http.StatusOK, &cp)
 		return
 	}
@@ -568,6 +622,9 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 		cp := *resp
 		cp.Req = ""
 		cp.Cached = false
+		// The ledger accounts one run's work; replaying it on later hits
+		// would double-count costs, so stored entries carry none.
+		cp.Attribution = nil
 		if cp.Tree == nil {
 			cp.Tree = treeJSON(h, d)
 		}
@@ -577,6 +634,7 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 
 	resp.Timings = lc.finish(resp.Outcome)
 	resp.WaitedMS = lc.waitedMS()
+	s.recordAttribution(resp.Attribution)
 	s.offerSlow(lc, resp)
 
 	s.count(resp.Outcome)
@@ -587,7 +645,7 @@ func (s *Server) handleDecompose(w http.ResponseWriter, r *http.Request) {
 	case OutcomeRejected:
 		status = http.StatusUnprocessableEntity
 	}
-	s.logAccess(status, resp, sse != nil)
+	s.logAccess(lc, status, resp, sse != nil)
 	if sse != nil {
 		sse.finish(resp)
 		return
@@ -664,6 +722,7 @@ func (s *Server) buildResponse(id string, p reqParams, h *hypergraph.Hypergraph,
 	if d.Stats != nil {
 		resp.Timeline = d.Stats.Snapshot().Timeline
 	}
+	resp.Attribution = d.Ledger
 	switch {
 	case d.Interrupted:
 		resp.Outcome = OutcomeDegraded
@@ -763,7 +822,7 @@ func (s *Server) reject(w http.ResponseWriter, lc *lifecycle, status int, msg st
 	if retrySeconds > 0 {
 		w.Header().Set("Retry-After", strconv.Itoa(retrySeconds))
 	}
-	s.logAccess(status, resp, false)
+	s.logAccess(lc, status, resp, false)
 	s.writeJSON(w, status, resp)
 }
 
@@ -887,11 +946,55 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(&b, "# HELP hypertree_daemon_result_cache_misses Exact-result cache misses.\n# TYPE hypertree_daemon_result_cache_misses counter\nhypertree_daemon_result_cache_misses %d\n", cs.Misses)
 	fmt.Fprintf(&b, "# HELP hypertree_daemon_result_cache_evictions Exact-result cache FIFO evictions.\n# TYPE hypertree_daemon_result_cache_evictions counter\nhypertree_daemon_result_cache_evictions %d\n", cs.Evictions)
 	fmt.Fprintf(&b, "# HELP hypertree_daemon_result_cache_size Exact-result cache resident entries.\n# TYPE hypertree_daemon_result_cache_size gauge\nhypertree_daemon_result_cache_size %d\n", cs.Size)
+	s.writePortfolioMetrics(&b)
 	s.writeLatencyMetrics(&b)
 	w.Write(b.Bytes())
 	if err := s.counters.WriteOpenMetrics(w); err != nil {
 		// The scrape connection broke mid-write; nothing to clean up.
 		return
+	}
+}
+
+// writePortfolioMetrics renders the cumulative per-member attribution
+// families: wins, incumbent improvements and attributed search nodes as
+// counters, plus each member's fraction of all attributed nodes as a gauge.
+// Labels come out sorted so consecutive scrapes are byte-identical when
+// nothing changed; the HELP/TYPE headers are emitted even before the first
+// solved run, so the families are announced from the first scrape.
+func (s *Server) writePortfolioMetrics(b *bytes.Buffer) {
+	type row struct {
+		algo string
+		t    memberTotals
+	}
+	s.attrMu.Lock()
+	rows := make([]row, 0, len(s.attrStats))
+	var totalNodes int64
+	for algo, t := range s.attrStats {
+		rows = append(rows, row{algo, *t})
+		totalNodes += t.nodes
+	}
+	s.attrMu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].algo < rows[j].algo })
+
+	fmt.Fprintf(b, "# HELP hypertree_portfolio_member_wins_total Runs whose returned decomposition this member produced (serial runs count for their one member).\n# TYPE hypertree_portfolio_member_wins_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(b, "hypertree_portfolio_member_wins_total{algo=%q} %d\n", r.algo, r.t.wins)
+	}
+	fmt.Fprintf(b, "# HELP hypertree_portfolio_member_improvements_total Incumbent improvements claimed by this member across all runs.\n# TYPE hypertree_portfolio_member_improvements_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(b, "hypertree_portfolio_member_improvements_total{algo=%q} %d\n", r.algo, r.t.improvements)
+	}
+	fmt.Fprintf(b, "# HELP hypertree_portfolio_member_nodes_total Search nodes attributed to this member across all runs.\n# TYPE hypertree_portfolio_member_nodes_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(b, "hypertree_portfolio_member_nodes_total{algo=%q} %d\n", r.algo, r.t.nodes)
+	}
+	fmt.Fprintf(b, "# HELP hypertree_portfolio_member_node_share This member's fraction of all attributed search nodes.\n# TYPE hypertree_portfolio_member_node_share gauge\n")
+	for _, r := range rows {
+		share := 0.0
+		if totalNodes > 0 {
+			share = float64(r.t.nodes) / float64(totalNodes)
+		}
+		fmt.Fprintf(b, "hypertree_portfolio_member_node_share{algo=%q} %g\n", r.algo, share)
 	}
 }
 

@@ -41,6 +41,12 @@ type Engine struct {
 	hits     atomic.Int64
 	misses   atomic.Int64
 
+	// parent makes this engine an attributed member view (see Member): the
+	// hypergraph, edge bitsets, memo cache and recorder all belong to the
+	// parent, while hits/misses count only the queries issued through the
+	// view. Immutable after Member; nil on a root engine.
+	parent *Engine
+
 	// rec, when non-nil, receives sampled cover_cache events (cumulative
 	// counter snapshots every sampleEvery queries). Set via SetRecorder
 	// before the engine is shared across goroutines; the disabled cost on
@@ -75,6 +81,44 @@ func NewEngine(h *hypergraph.Hypergraph, cacheCapacity int) *Engine {
 		eng.cache = newCoverCache(cacheCapacity)
 	}
 	return eng
+}
+
+// Member returns an attributed view of the engine: queries through the view
+// share the root engine's edge bitsets, memo cache and sampled recorder —
+// so a member's query can still hit an entry a sibling populated — but the
+// view's CacheStats counts only the queries issued through it. Hits and
+// misses through a view also land on the root's counters, so the root's
+// totals remain the global truth. Member of a member attaches to the same
+// root (views do not nest).
+func (e *Engine) Member() *Engine {
+	r := e.root()
+	return &Engine{h: r.h, nv: r.nv, edgeBits: r.edgeBits, cache: r.cache, parent: r}
+}
+
+// root resolves the engine that owns the shared state: itself for a root
+// engine, the shared root for a member view.
+func (e *Engine) root() *Engine {
+	if e.parent != nil {
+		return e.parent
+	}
+	return e
+}
+
+// addHit counts one cache hit on this engine and, for a member view, on the
+// shared root too — the pairing that keeps member counts summing to the
+// root's totals.
+func (e *Engine) addHit() {
+	e.hits.Add(1)
+	if e.parent != nil {
+		e.parent.hits.Add(1)
+	}
+}
+
+func (e *Engine) addMiss() {
+	e.misses.Add(1)
+	if e.parent != nil {
+		e.parent.misses.Add(1)
+	}
 }
 
 // Hypergraph returns the hypergraph the engine covers bags of.
@@ -125,24 +169,29 @@ func (e *Engine) SetRecorderAt(rec obs.Recorder, sampleEvery int64, start time.T
 	if sampleEvery <= 0 {
 		sampleEvery = DefaultCoverSampleEvery
 	}
-	e.rec = rec
-	e.sampleEvery = sampleEvery
-	e.recStart = start
+	r := e.root()
+	r.rec = rec
+	r.sampleEvery = sampleEvery
+	r.recStart = start
 }
 
 // observe counts one cover query against the sampling interval and emits a
 // cover_cache snapshot when it completes. The disabled path is the nil
-// check alone; BenchmarkNoopRecorder guards its cost.
+// check alone; BenchmarkNoopRecorder guards its cost. Member views sample
+// against the root's query counter and emit the root's global snapshot, so
+// a portfolio's trace cadence is independent of how the queries split
+// across members.
 func (e *Engine) observe() {
-	if e.rec == nil {
+	r := e.root()
+	if r.rec == nil {
 		return
 	}
-	if e.queries.Add(1)%e.sampleEvery != 0 {
+	if r.queries.Add(1)%r.sampleEvery != 0 {
 		return
 	}
-	s := e.CacheStats()
-	e.rec.Record(obs.Event{
-		Kind: obs.KindCoverCache, T: time.Since(e.recStart),
+	s := r.CacheStats()
+	r.rec.Record(obs.Event{
+		Kind: obs.KindCoverCache, T: time.Since(r.recStart),
 		CacheHits: s.Hits, CacheMisses: s.Misses,
 		CacheEvictions: s.Evictions, CacheSize: s.Size,
 	})
@@ -221,10 +270,10 @@ func (e *Engine) GreedySize(sc *Scratch, bag []int, rng *rand.Rand) int {
 	if e.cache != nil {
 		sc.key = sc.bag.AppendKey(sc.key[:0])
 		if ent, ok := e.cache.lookup(sc.key); ok && ent.greedy != sizeUnknown {
-			e.hits.Add(1)
+			e.addHit()
 			return int(ent.greedy)
 		}
-		e.misses.Add(1)
+		e.addMiss()
 	}
 	size := e.greedySizeUncached(sc, rng)
 	if e.cache != nil {
@@ -291,18 +340,18 @@ func (e *Engine) ExactSizeCapped(sc *Scratch, bag []int, cap int) int {
 		sc.key = sc.bag.AppendKey(sc.key[:0])
 		if ent, ok := e.cache.lookup(sc.key); ok {
 			if ent.exact != sizeUnknown {
-				e.hits.Add(1)
+				e.addHit()
 				if ent.exact >= 0 && cap > 0 && int(ent.exact) >= cap {
 					return cap
 				}
 				return int(ent.exact)
 			}
 			if cap > 0 && ent.exactLB != sizeUnknown && int(ent.exactLB) >= cap {
-				e.hits.Add(1)
+				e.addHit()
 				return cap
 			}
 		}
-		e.misses.Add(1)
+		e.addMiss()
 	}
 	size := e.exactSizeUncached(sc, cap)
 	if e.cache != nil {

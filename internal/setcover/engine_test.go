@@ -281,3 +281,59 @@ func TestEngineConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// Member views attribute hits/misses to the member that queried while the
+// root keeps the global truth, and views share the root's memo cache.
+func TestEngineMemberAttribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	h := randomHypergraph(rng, 24, 30, 4)
+	root := NewEngine(h, -1)
+	a, b := root.Member(), root.Member()
+	if bb := b.Member(); bb.parent != root {
+		t.Fatal("Member of a member must attach to the root")
+	}
+
+	bag := randomBag(rng, 24)
+	sca, scb := a.NewScratch(), b.NewScratch()
+	// First query through a misses; the identical query through b must hit
+	// the shared cache — attributed to b.
+	a.GreedySize(sca, bag, nil)
+	b.GreedySize(scb, bag, nil)
+	sa, sb := a.CacheStats(), b.CacheStats()
+	if sa.Misses != 1 || sa.Hits != 0 {
+		t.Fatalf("member a stats = %+v, want 1 miss", sa)
+	}
+	if sb.Hits != 1 || sb.Misses != 0 {
+		t.Fatalf("member b stats = %+v, want 1 shared-cache hit", sb)
+	}
+
+	// Hammer concurrently; member counters must sum to the root's.
+	var wg sync.WaitGroup
+	for _, m := range []*Engine{a, b} {
+		wg.Add(1)
+		go func(m *Engine) {
+			defer wg.Done()
+			sc := m.NewScratch()
+			r := rand.New(rand.NewSource(int64(len(m.edgeBits))))
+			for i := 0; i < 400; i++ {
+				bag := randomBag(r, 24)
+				m.GreedySize(sc, bag, nil)
+				m.ExactSizeCapped(sc, bag, 3)
+			}
+		}(m)
+	}
+	wg.Wait()
+	sa, sb = a.CacheStats(), b.CacheStats()
+	sr := root.CacheStats()
+	if sa.Hits+sb.Hits != sr.Hits || sa.Misses+sb.Misses != sr.Misses {
+		t.Fatalf("member traffic (%d+%d hits, %d+%d misses) does not sum to root (%d hits, %d misses)",
+			sa.Hits, sb.Hits, sa.Misses, sb.Misses, sr.Hits, sr.Misses)
+	}
+	if sr.Hits+sr.Misses == 0 {
+		t.Fatal("no cache traffic recorded at all")
+	}
+	// Shared-cache metadata is visible through views.
+	if sa.Size != sr.Size {
+		t.Fatalf("view cache size %d != root %d", sa.Size, sr.Size)
+	}
+}
