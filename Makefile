@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race check par-smoke portfolio-smoke daemon-smoke latency-smoke attr-smoke bench-smoke bench-diff trace-smoke tracestat-smoke fuzz clean
+.PHONY: all build vet staticcheck test race check par-smoke portfolio-smoke daemon-smoke latency-smoke query-smoke attr-smoke bench-smoke bench-diff trace-smoke tracestat-smoke fuzz clean
 
 all: check
 
@@ -30,7 +30,7 @@ race:
 # test suite under the race detector (which subsumes plain `go test`), a
 # smoke run of the evaluator benchmarks with a regression diff against the
 # committed report, and trace emission + analysis smoke runs.
-check: vet staticcheck build race par-smoke portfolio-smoke daemon-smoke latency-smoke attr-smoke bench-smoke bench-diff trace-smoke tracestat-smoke
+check: vet staticcheck build race par-smoke portfolio-smoke daemon-smoke latency-smoke query-smoke attr-smoke bench-smoke bench-diff trace-smoke tracestat-smoke
 
 # par-smoke is the quick parallel-correctness gate: one mid-size instance
 # through parallel BB-ghw and one through parallel det-k-decomp, Workers=4,
@@ -66,6 +66,13 @@ daemon-smoke:
 # the daemon trace prints a per-phase latency breakdown.
 latency-smoke:
 	$(GO) test -race -count=1 -run 'TestLatencySmoke' ./cmd/decomposed/
+
+# query-smoke is the compiled-plan serving gate: the daemon's /query
+# endpoint end to end over a real port — CSP in, compiled join-tree plan,
+# solve/count/enumerate answers out, plan-cache hit on the retry, and the
+# hypertree_query_* metric families populated.
+query-smoke:
+	$(GO) test -race -count=1 -run 'TestQuerySmoke' ./cmd/decomposed/
 
 # attr-smoke is the cost-accounting gate: a portfolio request through the
 # live daemon must come back with a balanced attribution ledger in its

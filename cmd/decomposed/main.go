@@ -43,6 +43,7 @@ func main() {
 		maxTimeout = flag.Duration("max-timeout", 0, "ceiling on the per-request budget a client can ask for (0 = server default)")
 		maxNodes   = flag.Int64("max-nodes", 0, "ceiling on the per-request search-node budget (0 = unlimited)")
 		cacheCap   = flag.Int("cache", 0, "exact-result cache capacity in entries (0 = default, -1 = disabled)")
+		planCap    = flag.Int("plan-cache", 0, "compiled-plan cache capacity in entries for /query (0 = default, -1 = disabled)")
 		algo       = flag.String("algo", "", "default algorithm when the request names none (empty = portfolio)")
 		tracePath  = flag.String("trace", "", "append every served run's instrumentation events as JSONL to this file")
 		accessPath = flag.String("access-log", "", "append one JSON line per finished request to this file (- = stdout)")
@@ -83,15 +84,16 @@ func main() {
 	}
 
 	cfg := server.Config{
-		Workers:         core.ClampWorkers(*workers),
-		QueueDepth:      *queue,
-		MaxRequestBytes: *maxBytes,
-		DefaultTimeout:  *timeout,
-		MaxTimeout:      *maxTimeout,
-		MaxNodes:        *maxNodes,
-		CacheCapacity:   *cacheCap,
-		Algorithm:       defaultAlgo,
-		SlowN:           *slowN,
+		Workers:           core.ClampWorkers(*workers),
+		QueueDepth:        *queue,
+		MaxRequestBytes:   *maxBytes,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		MaxNodes:          *maxNodes,
+		CacheCapacity:     *cacheCap,
+		PlanCacheCapacity: *planCap,
+		Algorithm:         defaultAlgo,
+		SlowN:             *slowN,
 	}
 	if trace != nil {
 		// Assign only a live writer: a nil *JSONLWriter boxed into the

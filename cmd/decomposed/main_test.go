@@ -522,3 +522,102 @@ func TestLatencySmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestQuerySmoke is the process-boundary gate for the compiled join-tree
+// query endpoint (the Makefile's query-smoke target): start the daemon with
+// a bounded plan cache, POST a CSP with a mixed query batch, assert the
+// hand-checkable answers, verify the second request serves from the plan
+// cache, and confirm the hypertree_query_* metric families are populated.
+func TestQuerySmoke(t *testing.T) {
+	bin := buildDaemon(t)
+	d := startDaemon(t, bin, "-workers", "2", "-plan-cache", "8", "-drain-grace", "5s")
+
+	// A 3-variable boolean not-equal path: exactly two solutions,
+	// (0,1,0) and (1,0,1).
+	body := []byte(`{
+		"csp": {
+			"num_vars": 3,
+			"domain": [0, 1],
+			"var_names": ["x0", "x1", "x2"],
+			"constraints": [
+				{"scope": [0, 1], "tuples": [[0, 1], [1, 0]]},
+				{"scope": [1, 2], "tuples": [[0, 1], [1, 0]]}
+			]
+		},
+		"queries": [
+			{"op": "count"},
+			{"op": "solve", "assign": {"x0": 0}},
+			{"op": "enumerate", "limit": 10}
+		]
+	}`)
+	postQuery := func() map[string]any {
+		t.Helper()
+		hr, err := http.Post(d.url+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer hr.Body.Close()
+		if hr.StatusCode != 200 {
+			t.Fatalf("POST /query: status %d", hr.StatusCode)
+		}
+		var resp map[string]any
+		if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := postQuery()
+	results, _ := resp["results"].([]any)
+	if len(results) != 3 {
+		t.Fatalf("results = %v, want 3 entries", resp["results"])
+	}
+	count := results[0].(map[string]any)
+	if count["count"] != float64(2) {
+		t.Errorf("count = %v, want 2", count["count"])
+	}
+	solve := results[1].(map[string]any)
+	if sat, _ := solve["sat"].(bool); !sat {
+		t.Errorf("pinned solve unsat: %v", solve)
+	}
+	enum := results[2].(map[string]any)
+	if sols, _ := enum["solutions"].([]any); len(sols) != 2 {
+		t.Errorf("enumerate = %v, want 2 solutions", enum["solutions"])
+	}
+	plan, _ := resp["plan"].(map[string]any)
+	if plan == nil || plan["cached"] == true {
+		t.Fatalf("first plan = %v, want a fresh compile", plan)
+	}
+
+	// Decompose once, serve many: the retry hits the plan cache.
+	resp2 := postQuery()
+	plan2, _ := resp2["plan"].(map[string]any)
+	if plan2 == nil || plan2["cached"] != true {
+		t.Fatalf("second plan = %v, want a cache hit", plan2)
+	}
+
+	hr, err := http.Get(d.url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	for _, want := range []string{
+		"hypertree_query_plan_cache_hits 1",
+		"hypertree_query_plan_cache_misses 1",
+		`hypertree_query_queries_total{op="count"} 2`,
+		"hypertree_query_request_latency_seconds",
+		"hypertree_query_compile_seconds",
+	} {
+		if !bytes.Contains(metrics, []byte(want)) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := d.wait(t); code != 0 {
+		t.Fatalf("SIGTERM drain exited %d, want 0\nstdout tail:\n%s", code, d.tail.String())
+	}
+}

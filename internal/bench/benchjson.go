@@ -77,6 +77,12 @@ type BenchEntry struct {
 	CacheHits      int64 `json:"cache_hits,omitempty"`
 	CacheMisses    int64 `json:"cache_misses,omitempty"`
 	CacheEvictions int64 `json:"cache_evictions,omitempty"`
+	// Served-latency percentiles and throughput, for the query-lat-* modes
+	// only (each of their Iterations queries is timed individually).
+	P50NS float64 `json:"p50_ns,omitempty"`
+	P95NS float64 `json:"p95_ns,omitempty"`
+	P99NS float64 `json:"p99_ns,omitempty"`
+	QPS   float64 `json:"qps,omitempty"`
 }
 
 // BenchReport is the schema of BENCH_ghw.json.
@@ -86,8 +92,10 @@ type BenchReport struct {
 	Unit string `json:"unit"`
 	// SearchUnit documents the whole-search modes' op: one node-budgeted
 	// BB-ghw run (bb-*) or det-k width-k decision (detk-*).
-	SearchUnit string       `json:"search_unit,omitempty"`
-	Entries    []BenchEntry `json:"entries"`
+	SearchUnit string `json:"search_unit,omitempty"`
+	// QueryUnit documents the query-serving modes' op (see queryserve.go).
+	QueryUnit string       `json:"query_unit,omitempty"`
+	Entries   []BenchEntry `json:"entries"`
 }
 
 // RunBenchJSON benchmarks the given registry instances (nil selects
@@ -184,6 +192,10 @@ func RunBenchJSON(instances []string, logf func(format string, args ...interface
 			})
 			logf("BenchmarkSearch/%s/%s\t%s\n", name, mode.name, r.String()+"\t"+r.MemString())
 		}
+	}
+	report.QueryUnit = "query-compile: one engine.Compile; query-ref: one pinned SolveFromTD; query-serial/par/lat-*: one pinned Plan.Solve"
+	if err := runQueryBench(report, logf); err != nil {
+		return nil, err
 	}
 	return report, nil
 }
@@ -340,6 +352,20 @@ func CheckBenchJSON(path string) error {
 				if e.Width != eng.Width {
 					return fmt.Errorf("bench: %s: engine width %d != %s width %d", inst, eng.Width, mode, e.Width)
 				}
+			}
+		}
+		// The compiled-plan serving claim: answering a pinned query from the
+		// plan must beat the per-query SolveFromTD baseline by at least 10x,
+		// or the engine is not earning its compile step. The real margin is
+		// orders of magnitude, so the gate has ample noise headroom.
+		if ref, okR := ms["query-ref"]; okR {
+			serial, okS := ms["query-serial"]
+			if !okS {
+				return fmt.Errorf("bench: %s: query-ref has no query-serial entry", inst)
+			}
+			if serial.NsPerOp*10 > ref.NsPerOp {
+				return fmt.Errorf("bench: %s: compiled plan is only %.1fx faster than per-query SolveFromTD (want >= 10x)",
+					inst, ref.NsPerOp/serial.NsPerOp)
 			}
 		}
 		// Every parallel search mode must come with its serial baseline, or

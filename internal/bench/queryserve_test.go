@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestQueryBenchSetupAgreesWithReference pins the query benchmark's two
+// measured paths to each other on a real registry instance: the compiled
+// plan and the per-query SolveFromTD reference must return identical
+// assignments for the canonical workload (both sides are deterministic, so
+// exact equality — the same guarantee the engine's own differential tests
+// establish on random CSPs, here on the benchmark's instances).
+func TestQueryBenchSetupAgreesWithReference(t *testing.T) {
+	s, err := newQueryBenchSetup("adder_25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cu := s.plan.NewCursor()
+	for i := 0; i < 64; i++ {
+		pins := s.queryPin(i)
+		want := s.refSolve(pins)
+		got, ok := cu.Solve(pins)
+		if ok != (want != nil) {
+			t.Fatalf("query %d: sat = %v, reference %v", i, ok, want != nil)
+		}
+		if ok && !reflect.DeepEqual(append([]int(nil), got...), want) {
+			t.Fatalf("query %d: plan %v != reference %v", i, got, want)
+		}
+	}
+}
+
+// TestMeasureQueryLatency sanity-checks the percentile math on a tiny batch.
+func TestMeasureQueryLatency(t *testing.T) {
+	s, err := newQueryBenchSetup("adder_25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := measureQueryLatency(s, 100)
+	if e.Iterations != 100 || e.NsPerOp <= 0 || e.QPS <= 0 {
+		t.Fatalf("entry = %+v, want positive measurements over 100 queries", e)
+	}
+	if !(e.P50NS <= e.P95NS && e.P95NS <= e.P99NS) {
+		t.Fatalf("percentiles not monotone: P50 %v P95 %v P99 %v", e.P50NS, e.P95NS, e.P99NS)
+	}
+}

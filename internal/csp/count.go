@@ -18,17 +18,7 @@ func CountFromTD(c *CSP, td *decomp.TreeDecomposition) int {
 		panic(fmt.Sprintf("csp: invalid tree decomposition: %v", err))
 	}
 	// Place constraints and enumerate bag tables exactly as SolveFromTD.
-	placed := make([][]int, len(td.Bags))
-	for ci := range c.Constraints {
-		node := -1
-		for i, bag := range td.Bags {
-			if containsAll(bag, c.Constraints[ci].Scope) {
-				node = i
-				break
-			}
-		}
-		placed[node] = append(placed[node], ci)
-	}
+	placed := PlaceConstraints(c, td.Bags)
 	tables := make([]*Table, len(td.Bags))
 	for i, bag := range td.Bags {
 		tables[i] = enumerateBag(c, bag, placed[i])

@@ -105,6 +105,14 @@ func (c *CSP) Hypergraph() *hypergraph.Hypergraph {
 	return h
 }
 
+// ConstraintTable materializes constraint ci as a table, dropping tuples
+// with values outside the variables' domains (domains act as implicit unary
+// constraints). This is the relation the decomposition solvers and the
+// compiled query engine (internal/csp/engine) start from.
+func (c *CSP) ConstraintTable(ci int) *Table {
+	return domainTable(c, &c.Constraints[ci])
+}
+
 // Consistent reports whether the complete assignment satisfies every
 // constraint.
 func (c *CSP) Consistent(assignment []Value) bool {

@@ -17,17 +17,7 @@ func EnumerateFromTD(c *CSP, td *decomp.TreeDecomposition, limit int) [][]Value 
 	if err := td.Validate(c.Hypergraph()); err != nil {
 		panic(fmt.Sprintf("csp: invalid tree decomposition: %v", err))
 	}
-	placed := make([][]int, len(td.Bags))
-	for ci := range c.Constraints {
-		node := -1
-		for i, bag := range td.Bags {
-			if containsAll(bag, c.Constraints[ci].Scope) {
-				node = i
-				break
-			}
-		}
-		placed[node] = append(placed[node], ci)
-	}
+	placed := PlaceConstraints(c, td.Bags)
 	tables := make([]*Table, len(td.Bags))
 	for i, bag := range td.Bags {
 		tables[i] = enumerateBag(c, bag, placed[i])

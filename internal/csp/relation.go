@@ -1,14 +1,15 @@
 package csp
 
-import (
-	"sort"
-	"strconv"
-	"strings"
-)
+import "sort"
 
 // Table is a relation with named columns: Vars lists the variable index of
 // each column, Rows the tuples. The relational operators below are the ones
 // Acyclic Solving needs (thesis §2.2.3): natural join, semijoin, projection.
+//
+// The operators hash rows by uint64 tuple hashes (see rowIndex) instead of
+// the original string keys; the string-keyed implementations are kept in
+// relation_ref.go as differential-test references. All operators preserve
+// input row order, so the two implementations produce identical tables.
 type Table struct {
 	Vars []int
 	Rows [][]Value
@@ -30,14 +31,85 @@ func sharedColumns(a, b *Table) (ai, bi []int) {
 	return
 }
 
-// key encodes the values of row at the given columns for hashing.
-func key(row []Value, cols []int) string {
-	var sb strings.Builder
+// hashRow mixes the values of row at the given columns into a uint64. The
+// hash is only a bucket discriminator: every probe re-verifies candidate
+// rows value-by-value, so a collision costs a comparison, never a wrong
+// answer (see rowIndex.matches).
+func hashRow(row []Value, cols []int) uint64 {
+	h := uint64(14695981039346656037)
 	for _, c := range cols {
-		sb.WriteString(strconv.Itoa(row[c]))
-		sb.WriteByte('|')
+		h ^= uint64(row[c])
+		h *= 1099511628211
 	}
-	return sb.String()
+	// Final avalanche so low-entropy value sets still spread over buckets.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// rowIndex buckets the rows of one table by the uint64 hash of their values
+// at a fixed column set. Buckets keep insertion (row) order, and every probe
+// verifies candidates exactly, so hash collisions degrade to linear scans of
+// one bucket instead of producing phantom matches.
+type rowIndex struct {
+	rows [][]Value
+	cols []int
+	hash func(row []Value, cols []int) uint64
+	m    map[uint64][]int32
+}
+
+// hashRowHook is the hash the relational operators use. Tests swap in
+// adversarial hashes (e.g. a constant) to prove correctness never depends on
+// hash quality; production code must not reassign it.
+var hashRowHook = hashRow
+
+// newRowIndex indexes rows on cols with the production hash. Tests inject
+// adversarial hash functions (e.g. a constant) through newRowIndexFunc or by
+// swapping hashRowHook.
+func newRowIndex(rows [][]Value, cols []int) *rowIndex {
+	return newRowIndexFunc(rows, cols, hashRowHook)
+}
+
+func newRowIndexFunc(rows [][]Value, cols []int, hash func([]Value, []int) uint64) *rowIndex {
+	ix := &rowIndex{rows: rows, cols: cols, hash: hash, m: make(map[uint64][]int32, len(rows))}
+	for i, r := range rows {
+		h := hash(r, cols)
+		ix.m[h] = append(ix.m[h], int32(i))
+	}
+	return ix
+}
+
+// matches reports whether indexed row ri agrees with probe at probeCols
+// (parallel to the index's cols) — the exact comparison behind every hash
+// bucket hit.
+func (ix *rowIndex) matches(ri int32, probe []Value, probeCols []int) bool {
+	row := ix.rows[ri]
+	for k, c := range ix.cols {
+		if row[c] != probe[probeCols[k]] {
+			return false
+		}
+	}
+	return true
+}
+
+// probe calls fn for each indexed row matching probe at probeCols, in row
+// order. fn returning false stops the scan early.
+func (ix *rowIndex) probe(probe []Value, probeCols []int, fn func(ri int32) bool) {
+	for _, ri := range ix.m[ix.hash(probe, probeCols)] {
+		if ix.matches(ri, probe, probeCols) {
+			if !fn(ri) {
+				return
+			}
+		}
+	}
+}
+
+// contains reports whether any indexed row matches probe at probeCols.
+func (ix *rowIndex) contains(probe []Value, probeCols []int) bool {
+	found := false
+	ix.probe(probe, probeCols, func(int32) bool { found = true; return false })
+	return found
 }
 
 // Join computes the natural join a ⋈ b.
@@ -56,44 +128,41 @@ func Join(a, b *Table) *Table {
 			extraB = append(extraB, j)
 		}
 	}
-	// Hash rows of b by shared key.
-	index := make(map[string][][]Value)
-	for _, rb := range b.Rows {
-		k := key(rb, bi)
-		index[k] = append(index[k], rb)
-	}
+	ix := newRowIndex(b.Rows, bi)
 	out := &Table{Vars: outVars}
 	for _, ra := range a.Rows {
-		for _, rb := range index[key(ra, ai)] {
+		ix.probe(ra, ai, func(ri int32) bool {
+			rb := b.Rows[ri]
 			row := make([]Value, 0, len(outVars))
 			row = append(row, ra...)
 			for _, j := range extraB {
 				row = append(row, rb[j])
 			}
 			out.Rows = append(out.Rows, row)
-		}
+			return true
+		})
 	}
 	return out
 }
 
 // Semijoin computes a ⋉ b: the rows of a that join with at least one row of
-// b. If a and b share no variables, a is returned unchanged when b is
-// nonempty and emptied when b is empty (the join would be a cross product).
+// b. If a and b share no variables, the join would be a cross product, so
+// the result is all of a's rows when b is nonempty and no rows when b is
+// empty. The returned table is always a fresh *Table that shares no slice
+// headers with a — callers may append to or filter the result's Rows without
+// corrupting a (the row slices themselves stay shared, as in every branch).
 func Semijoin(a, b *Table) *Table {
 	ai, bi := sharedColumns(a, b)
 	if len(ai) == 0 {
 		if len(b.Rows) == 0 {
 			return &Table{Vars: a.Vars}
 		}
-		return a
+		return &Table{Vars: a.Vars, Rows: append([][]Value(nil), a.Rows...)}
 	}
-	keys := make(map[string]struct{}, len(b.Rows))
-	for _, rb := range b.Rows {
-		keys[key(rb, bi)] = struct{}{}
-	}
+	ix := newRowIndex(b.Rows, bi)
 	out := &Table{Vars: a.Vars}
 	for _, ra := range a.Rows {
-		if _, ok := keys[key(ra, ai)]; ok {
+		if ix.contains(ra, ai) {
 			out.Rows = append(out.Rows, ra)
 		}
 	}
@@ -118,28 +187,38 @@ func Project(a *Table, vars []int) *Table {
 		}
 	}
 	out := &Table{Vars: outVars}
-	seen := make(map[string]struct{})
+	// Dedup by hashing the projected columns of the source rows directly;
+	// candidates with equal hashes are verified against the already-emitted
+	// row, so collisions cannot drop a distinct row.
+	seen := make(map[uint64][]int32)
 	for _, r := range a.Rows {
+		h := hashRowHook(r, cols)
+		dup := false
+		for _, oi := range seen[h] {
+			prev := out.Rows[oi]
+			same := true
+			for k := range cols {
+				if prev[k] != r[cols[k]] {
+					same = false
+					break
+				}
+			}
+			if same {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
 		row := make([]Value, len(cols))
 		for i, c := range cols {
 			row[i] = r[c]
 		}
-		k := key(row, allCols(len(row)))
-		if _, dup := seen[k]; dup {
-			continue
-		}
-		seen[k] = struct{}{}
+		seen[h] = append(seen[h], int32(len(out.Rows)))
 		out.Rows = append(out.Rows, row)
 	}
 	return out
-}
-
-func allCols(n int) []int {
-	cols := make([]int, n)
-	for i := range cols {
-		cols[i] = i
-	}
-	return cols
 }
 
 // TableOf materializes a constraint as a table.

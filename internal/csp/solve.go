@@ -53,6 +53,41 @@ func SolveAcyclic(c *CSP, jt *hypergraph.JoinTree) []Value {
 	return freeAssignment(c, assignment, assigned)
 }
 
+// PlaceConstraints assigns each constraint to the first node (in node order)
+// whose bag contains its scope, returning node -> constraint indices. Every
+// TD/GHD-based solver and the compiled query engine (internal/csp/engine)
+// share this placement so their bag tables — and therefore their answers —
+// agree exactly. Bags must cover every scope (guaranteed by Validate).
+func PlaceConstraints(c *CSP, bags [][]int) [][]int {
+	placed := make([][]int, len(bags))
+	for ci := range c.Constraints {
+		node := -1
+		for i, bag := range bags {
+			if containsAll(bag, c.Constraints[ci].Scope) {
+				node = i
+				break
+			}
+		}
+		placed[node] = append(placed[node], ci)
+	}
+	return placed
+}
+
+// BagTable enumerates all assignments of the bag consistent with the given
+// constraints (whose scopes lie inside the bag) — the node subproblem of
+// join-tree clustering, exposed for the compiled query engine.
+func (c *CSP) BagTable(bag []int, constraints []int) *Table {
+	return enumerateBag(c, bag, constraints)
+}
+
+// TopDownOrder returns the tree nodes so that every node precedes its
+// children (root first, then children in BFS layers). All solvers and the
+// compiled engine traverse nodes in exactly this order, which is what makes
+// their greedy picks and enumeration sequences comparable.
+func TopDownOrder(parent []int, root int) []int {
+	return topDownOrder(parent, root)
+}
+
 // SolveFromTD solves an arbitrary CSP from a tree decomposition of its
 // constraint hypergraph using join-tree clustering (thesis §2.4): each
 // decomposition node becomes the subproblem of enumerating all consistent
@@ -63,18 +98,7 @@ func SolveFromTD(c *CSP, td *decomp.TreeDecomposition) []Value {
 	if err := td.Validate(c.Hypergraph()); err != nil {
 		panic(fmt.Sprintf("csp: invalid tree decomposition: %v", err))
 	}
-	// Place each constraint in one node containing its scope.
-	placed := make([][]int, len(td.Bags)) // node -> constraint indices
-	for ci := range c.Constraints {
-		node := -1
-		for i, bag := range td.Bags {
-			if containsAll(bag, c.Constraints[ci].Scope) {
-				node = i
-				break
-			}
-		}
-		placed[node] = append(placed[node], ci)
-	}
+	placed := PlaceConstraints(c, td.Bags)
 	// Solve each node subproblem: all bag assignments consistent with the
 	// constraints placed there.
 	tables := make([]*Table, len(td.Bags))

@@ -16,11 +16,21 @@ import (
 // load balancer produces.
 const DefaultCacheCapacity = 1 << 12
 
+// DefaultPlanCacheCapacity bounds the compiled-plan cache. Plans carry
+// materialized bag tables and hash indexes — orders of magnitude heavier
+// than a Response — so the default is correspondingly smaller: enough for a
+// working set of hot instances, small enough that a scan of one-off CSPs
+// cannot pin unbounded memory.
+const DefaultPlanCacheCapacity = 128
+
 // resultKey is the idempotency key of a decomposition request: a content
 // hash over everything that determines an exact answer — the raw payload
 // bytes, the input format, the algorithm and the seed. Budgets and worker
 // counts are deliberately excluded: they change how long a run takes, never
-// what an *exact* result is, and only exact results are cached.
+// what an *exact* result is, and only exact results are cached. The /query
+// endpoint reuses it for plan keys with format "csp" and the CSP's raw JSON
+// as the payload (the queries array is excluded: it parameterizes runs
+// against the plan, never the plan itself).
 func resultKey(body []byte, format string, algo core.Algorithm, seed int64) string {
 	h := sha256.New()
 	var hdr [8]byte
@@ -34,44 +44,45 @@ func resultKey(body []byte, format string, algo core.Algorithm, seed int64) stri
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
-// maxResultShards bounds the sharding of the result cache — the same
+// maxCacheShards bounds the sharding of the daemon caches — the same
 // lock-striping discipline as the setcover engine's cover cache: enough
 // shards that concurrent handlers do not serialize on one lock, few enough
 // that the per-shard maps stay warm.
-const maxResultShards = 16
+const maxCacheShards = 16
 
-// resultCache is a bounded, sharded map from request content hashes to
-// finished exact responses. Each shard is an independent map with its own
-// FIFO ring; capacities sum to the requested capacity so the total bound is
-// exact while eviction order is only per-shard FIFO. All methods are safe
-// for concurrent use.
-type resultCache struct {
-	shards    []resultShard
+// fifoCache is a bounded, sharded map from content-hash keys to values.
+// Each shard is an independent map with its own FIFO ring; capacities sum to
+// the requested capacity so the total bound is exact while eviction order is
+// only per-shard FIFO. All methods are safe for concurrent use. The result
+// cache (hash -> *Response) and the compiled-plan cache (hash ->
+// *cachedPlan) are the two instantiations.
+type fifoCache[V any] struct {
+	shards    []fifoShard[V]
 	mask      uint64
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
 }
 
-type resultShard struct {
+type fifoShard[V any] struct {
 	mu       sync.Mutex
 	capacity int
-	m        map[string]*Response
+	m        map[string]V
 	ring     []string
 	next     int
 }
 
-// newResultCache builds a cache bounded to capacity entries; nil (a valid,
+// newFIFOCache builds a cache bounded to capacity entries; nil (a valid,
 // always-missing cache) when capacity is not positive.
-func newResultCache(capacity int) *resultCache {
+func newFIFOCache[V any](capacity int) *fifoCache[V] {
 	if capacity <= 0 {
 		return nil
 	}
-	ns := maxResultShards
+	ns := maxCacheShards
 	for ns > 1 && ns > capacity {
 		ns >>= 1
 	}
-	c := &resultCache{shards: make([]resultShard, ns), mask: uint64(ns - 1)}
+	c := &fifoCache[V]{shards: make([]fifoShard[V], ns), mask: uint64(ns - 1)}
 	per, extra := capacity/ns, capacity%ns
 	for i := range c.shards {
 		sh := &c.shards[i]
@@ -79,14 +90,14 @@ func newResultCache(capacity int) *resultCache {
 		if i < extra {
 			sh.capacity++
 		}
-		sh.m = make(map[string]*Response, sh.capacity/4)
+		sh.m = make(map[string]V, sh.capacity/4)
 		sh.ring = make([]string, 0, sh.capacity)
 	}
 	return c
 }
 
 // shard picks the shard for key by FNV-1a over the hex hash.
-func (c *resultCache) shard(key string) *resultShard {
+func (c *fifoCache[V]) shard(key string) *fifoShard[V] {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(key); i++ {
 		h ^= uint64(key[i])
@@ -95,29 +106,29 @@ func (c *resultCache) shard(key string) *resultShard {
 	return &c.shards[(h^h>>32)&c.mask]
 }
 
-// lookup returns the cached response for key. A nil cache always misses
-// without counting. The returned Response is shared — callers must copy
-// before mutating per-request fields.
-func (c *resultCache) lookup(key string) (*Response, bool) {
+// lookup returns the cached value for key. A nil cache always misses
+// without counting. The returned value is shared — callers must copy before
+// mutating per-request state.
+func (c *fifoCache[V]) lookup(key string) (V, bool) {
 	if c == nil {
-		return nil, false
+		var zero V
+		return zero, false
 	}
 	sh := c.shard(key)
 	sh.mu.Lock()
-	resp, ok := sh.m[key]
+	v, ok := sh.m[key]
 	sh.mu.Unlock()
 	if ok {
 		c.hits.Add(1)
 	} else {
 		c.misses.Add(1)
 	}
-	return resp, ok
+	return v, ok
 }
 
-// store inserts resp under key, evicting the shard's oldest entry at
-// capacity. Re-storing an existing key refreshes the value without growing
-// the ring.
-func (c *resultCache) store(key string, resp *Response) {
+// store inserts v under key, evicting the shard's oldest entry at capacity.
+// Re-storing an existing key refreshes the value without growing the ring.
+func (c *fifoCache[V]) store(key string, v V) {
 	if c == nil {
 		return
 	}
@@ -125,7 +136,7 @@ func (c *resultCache) store(key string, resp *Response) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if _, ok := sh.m[key]; ok {
-		sh.m[key] = resp
+		sh.m[key] = v
 		return
 	}
 	if len(sh.ring) < sh.capacity {
@@ -136,7 +147,7 @@ func (c *resultCache) store(key string, resp *Response) {
 		sh.next = (sh.next + 1) % sh.capacity
 		c.evictions.Add(1)
 	}
-	sh.m[key] = resp
+	sh.m[key] = v
 }
 
 // cacheStats is a point-in-time snapshot for /metrics.
@@ -145,7 +156,7 @@ type cacheStats struct {
 	Size                    int
 }
 
-func (c *resultCache) stats() cacheStats {
+func (c *fifoCache[V]) stats() cacheStats {
 	if c == nil {
 		return cacheStats{}
 	}
@@ -157,4 +168,12 @@ func (c *resultCache) stats() cacheStats {
 		sh.mu.Unlock()
 	}
 	return s
+}
+
+// resultCache is the exact-result instantiation; newResultCache keeps the
+// historical constructor name used throughout the serving path.
+type resultCache = fifoCache[*Response]
+
+func newResultCache(capacity int) *resultCache {
+	return newFIFOCache[*Response](capacity)
 }

@@ -25,14 +25,14 @@ const slowEventCap = 4096
 // anytime improvements and budget checkpoints feed it for free); /debug/runs
 // readers load them — hence everything mutable is atomic.
 type runInfo struct {
-	id        string
-	algo      string
-	start     time.Time
-	running   atomic.Bool // false while waiting for a worker slot
-	waitNS    atomic.Int64
-	width     atomic.Int64 // best anytime width so far; 0 = none yet
-	lower     atomic.Int64 // best proven lower bound so far
-	nodes     atomic.Int64 // latest checkpoint node count
+	id      string
+	algo    string
+	start   time.Time
+	running atomic.Bool // false while waiting for a worker slot
+	waitNS  atomic.Int64
+	width   atomic.Int64 // best anytime width so far; 0 = none yet
+	lower   atomic.Int64 // best proven lower bound so far
+	nodes   atomic.Int64 // latest checkpoint node count
 
 	// members holds per-member gauges for portfolio runs, keyed by the algo
 	// label member events are stamped with. The map only grows (one entry

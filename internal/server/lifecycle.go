@@ -26,6 +26,13 @@ const (
 	phaseCache
 	// phaseSolve: core.Decompose, the dominant phase of any honest request.
 	phaseSolve
+	// phaseCompile: compiling the decomposition into an engine.Plan
+	// (/query only) — bag materialization, Yannakakis reduction, index
+	// construction. Paid once per instance; plan-cache hits skip it.
+	phaseCompile
+	// phaseQuery: running the request's query batch against the compiled
+	// plan (/query only). The steady-state cost of a hot instance.
+	phaseQuery
 	// phaseEncode: building the response envelope, including tree rendering
 	// and result-cache population. The final socket write is excluded — once
 	// bytes leave, there is nowhere left to record.
@@ -37,7 +44,7 @@ const (
 // phaseNames are the wire names of the phases: span events, timings JSON
 // keys (suffixed _ns) and the phase label of the /metrics summaries all use
 // them.
-var phaseNames = [numPhases]string{"queue_wait", "parse", "cache", "solve", "encode"}
+var phaseNames = [numPhases]string{"queue_wait", "parse", "cache", "solve", "compile", "query", "encode"}
 
 // Timings is the per-request phase breakdown stamped onto every response
 // envelope: where the request's wall-clock went, in nanoseconds. Phases a
@@ -48,6 +55,8 @@ type Timings struct {
 	Parse     time.Duration `json:"parse_ns,omitempty"`
 	Cache     time.Duration `json:"cache_ns,omitempty"`
 	Solve     time.Duration `json:"solve_ns,omitempty"`
+	Compile   time.Duration `json:"compile_ns,omitempty"`
+	Query     time.Duration `json:"query_ns,omitempty"`
 	Encode    time.Duration `json:"encode_ns,omitempty"`
 	Total     time.Duration `json:"total_ns"`
 }
@@ -56,9 +65,9 @@ type Timings struct {
 // request's handler goroutine; only the sinks it feeds (histograms, the
 // span recorder, the event capture) are shared.
 type lifecycle struct {
-	s     *Server
-	id    string
-	algo  string
+	s    *Server
+	id   string
+	algo string
 	// remote is the client's network address (http.Request.RemoteAddr),
 	// carried to the access log so lines are attributable to callers.
 	remote string
@@ -126,6 +135,10 @@ func (lc *lifecycle) finish(outcome Outcome) *Timings {
 			tm.Cache = lc.phases[p]
 		case phaseSolve:
 			tm.Solve = lc.phases[p]
+		case phaseCompile:
+			tm.Compile = lc.phases[p]
+		case phaseQuery:
+			tm.Query = lc.phases[p]
 		case phaseEncode:
 			tm.Encode = lc.phases[p]
 		}
@@ -170,10 +183,10 @@ type accessRecord struct {
 	N      int    `json:"n,omitempty"`
 	M      int    `json:"m,omitempty"`
 	Width  int    `json:"width,omitempty"`
-	Exact   bool    `json:"exact,omitempty"`
-	Stop    string  `json:"stop,omitempty"`
-	Cached  bool    `json:"cached,omitempty"`
-	Stream  bool    `json:"stream,omitempty"`
+	Exact  bool   `json:"exact,omitempty"`
+	Stop   string `json:"stop,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
+	Stream bool   `json:"stream,omitempty"`
 	// WaitedMS and ElapsedMS mirror the envelope: queue wait and the
 	// request's total wall-clock (not just the solve).
 	WaitedMS  int64    `json:"waited_ms"`

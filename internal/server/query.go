@@ -1,0 +1,600 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"hypertree/internal/budget"
+	"hypertree/internal/core"
+	"hypertree/internal/csp"
+	"hypertree/internal/csp/engine"
+	"hypertree/internal/hypergraph"
+	"hypertree/internal/obs"
+	"hypertree/internal/obs/hist"
+)
+
+// The /query endpoint: decompose once, serve thousands of CSP queries. A
+// request carries a CSP and a batch of queries; the server decomposes the
+// CSP's constraint hypergraph, compiles the decomposition into an
+// engine.Plan (cached by content hash — the expensive part is paid once per
+// instance, not once per query), and answers the batch from the plan. The
+// serving discipline matches /decompose: draining check, bounded admission,
+// one worker slot per request, typed envelopes, full lifecycle timings.
+
+// Caps on a query batch. The request body cap bounds the CSP; these bound
+// the work a single request can demand from a compiled plan.
+const (
+	// MaxQueriesPerRequest bounds the batch size of one /query request.
+	MaxQueriesPerRequest = 10000
+	// DefaultEnumerateLimit is the enumerate cap when the query asks for
+	// none; MaxEnumerateLimit is the most a query can ask for.
+	DefaultEnumerateLimit = 100
+	MaxEnumerateLimit     = 10000
+)
+
+// queryEnvelope is the /query request body. The CSP stays raw until after
+// the plan-cache lookup: its bytes are the cache key, and a hit never parses
+// them.
+type queryEnvelope struct {
+	CSP     json.RawMessage `json:"csp"`
+	Queries []querySpec     `json:"queries"`
+}
+
+// cspSpec is the wire form of a CSP.
+type cspSpec struct {
+	NumVars int `json:"num_vars"`
+	// Domain is the shared-domain shorthand; Domains the per-variable form
+	// (taking precedence when present — entries may be empty).
+	Domain      []int            `json:"domain,omitempty"`
+	Domains     [][]int          `json:"domains,omitempty"`
+	Constraints []constraintSpec `json:"constraints"`
+	VarNames    []string         `json:"var_names,omitempty"`
+}
+
+type constraintSpec struct {
+	Scope  []int   `json:"scope"`
+	Tuples [][]int `json:"tuples"`
+}
+
+// querySpec is one query of the batch: an operation, optional per-query
+// unary assignments (variable name or index -> value), and an enumerate
+// limit.
+type querySpec struct {
+	Op     string         `json:"op"` // solve | count | enumerate
+	Assign map[string]int `json:"assign,omitempty"`
+	Limit  int            `json:"limit,omitempty"`
+}
+
+// queryOps indexes the per-op served-queries counters.
+var queryOps = [...]string{"solve", "count", "enumerate"}
+
+func queryOpIndex(op string) int {
+	for i, o := range queryOps {
+		if o == op {
+			return i
+		}
+	}
+	return -1
+}
+
+// QueryResponse is the typed envelope every /query request gets back.
+type QueryResponse struct {
+	Outcome Outcome `json:"outcome"`
+	Req     string  `json:"req,omitempty"`
+	// N and M are the CSP size (variables, constraints).
+	N int `json:"n,omitempty"`
+	M int `json:"m,omitempty"`
+	// Plan describes the compiled plan the batch ran against.
+	Plan *PlanJSON `json:"plan,omitempty"`
+	// Results is parallel to the request's queries array.
+	Results   []QueryResult `json:"results,omitempty"`
+	ElapsedMS int64         `json:"elapsed_ms"`
+	WaitedMS  int64         `json:"waited_ms"`
+	Timings   *Timings      `json:"timings,omitempty"`
+	// Error explains rejected/error outcomes; RetrySeconds mirrors the
+	// Retry-After header on backpressure rejections.
+	Error        string `json:"error,omitempty"`
+	RetrySeconds int    `json:"retry_after_s,omitempty"`
+}
+
+// PlanJSON describes a compiled plan on the wire: the decomposition it was
+// built from and the compile-time facts of the engine.
+type PlanJSON struct {
+	Algo  string `json:"algo"`
+	Width int    `json:"width"`
+	Exact bool   `json:"exact"`
+	// Nodes/Rows/MaxBagRows are the engine's materialized footprint.
+	Nodes       int  `json:"nodes"`
+	Rows        int  `json:"rows"`
+	MaxBagRows  int  `json:"max_bag_rows"`
+	Satisfiable bool `json:"satisfiable"`
+	Solutions   int  `json:"solutions"`
+	// Cached reports the plan came from the plan cache; CompileMS is the
+	// original compile cost (decompose excluded).
+	Cached    bool  `json:"cached"`
+	CompileMS int64 `json:"compile_ms"`
+}
+
+// QueryResult is one query's answer. Sat/Assignment answer solve, Count
+// answers count, Solutions answers enumerate; Error flags a malformed query
+// (unknown op, unknown variable) without failing the batch.
+type QueryResult struct {
+	Op         string  `json:"op"`
+	Sat        *bool   `json:"sat,omitempty"`
+	Assignment []int   `json:"assignment,omitempty"`
+	Count      *int    `json:"count,omitempty"`
+	Solutions  [][]int `json:"solutions,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// cachedPlan is a plan-cache entry: the immutable compiled plan plus the
+// request-agnostic facts every later hit reports.
+type cachedPlan struct {
+	plan *engine.Plan
+	info PlanJSON // Cached=false; hits flip it on their copy
+	// names maps declared variable names to indexes, for resolving query
+	// pins without reparsing the CSP on cache hits. Nil when the CSP
+	// declared none.
+	names   map[string]int
+	n, m    int
+	outcome Outcome
+}
+
+// handleQuery is the /query serving path.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	id := fmt.Sprintf("r%06d", s.reqSeq.Add(1))
+	w.Header().Set("X-Request-ID", id)
+	lc := s.newLifecycle(id, r.RemoteAddr)
+
+	s.wg.Add(1)
+	defer s.wg.Done()
+	if s.draining.Load() {
+		s.queryReject(w, lc, http.StatusServiceUnavailable, "draining: not admitting new requests", drainingRetrySeconds)
+		return
+	}
+
+	p, err := s.parseParams(r)
+	if err != nil {
+		s.queryReject(w, lc, http.StatusBadRequest, err.Error(), 0)
+		return
+	}
+	lc.algo = string(p.algo)
+
+	body, err := io.ReadAll(hypergraph.LimitReader(r.Body, s.cfg.MaxRequestBytes))
+	if err != nil {
+		var tooBig *hypergraph.PayloadTooLargeError
+		if errors.As(err, &tooBig) {
+			s.queryReject(w, lc, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("payload exceeds %d-byte limit", tooBig.Limit), 0)
+			return
+		}
+		s.queryReject(w, lc, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err), 0)
+		return
+	}
+	var env queryEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		s.queryReject(w, lc, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", err), 0)
+		return
+	}
+	if len(env.CSP) == 0 {
+		s.queryReject(w, lc, http.StatusBadRequest, "missing csp", 0)
+		return
+	}
+	if len(env.Queries) > MaxQueriesPerRequest {
+		s.queryReject(w, lc, http.StatusBadRequest,
+			fmt.Sprintf("%d queries exceed the %d-per-request cap", len(env.Queries), MaxQueriesPerRequest), 0)
+		return
+	}
+
+	// Plan-cache lookup before admission-heavy work: the key covers the raw
+	// CSP bytes, the algorithm and the seed — everything that determines the
+	// compiled plan, and nothing (the queries) that doesn't.
+	key := resultKey(env.CSP, "csp", p.algo, p.seed)
+	cstart := time.Now()
+	entry, hit := s.plans.lookup(key)
+	lc.phase(phaseCache, time.Since(cstart))
+
+	// Even a plan-cache hit runs its batch inside a worker slot: query CPU
+	// stays pool-bounded exactly like solver CPU.
+	if s.pending.Add(1) > int64(s.cfg.Workers+s.cfg.QueueDepth) {
+		s.pending.Add(-1)
+		s.queryReject(w, lc, http.StatusTooManyRequests, "saturated: worker pool and queue full", saturatedRetrySeconds)
+		return
+	}
+	defer s.pending.Add(-1)
+
+	ri := &runInfo{id: id, algo: string(p.algo), start: time.Now()}
+	s.registry.add(ri)
+	defer s.registry.remove(id)
+
+	qstart := time.Now()
+	select {
+	case s.sem <- struct{}{}:
+	case <-r.Context().Done():
+		lc.phase(phaseQueueWait, time.Since(qstart))
+		s.queryReject(w, lc, statusClientClosedRequest, "client canceled while queued", 0)
+		return
+	case <-s.baseCtx.Done():
+		lc.phase(phaseQueueWait, time.Since(qstart))
+		s.queryReject(w, lc, http.StatusServiceUnavailable, "draining: canceled while queued", drainingRetrySeconds)
+		return
+	}
+	defer func() { <-s.sem }()
+	wait := time.Since(qstart)
+	lc.phase(phaseQueueWait, wait)
+	ri.waitNS.Store(int64(wait))
+	ri.running.Store(true)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	if !hit {
+		entry = s.compilePlan(w, lc, ri, r, p, env.CSP)
+		if entry == nil {
+			return // compilePlan already answered
+		}
+		if entry.outcome == OutcomeDegraded {
+			// A degraded decomposition still yields a correct plan (any
+			// valid decomposition does), but its shape is budget-dependent,
+			// so it is served once and never cached — mirroring the
+			// exact-only discipline of the result cache.
+			s.plansSkipped.Add(1)
+		} else {
+			s.plans.store(key, entry)
+		}
+	}
+
+	// The batch: one cursor serves every query of this request in sequence;
+	// concurrency across requests comes from each request's own cursor.
+	qrstart := time.Now()
+	cu := entry.plan.NewCursor()
+	results := make([]QueryResult, len(env.Queries))
+	for i := range env.Queries {
+		results[i] = s.runQuery(cu, entry, &env.Queries[i])
+	}
+	lc.phase(phaseQuery, time.Since(qrstart))
+
+	estart := time.Now()
+	info := entry.info
+	info.Cached = hit
+	resp := &QueryResponse{
+		Outcome:   entry.outcome,
+		Req:       id,
+		N:         entry.n,
+		M:         entry.m,
+		Plan:      &info,
+		Results:   results,
+		ElapsedMS: time.Since(lc.start).Milliseconds(),
+	}
+	lc.phase(phaseEncode, time.Since(estart))
+	resp.Timings = lc.finish(resp.Outcome)
+	resp.WaitedMS = lc.waitedMS()
+	s.queryCount(resp.Outcome)
+	s.queryHist.Observe(resp.Timings.Total)
+	s.logQueryAccess(lc, http.StatusOK, resp, len(results))
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// compilePlan parses, decomposes and compiles the CSP inside the worker
+// slot. On failure it answers the request itself and returns nil.
+func (s *Server) compilePlan(w http.ResponseWriter, lc *lifecycle, ri *runInfo, r *http.Request, p reqParams, rawCSP json.RawMessage) *cachedPlan {
+	pstart := time.Now()
+	c, err := parseCSP(rawCSP)
+	lc.phase(phaseParse, time.Since(pstart))
+	if err != nil {
+		s.queryReject(w, lc, http.StatusBadRequest, fmt.Sprintf("parsing csp: %v", err), 0)
+		return nil
+	}
+	h := c.Hypergraph()
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	unhook := context.AfterFunc(s.baseCtx, cancel)
+	defer unhook()
+
+	sstart := time.Now()
+	d, derr := core.Decompose(h, core.Options{
+		Algorithm:  p.algo,
+		Ctx:        ctx,
+		Timeout:    p.timeout,
+		MaxNodes:   p.nodes,
+		CheckEvery: s.cfg.CheckEvery,
+		Seed:       p.seed,
+		Workers:    p.workers,
+		Recorder:   obs.Tee(lc.spans, ri),
+	})
+	lc.phase(phaseSolve, time.Since(sstart))
+	if derr != nil {
+		var pe *budget.PanicError
+		if errors.As(derr, &pe) {
+			s.queryError(w, lc, fmt.Sprintf("algorithm panicked (contained): %v", pe.Value))
+			return nil
+		}
+		s.queryReject(w, lc, http.StatusUnprocessableEntity, derr.Error(), 0)
+		return nil
+	}
+
+	kstart := time.Now()
+	plan, err := compileDecomposition(c, h, d)
+	compileDur := time.Since(kstart)
+	lc.phase(phaseCompile, compileDur)
+	s.compileHist.Observe(compileDur)
+	if err != nil {
+		s.queryError(w, lc, fmt.Sprintf("compiling plan: %v", err))
+		return nil
+	}
+
+	st := plan.Stats()
+	outcome := OutcomeUpperBound
+	if d.Exact {
+		outcome = OutcomeExact
+	}
+	if d.Interrupted {
+		outcome = OutcomeDegraded
+	}
+	var names map[string]int
+	if c.VarNames != nil {
+		names = make(map[string]int, len(c.VarNames))
+		for v, name := range c.VarNames {
+			if name != "" {
+				names[name] = v
+			}
+		}
+	}
+	entry := &cachedPlan{
+		plan:  plan,
+		names: names,
+		info: PlanJSON{
+			Algo:        string(p.algo),
+			Width:       d.Width,
+			Exact:       d.Exact,
+			Nodes:       st.Nodes,
+			Rows:        st.Rows,
+			MaxBagRows:  st.MaxBagRows,
+			Satisfiable: st.Satisfiable,
+			Solutions:   st.Solutions,
+			CompileMS:   compileDur.Milliseconds(),
+		},
+		n:       c.NumVars,
+		m:       len(c.Constraints),
+		outcome: outcome,
+	}
+	return entry
+}
+
+// compileDecomposition picks the engine entry point for whatever the solver
+// produced: the GHD when present (completed first — compile joins λ-set
+// relations, output-sensitive), the tree decomposition otherwise.
+func compileDecomposition(c *csp.CSP, h *hypergraph.Hypergraph, d *core.Decomposition) (*engine.Plan, error) {
+	if d.GHD != nil {
+		g := d.GHD
+		if !g.IsComplete(h) {
+			g.Complete(h)
+		}
+		return engine.CompileGHD(c, g)
+	}
+	if d.TD != nil {
+		return engine.Compile(c, d.TD)
+	}
+	return nil, fmt.Errorf("decomposition carries neither TD nor GHD")
+}
+
+// runQuery answers one query of the batch on the shared cursor.
+func (s *Server) runQuery(cu *engine.Cursor, entry *cachedPlan, q *querySpec) QueryResult {
+	res := QueryResult{Op: q.Op}
+	oi := queryOpIndex(q.Op)
+	if oi < 0 {
+		res.Error = fmt.Sprintf("unknown op %q (have solve, count, enumerate)", q.Op)
+		return res
+	}
+	pins, err := resolvePins(entry, q.Assign)
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+	s.queryOpCount[oi].Add(1)
+	switch q.Op {
+	case "solve":
+		sol, ok := cu.Solve(pins)
+		res.Sat = &ok
+		if ok {
+			res.Assignment = append([]int(nil), sol...)
+		}
+	case "count":
+		n := cu.Count(pins)
+		res.Count = &n
+	case "enumerate":
+		limit := q.Limit
+		switch {
+		case limit <= 0:
+			limit = DefaultEnumerateLimit
+		case limit > MaxEnumerateLimit:
+			limit = MaxEnumerateLimit
+		}
+		sols := cu.Enumerate(limit, pins)
+		res.Solutions = make([][]int, len(sols))
+		for i, sol := range sols {
+			res.Solutions[i] = sol
+		}
+	}
+	return res
+}
+
+// resolvePins maps a query's assign block (variable name or decimal index ->
+// value) to engine pins. Variables are resolved by declared name first, then
+// as indexes.
+func resolvePins(entry *cachedPlan, assign map[string]int) ([]engine.Pin, error) {
+	if len(assign) == 0 {
+		return nil, nil
+	}
+	pins := make([]engine.Pin, 0, len(assign))
+	for name, val := range assign {
+		v, ok := entry.names[name]
+		if !ok {
+			idx, err := strconv.Atoi(name)
+			if err != nil || idx < 0 || idx >= entry.plan.NumVars() {
+				return nil, fmt.Errorf("unknown variable %q", name)
+			}
+			v = idx
+		}
+		pins = append(pins, engine.Pin{Var: v, Val: val})
+	}
+	return pins, nil
+}
+
+// parseCSP validates and builds the CSP from its wire form. Everything
+// csp.AddConstraint would panic on is rejected here with a message instead.
+func parseCSP(raw json.RawMessage) (*csp.CSP, error) {
+	var spec cspSpec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return nil, err
+	}
+	if spec.NumVars <= 0 {
+		return nil, fmt.Errorf("num_vars must be positive, got %d", spec.NumVars)
+	}
+	if len(spec.Constraints) == 0 {
+		return nil, fmt.Errorf("at least one constraint is required")
+	}
+	c := &csp.CSP{NumVars: spec.NumVars, Domains: make([][]csp.Value, spec.NumVars)}
+	if spec.Domains != nil {
+		if len(spec.Domains) != spec.NumVars {
+			return nil, fmt.Errorf("domains has %d entries for %d variables", len(spec.Domains), spec.NumVars)
+		}
+		for v := range c.Domains {
+			c.Domains[v] = append([]csp.Value(nil), spec.Domains[v]...)
+		}
+	} else {
+		for v := range c.Domains {
+			c.Domains[v] = append([]csp.Value(nil), spec.Domain...)
+		}
+	}
+	if spec.VarNames != nil {
+		if len(spec.VarNames) != spec.NumVars {
+			return nil, fmt.Errorf("var_names has %d entries for %d variables", len(spec.VarNames), spec.NumVars)
+		}
+		c.VarNames = spec.VarNames
+	}
+	for i, con := range spec.Constraints {
+		if len(con.Scope) == 0 {
+			return nil, fmt.Errorf("constraint %d has an empty scope", i)
+		}
+		seen := make(map[int]bool, len(con.Scope))
+		for _, v := range con.Scope {
+			if v < 0 || v >= spec.NumVars {
+				return nil, fmt.Errorf("constraint %d: variable %d out of range", i, v)
+			}
+			if seen[v] {
+				return nil, fmt.Errorf("constraint %d: variable %d repeats in scope", i, v)
+			}
+			seen[v] = true
+		}
+		for j, t := range con.Tuples {
+			if len(t) != len(con.Scope) {
+				return nil, fmt.Errorf("constraint %d: tuple %d has arity %d, scope has %d", i, j, len(t), len(con.Scope))
+			}
+		}
+		c.AddConstraint(con.Scope, con.Tuples)
+	}
+	return c, nil
+}
+
+// queryReject answers a /query request that will not run.
+func (s *Server) queryReject(w http.ResponseWriter, lc *lifecycle, status int, msg string, retrySeconds int) {
+	s.queryCount(OutcomeRejected)
+	resp := &QueryResponse{Outcome: OutcomeRejected, Req: lc.id, Error: msg, RetrySeconds: retrySeconds}
+	resp.Timings = lc.finish(OutcomeRejected)
+	resp.WaitedMS = lc.waitedMS()
+	s.queryHist.Observe(resp.Timings.Total)
+	if retrySeconds > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retrySeconds))
+	}
+	s.logQueryAccess(lc, status, resp, 0)
+	s.writeJSON(w, status, resp)
+}
+
+// queryError answers an admitted /query request that failed.
+func (s *Server) queryError(w http.ResponseWriter, lc *lifecycle, msg string) {
+	s.queryCount(OutcomeError)
+	resp := &QueryResponse{Outcome: OutcomeError, Req: lc.id, Error: msg}
+	resp.Timings = lc.finish(OutcomeError)
+	resp.WaitedMS = lc.waitedMS()
+	s.queryHist.Observe(resp.Timings.Total)
+	s.logQueryAccess(lc, http.StatusInternalServerError, resp, 0)
+	s.writeJSON(w, http.StatusInternalServerError, resp)
+}
+
+// logQueryAccess writes the access-log line for a finished /query request,
+// reusing the decompose record shape (queries ride in N/M and the timings).
+func (s *Server) logQueryAccess(lc *lifecycle, status int, resp *QueryResponse, served int) {
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	rec := accessRecord{
+		Time:      time.Now().UTC().Format(time.RFC3339Nano),
+		Req:       resp.Req,
+		Remote:    lc.remote,
+		Outcome:   resp.Outcome,
+		Status:    status,
+		Algo:      lc.algo,
+		N:         resp.N,
+		M:         resp.M,
+		WaitedMS:  resp.WaitedMS,
+		ElapsedMS: resp.ElapsedMS,
+		Timings:   resp.Timings,
+		Error:     resp.Error,
+	}
+	if resp.Plan != nil {
+		rec.Width = resp.Plan.Width
+		rec.Exact = resp.Plan.Exact
+		rec.Cached = resp.Plan.Cached
+	}
+	if resp.Timings != nil {
+		rec.ElapsedMS = resp.Timings.Total.Milliseconds()
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	s.accessMu.Lock()
+	defer s.accessMu.Unlock()
+	_, _ = s.cfg.AccessLog.Write(line)
+}
+
+func (s *Server) queryCount(o Outcome) {
+	if i := outcomeIndex(o); i >= 0 {
+		s.queryOutcome[i].Add(1)
+	}
+}
+
+// writeQueryMetrics renders the hypertree_query_* families on /metrics:
+// request outcomes, served queries by op, plan-cache traffic, and latency
+// summaries for whole /query requests and for plan compiles.
+func (s *Server) writeQueryMetrics(b *bytes.Buffer) {
+	fmt.Fprintf(b, "# HELP hypertree_query_requests_total /query responses sent, by typed outcome.\n# TYPE hypertree_query_requests_total counter\n")
+	for i, o := range outcomes {
+		fmt.Fprintf(b, "hypertree_query_requests_total{outcome=%q} %d\n", o, s.queryOutcome[i].Load())
+	}
+	fmt.Fprintf(b, "# HELP hypertree_query_queries_total Individual queries served against compiled plans, by operation.\n# TYPE hypertree_query_queries_total counter\n")
+	for i, op := range queryOps {
+		fmt.Fprintf(b, "hypertree_query_queries_total{op=%q} %d\n", op, s.queryOpCount[i].Load())
+	}
+	ps := s.plans.stats()
+	fmt.Fprintf(b, "# HELP hypertree_query_plan_cache_hits Compiled-plan cache hits.\n# TYPE hypertree_query_plan_cache_hits counter\nhypertree_query_plan_cache_hits %d\n", ps.Hits)
+	fmt.Fprintf(b, "# HELP hypertree_query_plan_cache_misses Compiled-plan cache misses.\n# TYPE hypertree_query_plan_cache_misses counter\nhypertree_query_plan_cache_misses %d\n", ps.Misses)
+	fmt.Fprintf(b, "# HELP hypertree_query_plan_cache_evictions Compiled-plan cache FIFO evictions.\n# TYPE hypertree_query_plan_cache_evictions counter\nhypertree_query_plan_cache_evictions %d\n", ps.Evictions)
+	fmt.Fprintf(b, "# HELP hypertree_query_plan_cache_size Compiled-plan cache resident entries.\n# TYPE hypertree_query_plan_cache_size gauge\nhypertree_query_plan_cache_size %d\n", ps.Size)
+	fmt.Fprintf(b, "# HELP hypertree_query_plans_uncached_total Degraded-decomposition plans served once and not cached.\n# TYPE hypertree_query_plans_uncached_total counter\nhypertree_query_plans_uncached_total %d\n", s.plansSkipped.Load())
+	_ = hist.WriteSummaryFamily(b, "hypertree_query_request_latency_seconds",
+		"End-to-end /query request latency quantiles.", latencyQuantiles,
+		hist.Series{Snap: s.queryHist.Snapshot()})
+	_ = hist.WriteSummaryFamily(b, "hypertree_query_compile_seconds",
+		"Plan compile latency quantiles (bag materialization, Yannakakis reduction, index build).", latencyQuantiles,
+		hist.Series{Snap: s.compileHist.Snapshot()})
+}

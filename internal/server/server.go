@@ -81,6 +81,10 @@ type Config struct {
 	// CacheCapacity bounds the exact-result cache: 0 selects
 	// DefaultCacheCapacity, negative disables caching.
 	CacheCapacity int
+	// PlanCacheCapacity bounds the compiled-plan cache behind /query: 0
+	// selects DefaultPlanCacheCapacity, negative disables plan caching
+	// (every /query request then decomposes and compiles afresh).
+	PlanCacheCapacity int
 	// Algorithm is the default algorithm when the request names none; empty
 	// selects the algorithm portfolio (the racing solver set: exact when a
 	// member proves optimality in time, anytime-degradable otherwise).
@@ -245,6 +249,18 @@ type Server struct {
 	counters     *obs.EventCounters
 	cache        *resultCache
 
+	// The query-serving layer (/query): compiled plans cached by content
+	// hash, per-outcome request counters, per-op served-query counters, and
+	// latency summaries for whole query requests and plan compiles.
+	// plansSkipped counts degraded decompositions served once but never
+	// cached.
+	plans        *fifoCache[*cachedPlan]
+	queryOutcome [len(outcomes)]atomic.Int64
+	queryOpCount [len(queryOps)]atomic.Int64
+	plansSkipped atomic.Int64
+	queryHist    *hist.Histogram
+	compileHist  *hist.Histogram
+
 	// The latency layer: end-to-end request histograms per typed outcome,
 	// per-phase histograms (queue wait, parse, cache, solve, encode), the
 	// live in-flight registry behind /debug/runs, and the slowest-N ring
@@ -325,8 +341,17 @@ func New(cfg Config) *Server {
 	case cfg.CacheCapacity > 0:
 		s.cache = newResultCache(cfg.CacheCapacity)
 	}
+	switch {
+	case cfg.PlanCacheCapacity == 0:
+		s.plans = newFIFOCache[*cachedPlan](DefaultPlanCacheCapacity)
+	case cfg.PlanCacheCapacity > 0:
+		s.plans = newFIFOCache[*cachedPlan](cfg.PlanCacheCapacity)
+	}
+	s.queryHist = hist.New()
+	s.compileHist = hist.New()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /decompose", s.handleDecompose)
+	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -948,6 +973,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(&b, "# HELP hypertree_daemon_result_cache_size Exact-result cache resident entries.\n# TYPE hypertree_daemon_result_cache_size gauge\nhypertree_daemon_result_cache_size %d\n", cs.Size)
 	s.writePortfolioMetrics(&b)
 	s.writeLatencyMetrics(&b)
+	s.writeQueryMetrics(&b)
 	w.Write(b.Bytes())
 	if err := s.counters.WriteOpenMetrics(w); err != nil {
 		// The scrape connection broke mid-write; nothing to clean up.
