@@ -1,0 +1,186 @@
+package csp
+
+// Budget-aware variants of the table materializers the compiled query
+// engine (internal/csp/engine) builds plans from. Materializing a bag table
+// walks |domain|^|bag| candidate assignments (pruning only at the leaves)
+// and joining λ-set relations can multiply its inputs, so an adversarial
+// instance makes compile cost doubly exponential in the request size. The
+// variants here tick a budget.B once per unit of work — an enumeration
+// step, a probed or emitted row — and abandon the table with a typed
+// *InterruptedError as soon as any limit trips. A nil budget never trips
+// and each variant is then the exact equivalent of its historical
+// unbudgeted counterpart (BagTable, Join, Project), pinned by differential
+// tests in budgeted_test.go.
+
+import (
+	"fmt"
+	"sort"
+
+	"hypertree/internal/budget"
+)
+
+// InterruptedError is the typed error the budgeted materializers return
+// when their budget trips mid-table: the work is abandoned (no partial
+// table escapes) and Reason says which limit ended it — deadline, node
+// budget, or context cancellation.
+type InterruptedError struct {
+	Reason budget.StopReason
+}
+
+func (e *InterruptedError) Error() string {
+	return fmt.Sprintf("csp: table materialization interrupted (%s)", e.Reason)
+}
+
+// Interrupted wraps bu's latched stop reason. Call it only after a Tick or
+// Check returned false, so the reason is already set.
+func Interrupted(bu *budget.B) error {
+	return &InterruptedError{Reason: bu.Reason()}
+}
+
+// BagTableBudget is BagTable under a budget: one tick per candidate value
+// placed while walking the assignment tree, so even a bag whose
+// |domain|^|bag| space dwarfs its output is abandoned promptly when the
+// budget trips.
+func (c *CSP) BagTableBudget(bag []int, constraints []int, bu *budget.B) (*Table, error) {
+	t := &Table{Vars: append([]int(nil), bag...)}
+	row := make([]Value, len(bag))
+	pos := make(map[int]int, len(bag))
+	for i, v := range bag {
+		pos[v] = i
+	}
+	stop := false
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(bag) {
+			for _, ci := range constraints {
+				con := &c.Constraints[ci]
+				vals := make([]Value, len(con.Scope))
+				for k, v := range con.Scope {
+					vals[k] = row[pos[v]]
+				}
+				if !con.Allows(vals) {
+					return
+				}
+			}
+			t.Rows = append(t.Rows, append([]Value(nil), row...))
+			return
+		}
+		for _, v := range c.Domains[bag[i]] {
+			if !bu.Tick() {
+				stop = true
+				return
+			}
+			row[i] = v
+			rec(i + 1)
+			if stop {
+				return
+			}
+		}
+	}
+	rec(0)
+	if stop {
+		return nil, Interrupted(bu)
+	}
+	return t, nil
+}
+
+// JoinBudget is Join under a budget: one tick per probing row of a and one
+// per emitted output row, bounding both the scan and the (possibly
+// multiplicative) output.
+func JoinBudget(a, b *Table, bu *budget.B) (*Table, error) {
+	ai, bi := sharedColumns(a, b)
+	sharedB := make(map[int]bool, len(bi))
+	for _, j := range bi {
+		sharedB[j] = true
+	}
+	outVars := append([]int(nil), a.Vars...)
+	var extraB []int
+	for j, v := range b.Vars {
+		if !sharedB[j] {
+			outVars = append(outVars, v)
+			extraB = append(extraB, j)
+		}
+	}
+	ix := newRowIndex(b.Rows, bi)
+	out := &Table{Vars: outVars}
+	stop := false
+	for _, ra := range a.Rows {
+		if !bu.Tick() {
+			stop = true
+			break
+		}
+		ix.probe(ra, ai, func(ri int32) bool {
+			if !bu.Tick() {
+				stop = true
+				return false
+			}
+			rb := b.Rows[ri]
+			row := make([]Value, 0, len(outVars))
+			row = append(row, ra...)
+			for _, j := range extraB {
+				row = append(row, rb[j])
+			}
+			out.Rows = append(out.Rows, row)
+			return true
+		})
+		if stop {
+			break
+		}
+	}
+	if stop {
+		return nil, Interrupted(bu)
+	}
+	return out, nil
+}
+
+// ProjectBudget is Project under a budget: one tick per input row (the
+// output is at most input-sized).
+func ProjectBudget(a *Table, vars []int, bu *budget.B) (*Table, error) {
+	var cols []int
+	var outVars []int
+	pos := make(map[int]int, len(a.Vars))
+	for i, v := range a.Vars {
+		pos[v] = i
+	}
+	sorted := append([]int(nil), vars...)
+	sort.Ints(sorted)
+	for _, v := range sorted {
+		if i, ok := pos[v]; ok {
+			cols = append(cols, i)
+			outVars = append(outVars, v)
+		}
+	}
+	out := &Table{Vars: outVars}
+	seen := make(map[uint64][]int32)
+	for _, r := range a.Rows {
+		if !bu.Tick() {
+			return nil, Interrupted(bu)
+		}
+		h := hashRowHook(r, cols)
+		dup := false
+		for _, oi := range seen[h] {
+			prev := out.Rows[oi]
+			same := true
+			for k := range cols {
+				if prev[k] != r[cols[k]] {
+					same = false
+					break
+				}
+			}
+			if same {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		row := make([]Value, len(cols))
+		for i, c := range cols {
+			row[i] = r[c]
+		}
+		seen[h] = append(seen[h], int32(len(out.Rows)))
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}

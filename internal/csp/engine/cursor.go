@@ -32,6 +32,7 @@ type Cursor struct {
 	deadEp   []uint32 // per (node,row): subtree support refuted
 	choice   []int32  // per node: currently chosen row
 	counts   []int    // per (node,row): Count DP scratch
+	countOv  []bool   // per (node,row): Count DP saturated below this row
 	result   []csp.Value
 }
 
@@ -45,6 +46,7 @@ func (p *Plan) NewCursor() *Cursor {
 		deadEp:   make([]uint32, p.rowsTot),
 		choice:   make([]int32, len(p.nodes)),
 		counts:   make([]int, p.rowsTot),
+		countOv:  make([]bool, p.rowsTot),
 		result:   make([]csp.Value, p.numVars),
 	}
 }
@@ -191,57 +193,86 @@ func (cu *Cursor) Solve(pins []Pin) ([]csp.Value, bool) {
 
 // Count returns the number of complete consistent assignments respecting
 // the pins (csp.CountFromTD semantics on the pin-restricted CSP: free
-// variables contribute a |restricted domain| factor).
+// variables contribute a |restricted domain| factor). Counts too large for
+// an int saturate at math.MaxInt instead of wrapping; use CountExact to
+// detect saturation.
 func (cu *Cursor) Count(pins []Pin) int {
+	n, _ := cu.CountExact(pins)
+	return n
+}
+
+// CountExact is Count plus an exactness bit: exact is false when the DP
+// saturated at math.MaxInt on the way to the answer, making count a
+// saturated lower bound rather than the true (int-overflowing) value. The
+// reference csp.CountFromTD wraps on overflow; the engine refuses to serve
+// wrapped values as authoritative, so this is the one place its answers
+// deliberately diverge from the reference.
+func (cu *Cursor) CountExact(pins []Pin) (count int, exact bool) {
 	p := cu.p
 	if len(pins) == 0 {
-		return p.total
+		return p.total, !p.totalOv
 	}
 	ok := cu.begin(pins)
 	if !ok || p.tablesEmpty {
-		return 0
+		return 0, true
 	}
-	counts := cu.counts
+	counts, ovRows := cu.counts, cu.countOv
 	for k := len(p.nodes) - 1; k >= 0; k-- {
 		nd := &p.nodes[k]
 		off := p.rowOff[k]
 		for r := int32(0); r < nd.nrows; r++ {
 			if !cu.rowOK(nd, r) {
 				counts[off+r] = 0
+				ovRows[off+r] = false
 				continue
 			}
 			row := nd.row(r)
-			total := 1
+			total, tOv := 1, false
 			for _, ch := range nd.children {
 				cn := &p.nodes[ch]
 				coff := p.rowOff[ch]
-				sub := 0
+				sub, sOv := 0, false
 				for _, rr := range cn.index[p.hash(row, cn.pcols)] {
 					if cn.matchRow(rr, row) {
-						sub += counts[coff+rr]
+						var o bool
+						sub, o = satAdd(sub, counts[coff+rr])
+						sOv = sOv || o || ovRows[coff+rr]
 					}
 				}
-				total *= sub
+				var o bool
+				total, o = satMul(total, sub)
+				tOv = tOv || o
 				if total == 0 {
+					// Exactly zero extensions, whatever saturated elsewhere.
+					tOv = false
 					break
 				}
+				tOv = tOv || sOv
 			}
 			counts[off+r] = total
+			ovRows[off+r] = tOv
 		}
 	}
-	sum := 0
+	sum, sumOv := 0, false
 	for r := int32(0); r < p.nodes[0].nrows; r++ {
-		sum += counts[r]
+		var o bool
+		sum, o = satAdd(sum, counts[r])
+		sumOv = sumOv || o || ovRows[r]
 	}
 	for _, v := range p.free {
 		if sum == 0 {
 			break
 		}
 		if !cu.pinned(v) {
-			sum *= len(p.domains[v])
+			var o bool
+			sum, o = satMul(sum, len(p.domains[v]))
+			sumOv = sumOv || o
 		}
 	}
-	return sum
+	if sum == 0 {
+		sumOv = false
+	}
+	return sum, !sumOv
 }
 
 // EnumerateFunc streams up to limit (limit <= 0: all) complete consistent

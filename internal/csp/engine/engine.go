@@ -13,6 +13,10 @@
 // The engine's answers are pinned by differential tests to be *exactly*
 // equal (values and enumeration order) to the reference paths
 // csp.SolveFromTD, csp.CountFromTD, csp.EnumerateFromTD and csp.SolveFromGHD.
+// One deliberate divergence: solution counts saturate at math.MaxInt with an
+// explicit overflow flag (Stats.SolutionsOverflow, Cursor.CountExact) where
+// csp.CountFromTD silently wraps — a serving endpoint must not hand clients
+// wrapped garbage as an authoritative answer.
 // A query with pins behaves exactly like the reference run on a copy of the
 // CSP whose pinned domains are restricted to the pinned value. This works
 // because both sides traverse nodes in csp.TopDownOrder, all relational
@@ -24,6 +28,7 @@ package engine
 import (
 	"fmt"
 
+	"hypertree/internal/budget"
 	"hypertree/internal/csp"
 	"hypertree/internal/decomp"
 )
@@ -78,7 +83,8 @@ type Plan struct {
 	emptyFreeDom bool        // some free variable has an empty domain (Solve unsat)
 	anyEmptyDom  bool        // some variable has an empty domain (Enumerate -> nil)
 	solution     []csp.Value // canonical pin-free solution, nil if unsat
-	total        int         // pin-free solution count (CountFromTD semantics)
+	total        int         // pin-free solution count, saturated at MaxInt
+	totalOv      bool        // total saturated: it is a lower bound, not exact
 	width        int         // decomposition width, for Stats
 	hash         hashFunc
 }
@@ -92,17 +98,22 @@ type Stats struct {
 	NumVars     int  `json:"num_vars"`
 	Satisfiable bool `json:"satisfiable"`
 	Solutions   int  `json:"solutions"`
+	// SolutionsOverflow reports the count DP saturated at math.MaxInt:
+	// Solutions is then a saturated lower bound, not the true value (which
+	// does not fit an int). The reference csp.CountFromTD wraps instead.
+	SolutionsOverflow bool `json:"solutions_overflow,omitempty"`
 }
 
 // Stats returns compile-time facts about the plan.
 func (p *Plan) Stats() Stats {
 	s := Stats{
-		Nodes:       len(p.nodes),
-		Rows:        p.rowsTot,
-		Width:       p.width,
-		NumVars:     p.numVars,
-		Satisfiable: p.solution != nil,
-		Solutions:   p.total,
+		Nodes:             len(p.nodes),
+		Rows:              p.rowsTot,
+		Width:             p.width,
+		NumVars:           p.numVars,
+		Satisfiable:       p.solution != nil,
+		Solutions:         p.total,
+		SolutionsOverflow: p.totalOv,
 	}
 	for i := range p.nodes {
 		if int(p.nodes[i].nrows) > s.MaxBagRows {
@@ -120,15 +131,29 @@ func (p *Plan) NumVars() int { return p.numVars }
 // placed at the first bag containing its scope and each node's table is the
 // enumeration of its bag under the constraints placed there.
 func Compile(c *csp.CSP, td *decomp.TreeDecomposition) (*Plan, error) {
+	return CompileBudget(c, td, nil)
+}
+
+// CompileBudget is Compile under a budget: table materialization and the
+// count DP tick bu once per unit of work (an enumeration step, an emitted
+// or probed row) and compilation aborts with a *csp.InterruptedError as
+// soon as any limit trips — a bag whose |domain|^|bag| space is
+// astronomically larger than the request that declared it cannot wedge the
+// caller. A nil budget never trips.
+func CompileBudget(c *csp.CSP, td *decomp.TreeDecomposition, bu *budget.B) (*Plan, error) {
 	if err := td.Validate(c.Hypergraph()); err != nil {
 		return nil, fmt.Errorf("engine: invalid tree decomposition: %w", err)
 	}
 	placed := csp.PlaceConstraints(c, td.Bags)
 	tables := make([]*csp.Table, len(td.Bags))
 	for i, bag := range td.Bags {
-		tables[i] = c.BagTable(bag, placed[i])
+		t, err := c.BagTableBudget(bag, placed[i], bu)
+		if err != nil {
+			return nil, err
+		}
+		tables[i] = t
 	}
-	return build(c, tables, td.Parent, td.Root, td.Width())
+	return build(c, tables, td.Parent, td.Root, td.Width(), bu)
 }
 
 // CompileGHD builds a Plan from a complete generalized hypertree
@@ -136,6 +161,12 @@ func Compile(c *csp.CSP, td *decomp.TreeDecomposition) (*Plan, error) {
 // projection onto its bag of the join of its λ-set relations — no
 // enumeration over domains, so compile cost is output-sensitive.
 func CompileGHD(c *csp.CSP, g *decomp.GHD) (*Plan, error) {
+	return CompileGHDBudget(c, g, nil)
+}
+
+// CompileGHDBudget is CompileGHD under a budget, ticking bu per joined,
+// projected or probed row; see CompileBudget.
+func CompileGHDBudget(c *csp.CSP, g *decomp.GHD, bu *budget.B) (*Plan, error) {
 	h := c.Hypergraph()
 	if err := g.Validate(h); err != nil {
 		return nil, fmt.Errorf("engine: invalid GHD: %w", err)
@@ -157,21 +188,31 @@ func CompileGHD(c *csp.CSP, g *decomp.GHD) (*Plan, error) {
 			if t == nil {
 				t = et
 			} else {
-				t = csp.Join(t, et)
+				joined, err := csp.JoinBudget(t, et, bu)
+				if err != nil {
+					return nil, err
+				}
+				t = joined
 			}
 		}
 		if t == nil {
 			t = &csp.Table{}
 		}
-		tables[i] = csp.Project(t, bag)
+		proj, err := csp.ProjectBudget(t, bag, bu)
+		if err != nil {
+			return nil, err
+		}
+		tables[i] = proj
 	}
-	return build(c, tables, g.Parent, g.Root, g.Width())
+	return build(c, tables, g.Parent, g.Root, g.Width(), bu)
 }
 
 // build runs the shared compile pipeline: Yannakakis reduction, arena
 // packing, index construction, the pin-free count DP, and the canonical
-// pin-free solution.
-func build(c *csp.CSP, tables []*csp.Table, parentOf []int, root, width int) (*Plan, error) {
+// pin-free solution. The count DP ticks bu per candidate-row check (its
+// only superlinear-in-rows phase); the semijoin passes and index build are
+// linear in rows already paid for during materialization.
+func build(c *csp.CSP, tables []*csp.Table, parentOf []int, root, width int, bu *budget.B) (*Plan, error) {
 	p := &Plan{numVars: c.NumVars, width: width, hash: tupleHashHook}
 	p.domains = make([][]csp.Value, c.NumVars)
 	for v := range p.domains {
@@ -279,38 +320,60 @@ func build(c *csp.CSP, tables []*csp.Table, parentOf []int, root, width int) (*P
 		}
 	}
 
-	// Pin-free count DP (csp.CountFromTD semantics): counts[row] = number of
+	// Pin-free count DP (csp.CountFromTD semantics, except that overflow
+	// saturates at MaxInt instead of wrapping): counts[row] = number of
 	// extensions of the row into its subtree; total = root sum times a
-	// |domain| factor per free variable.
+	// |domain| factor per free variable. ovRows marks rows whose count
+	// saturated somewhere below, so the final total carries an honest
+	// "lower bound only" flag.
 	counts := make([]int, p.rowsTot)
+	ovRows := make([]bool, p.rowsTot)
 	for k := len(p.nodes) - 1; k >= 0; k-- {
 		n := &p.nodes[k]
 		off := p.rowOff[k]
 		for r := int32(0); r < n.nrows; r++ {
 			row := n.row(r)
-			total := 1
+			total, tOv := 1, false
 			for _, ch := range n.children {
 				cn := &p.nodes[ch]
 				coff := p.rowOff[ch]
-				sub := 0
+				sub, sOv := 0, false
 				for _, rr := range cn.index[p.hash(row, cn.pcols)] {
+					if !bu.Tick() {
+						return nil, csp.Interrupted(bu)
+					}
 					if cn.matchRow(rr, row) {
-						sub += counts[coff+rr]
+						var o bool
+						sub, o = satAdd(sub, counts[coff+rr])
+						sOv = sOv || o || ovRows[coff+rr]
 					}
 				}
-				total *= sub
+				var o bool
+				total, o = satMul(total, sub)
+				tOv = tOv || o
 				if total == 0 {
+					// Exactly zero extensions, whatever saturated elsewhere.
+					tOv = false
 					break
 				}
+				tOv = tOv || sOv
 			}
 			counts[off+r] = total
+			ovRows[off+r] = tOv
 		}
 	}
 	for r := int32(0); r < p.nodes[0].nrows; r++ {
-		p.total += counts[r]
+		var o bool
+		p.total, o = satAdd(p.total, counts[r])
+		p.totalOv = p.totalOv || o || ovRows[r]
 	}
 	for _, v := range p.free {
-		p.total *= len(p.domains[v])
+		var o bool
+		p.total, o = satMul(p.total, len(p.domains[v]))
+		p.totalOv = p.totalOv || o
+	}
+	if p.total == 0 {
+		p.totalOv = false
 	}
 
 	// Canonical pin-free solution: the greedy top-down walk. On fully

@@ -1,0 +1,28 @@
+package engine
+
+import "math"
+
+// Saturating arithmetic for the solution-count DPs. Counts are products of
+// subtree counts and |domain| factors, so realistic instances overflow int
+// long before they exhaust memory; wrapping would serve negative or
+// nonsense counts as authoritative answers. Both helpers assume non-negative
+// operands (counts never go negative) and report whether they clamped.
+
+// satAdd returns a+b clamped to math.MaxInt, and whether it clamped.
+func satAdd(a, b int) (int, bool) {
+	if a > math.MaxInt-b {
+		return math.MaxInt, true
+	}
+	return a + b, false
+}
+
+// satMul returns a*b clamped to math.MaxInt, and whether it clamped.
+func satMul(a, b int) (int, bool) {
+	if a == 0 || b == 0 {
+		return 0, false
+	}
+	if a > math.MaxInt/b {
+		return math.MaxInt, true
+	}
+	return a * b, false
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hypertree/internal/core"
 )
@@ -28,9 +29,8 @@ const DefaultPlanCacheCapacity = 128
 // bytes, the input format, the algorithm and the seed. Budgets and worker
 // counts are deliberately excluded: they change how long a run takes, never
 // what an *exact* result is, and only exact results are cached. The /query
-// endpoint reuses it for plan keys with format "csp" and the CSP's raw JSON
-// as the payload (the queries array is excluded: it parameterizes runs
-// against the plan, never the plan itself).
+// plan cache does NOT share this key — it also stores upper-bound plans,
+// whose shape can depend on the budgets, so it uses planKey.
 func resultKey(body []byte, format string, algo core.Algorithm, seed int64) string {
 	h := sha256.New()
 	var hdr [8]byte
@@ -41,6 +41,33 @@ func resultKey(body []byte, format string, algo core.Algorithm, seed int64) stri
 	h.Write([]byte(algo))
 	h.Write([]byte{0})
 	h.Write(body)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// planKey is the compiled-plan cache key behind /query: the resultKey
+// content hash (format pinned to "csp", the raw CSP JSON as the payload —
+// the queries array is excluded, it parameterizes runs against the plan,
+// never the plan itself) extended with the request's budget knobs. Unlike
+// the exact-only result cache, the plan cache stores upper-bound plans, and
+// a heuristic decomposition legitimately depends on how much timeout / node
+// budget / parallelism the run was given — so identical CSPs under
+// different budgets get distinct entries, keeping every cached plan's
+// reported width, node count and outcome true to the request that compiled
+// it. (Exact plans fragment across budget variants too; that costs a few
+// duplicate cache slots, never a wrong answer.)
+func planKey(cspBody []byte, algo core.Algorithm, seed int64, timeout time.Duration, nodes int64, workers int) string {
+	h := sha256.New()
+	var hdr [32]byte
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(seed))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(timeout))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(nodes))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(workers))
+	h.Write(hdr[:])
+	h.Write([]byte("csp"))
+	h.Write([]byte{0})
+	h.Write([]byte(algo))
+	h.Write([]byte{0})
+	h.Write(cspBody)
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 

@@ -29,7 +29,12 @@ import (
 // one worker slot per request, typed envelopes, full lifecycle timings.
 
 // Caps on a query batch. The request body cap bounds the CSP; these bound
-// the work a single request can demand from a compiled plan.
+// the work a single request can demand from a compiled plan. Two further
+// bounds live elsewhere: Config.MaxCompileSteps bounds plan-compile work
+// (a tiny CSP can declare a bag whose enumeration is astronomical) and
+// Config.MaxResultCells bounds the assignment cells a batch materializes
+// into its response (a batch of max-limit enumerates could otherwise demand
+// gigabytes however small the request body is).
 const (
 	// MaxQueriesPerRequest bounds the batch size of one /query request.
 	MaxQueriesPerRequest = 10000
@@ -37,6 +42,10 @@ const (
 	// none; MaxEnumerateLimit is the most a query can ask for.
 	DefaultEnumerateLimit = 100
 	MaxEnumerateLimit     = 10000
+	// MaxCSPVars bounds num_vars: cursors, solve assignments and enumerate
+	// rows are all O(num_vars) memory, so a one-line request declaring a
+	// huge variable count must not translate into gigabyte allocations.
+	MaxCSPVars = 1 << 20
 )
 
 // queryEnvelope is the /query request body. The CSP stays raw until after
@@ -116,6 +125,9 @@ type PlanJSON struct {
 	MaxBagRows  int  `json:"max_bag_rows"`
 	Satisfiable bool `json:"satisfiable"`
 	Solutions   int  `json:"solutions"`
+	// SolutionsOverflow reports the solution count saturated at the int
+	// limit: Solutions is then a lower bound, not the true value.
+	SolutionsOverflow bool `json:"solutions_overflow,omitempty"`
 	// Cached reports the plan came from the plan cache; CompileMS is the
 	// original compile cost (decompose excluded).
 	Cached    bool  `json:"cached"`
@@ -131,7 +143,13 @@ type QueryResult struct {
 	Assignment []int   `json:"assignment,omitempty"`
 	Count      *int    `json:"count,omitempty"`
 	Solutions  [][]int `json:"solutions,omitempty"`
-	Error      string  `json:"error,omitempty"`
+	// CountOverflow reports the count saturated at the int limit: Count is
+	// then a lower bound, not the true value.
+	CountOverflow bool `json:"count_overflow,omitempty"`
+	// Truncated reports the enumerate hit the request's result budget
+	// before its limit: Solutions may be incomplete.
+	Truncated bool   `json:"truncated,omitempty"`
+	Error     string `json:"error,omitempty"`
 }
 
 // cachedPlan is a plan-cache entry: the immutable compiled plan plus the
@@ -194,9 +212,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Plan-cache lookup before admission-heavy work: the key covers the raw
-	// CSP bytes, the algorithm and the seed — everything that determines the
-	// compiled plan, and nothing (the queries) that doesn't.
-	key := resultKey(env.CSP, "csp", p.algo, p.seed)
+	// CSP bytes, the algorithm, the seed and the budget knobs — everything
+	// that determines the compiled plan (heuristic decompositions depend on
+	// their budgets), and nothing (the queries) that doesn't.
+	key := planKey(env.CSP, p.algo, p.seed, p.timeout, p.nodes, p.workers)
 	cstart := time.Now()
 	entry, hit := s.plans.lookup(key)
 	lc.phase(phaseCache, time.Since(cstart))
@@ -252,11 +271,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// The batch: one cursor serves every query of this request in sequence;
 	// concurrency across requests comes from each request's own cursor.
+	// cells is the request's remaining result budget — every materialized
+	// assignment cell across the batch draws it down, so response memory is
+	// bounded whatever the batch asks for.
 	qrstart := time.Now()
 	cu := entry.plan.NewCursor()
+	cells := s.cfg.MaxResultCells
 	results := make([]QueryResult, len(env.Queries))
 	for i := range env.Queries {
-		results[i] = s.runQuery(cu, entry, &env.Queries[i])
+		results[i] = s.runQuery(cu, entry, &env.Queries[i], &cells)
 	}
 	lc.phase(phaseQuery, time.Since(qrstart))
 
@@ -320,12 +343,38 @@ func (s *Server) compilePlan(w http.ResponseWriter, lc *lifecycle, ri *runInfo, 
 		return nil
 	}
 
+	// The compile budget: the materialized-table work of turning the
+	// decomposition into a plan is bounded exactly like solver work —
+	// request timeout, a step cap, and the same cancel signals (client
+	// disconnect, drain) core.Decompose honors. Without it, a sub-kilobyte
+	// CSP declaring one wide bag over a large domain forces |domain|^|bag|
+	// enumeration steps and wedges this worker slot forever.
 	kstart := time.Now()
-	plan, err := compileDecomposition(c, h, d)
+	cb := budget.New(ctx, budget.Limits{
+		Timeout:    p.timeout,
+		MaxNodes:   s.cfg.MaxCompileSteps,
+		CheckEvery: s.cfg.CheckEvery,
+	})
+	plan, err := compileDecomposition(c, h, d, cb)
 	compileDur := time.Since(kstart)
 	lc.phase(phaseCompile, compileDur)
 	s.compileHist.Observe(compileDur)
 	if err != nil {
+		var ie *csp.InterruptedError
+		if errors.As(err, &ie) {
+			switch {
+			case s.baseCtx.Err() != nil:
+				s.queryReject(w, lc, http.StatusServiceUnavailable,
+					"draining: plan compile canceled", drainingRetrySeconds)
+			case r.Context().Err() != nil:
+				s.queryReject(w, lc, statusClientClosedRequest,
+					"client canceled during plan compile", 0)
+			default:
+				s.queryReject(w, lc, http.StatusUnprocessableEntity,
+					fmt.Sprintf("plan compile exceeded its budget (%s): the instance materializes more bag-table work than this server will serve", ie.Reason), 0)
+			}
+			return nil
+		}
 		s.queryError(w, lc, fmt.Sprintf("compiling plan: %v", err))
 		return nil
 	}
@@ -351,15 +400,16 @@ func (s *Server) compilePlan(w http.ResponseWriter, lc *lifecycle, ri *runInfo, 
 		plan:  plan,
 		names: names,
 		info: PlanJSON{
-			Algo:        string(p.algo),
-			Width:       d.Width,
-			Exact:       d.Exact,
-			Nodes:       st.Nodes,
-			Rows:        st.Rows,
-			MaxBagRows:  st.MaxBagRows,
-			Satisfiable: st.Satisfiable,
-			Solutions:   st.Solutions,
-			CompileMS:   compileDur.Milliseconds(),
+			Algo:              string(p.algo),
+			Width:             d.Width,
+			Exact:             d.Exact,
+			Nodes:             st.Nodes,
+			Rows:              st.Rows,
+			MaxBagRows:        st.MaxBagRows,
+			Satisfiable:       st.Satisfiable,
+			Solutions:         st.Solutions,
+			SolutionsOverflow: st.SolutionsOverflow,
+			CompileMS:         compileDur.Milliseconds(),
 		},
 		n:       c.NumVars,
 		m:       len(c.Constraints),
@@ -370,23 +420,28 @@ func (s *Server) compilePlan(w http.ResponseWriter, lc *lifecycle, ri *runInfo, 
 
 // compileDecomposition picks the engine entry point for whatever the solver
 // produced: the GHD when present (completed first — compile joins λ-set
-// relations, output-sensitive), the tree decomposition otherwise.
-func compileDecomposition(c *csp.CSP, h *hypergraph.Hypergraph, d *core.Decomposition) (*engine.Plan, error) {
+// relations, output-sensitive), the tree decomposition otherwise. Both
+// paths run under bu; a tripped budget surfaces as *csp.InterruptedError.
+func compileDecomposition(c *csp.CSP, h *hypergraph.Hypergraph, d *core.Decomposition, bu *budget.B) (*engine.Plan, error) {
 	if d.GHD != nil {
 		g := d.GHD
 		if !g.IsComplete(h) {
 			g.Complete(h)
 		}
-		return engine.CompileGHD(c, g)
+		return engine.CompileGHDBudget(c, g, bu)
 	}
 	if d.TD != nil {
-		return engine.Compile(c, d.TD)
+		return engine.CompileBudget(c, d.TD, bu)
 	}
 	return nil, fmt.Errorf("decomposition carries neither TD nor GHD")
 }
 
-// runQuery answers one query of the batch on the shared cursor.
-func (s *Server) runQuery(cu *engine.Cursor, entry *cachedPlan, q *querySpec) QueryResult {
+// runQuery answers one query of the batch on the shared cursor. cells is
+// the request's remaining result budget in assignment cells (ints): solve
+// assignments and enumerate rows draw it down, and a query whose answer
+// would not fit gets an error marker instead of rows — the batch keeps
+// going (counts and sat bits are free), the response stays bounded.
+func (s *Server) runQuery(cu *engine.Cursor, entry *cachedPlan, q *querySpec, cells *int) QueryResult {
 	res := QueryResult{Op: q.Op}
 	oi := queryOpIndex(q.Op)
 	if oi < 0 {
@@ -399,16 +454,22 @@ func (s *Server) runQuery(cu *engine.Cursor, entry *cachedPlan, q *querySpec) Qu
 		return res
 	}
 	s.queryOpCount[oi].Add(1)
+	nv := entry.plan.NumVars()
 	switch q.Op {
 	case "solve":
 		sol, ok := cu.Solve(pins)
+		if ok && *cells < nv {
+			return resultBudgetExhausted(res, s.cfg.MaxResultCells)
+		}
 		res.Sat = &ok
 		if ok {
+			*cells -= nv
 			res.Assignment = append([]int(nil), sol...)
 		}
 	case "count":
-		n := cu.Count(pins)
+		n, exact := cu.CountExact(pins)
 		res.Count = &n
+		res.CountOverflow = !exact
 	case "enumerate":
 		limit := q.Limit
 		switch {
@@ -417,12 +478,33 @@ func (s *Server) runQuery(cu *engine.Cursor, entry *cachedPlan, q *querySpec) Qu
 		case limit > MaxEnumerateLimit:
 			limit = MaxEnumerateLimit
 		}
+		rowAllow := *cells / nv
+		if rowAllow == 0 {
+			return resultBudgetExhausted(res, s.cfg.MaxResultCells)
+		}
+		clamped := false
+		if limit > rowAllow {
+			limit = rowAllow
+			clamped = true
+		}
 		sols := cu.Enumerate(limit, pins)
+		*cells -= len(sols) * nv
+		// A clamped enumerate that filled its reduced limit may have left
+		// rows unreported; say so instead of posing as complete.
+		res.Truncated = clamped && len(sols) == limit
 		res.Solutions = make([][]int, len(sols))
 		for i, sol := range sols {
 			res.Solutions[i] = sol
 		}
 	}
+	return res
+}
+
+// resultBudgetExhausted marks a query whose answer was withheld because the
+// request's result budget ran out; the batch keeps going, and clients that
+// need everything split it across requests.
+func resultBudgetExhausted(res QueryResult, capCells int) QueryResult {
+	res.Error = fmt.Sprintf("result budget exhausted: this request already materialized close to %d assignment cells; split the batch across requests", capCells)
 	return res
 }
 
@@ -457,6 +539,9 @@ func parseCSP(raw json.RawMessage) (*csp.CSP, error) {
 	}
 	if spec.NumVars <= 0 {
 		return nil, fmt.Errorf("num_vars must be positive, got %d", spec.NumVars)
+	}
+	if spec.NumVars > MaxCSPVars {
+		return nil, fmt.Errorf("num_vars %d exceeds the %d-variable cap", spec.NumVars, MaxCSPVars)
 	}
 	if len(spec.Constraints) == 0 {
 		return nil, fmt.Errorf("at least one constraint is required")

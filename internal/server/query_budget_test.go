@@ -1,0 +1,180 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// hugeBagCSPJSON is the adversarial /query payload the compile budget
+// exists for: 12 variables over a 50-value domain tied together by one
+// sparse 12-ary constraint. Any tree decomposition must put all 12
+// variables in one bag, and materializing that bag enumerates 50^12 ≈
+// 2·10^20 candidates — from a request under a kilobyte. Unbudgeted, the
+// compile would wedge a worker slot for geological time.
+func hugeBagCSPJSON() string {
+	var scope, tuple []string
+	for i := 0; i < 12; i++ {
+		scope = append(scope, fmt.Sprint(i))
+		tuple = append(tuple, "0")
+	}
+	var domain []string
+	for v := 0; v < 50; v++ {
+		domain = append(domain, fmt.Sprint(v))
+	}
+	return fmt.Sprintf(`{
+		"num_vars": 12,
+		"domain": [%s],
+		"constraints": [{"scope": [%s], "tuples": [[%s]]}]
+	}`, strings.Join(domain, ","), strings.Join(scope, ","), strings.Join(tuple, ","))
+}
+
+// A compile whose bag-table work exceeds MaxCompileSteps must come back as
+// a fast, typed 422 — not a wedged worker slot. algo=astar-tw forces the
+// TD compile path (the enumerating one): every ghw algorithm also hands
+// back a GHD, whose output-sensitive compile never trips on this instance.
+func TestQueryCompileBudgetRejects(t *testing.T) {
+	s := New(Config{MaxCompileSteps: 5_000, CheckEvery: 16})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	body := fmt.Sprintf(`{"csp": %s, "queries": [{"op": "count"}]}`, hugeBagCSPJSON())
+	start := time.Now()
+	hr, resp := postQuery(t, ts, "algo=astar-tw", body)
+	if el := time.Since(start); el > 10*time.Second {
+		t.Fatalf("budget rejection took %v — the compile is not being interrupted", el)
+	}
+	if hr.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422 (error: %s)", hr.StatusCode, resp.Error)
+	}
+	if resp.Outcome != OutcomeRejected {
+		t.Fatalf("outcome = %q, want rejected", resp.Outcome)
+	}
+	if !strings.Contains(resp.Error, "compile") || !strings.Contains(resp.Error, "budget") {
+		t.Fatalf("error %q does not name the compile budget", resp.Error)
+	}
+
+	// The slot must be free again: a well-behaved request on the same
+	// single-worker-class server still gets served.
+	hr2, resp2 := postQuery(t, ts, "", queryBody(`{"op": "count"}`))
+	if hr2.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up status = %d, want 200 (error: %s)", hr2.StatusCode, resp2.Error)
+	}
+}
+
+// MaxResultCells bounds what one request may materialize: enumerations are
+// clamped and flagged Truncated, queries past the budget get error markers
+// instead of rows, and cell-free answers (counts, sat bits) keep flowing.
+func TestQueryResultCellsBudget(t *testing.T) {
+	s := New(Config{MaxResultCells: 10})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// pathCSPJSON has 3 variables: a solve costs 3 cells, an enumerate row
+	// costs 3. Budget 10 → solve (7 left), enumerate gets ⌊7/3⌋ = 2 rows
+	// (1 left), then nothing with cells fits.
+	hr, resp := postQuery(t, ts, "", queryBody(`
+		{"op": "solve"},
+		{"op": "enumerate", "limit": 10},
+		{"op": "solve"},
+		{"op": "enumerate", "limit": 1},
+		{"op": "count"}`))
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (error: %s)", hr.StatusCode, resp.Error)
+	}
+	r := resp.Results
+	if len(r) != 5 {
+		t.Fatalf("got %d results, want 5", len(r))
+	}
+	if r[0].Sat == nil || !*r[0].Sat || len(r[0].Assignment) != 3 {
+		t.Fatalf("solve inside budget = %+v, want a 3-cell assignment", r[0])
+	}
+	if len(r[1].Solutions) != 2 || !r[1].Truncated {
+		t.Fatalf("enumerate = %d solutions, truncated=%v; want 2 rows flagged truncated",
+			len(r[1].Solutions), r[1].Truncated)
+	}
+	if !strings.Contains(r[2].Error, "result budget exhausted") {
+		t.Fatalf("over-budget solve error = %q, want a result-budget marker", r[2].Error)
+	}
+	if r[2].Sat != nil {
+		t.Fatalf("over-budget solve still claimed sat=%v", *r[2].Sat)
+	}
+	if !strings.Contains(r[3].Error, "result budget exhausted") {
+		t.Fatalf("over-budget enumerate error = %q, want a result-budget marker", r[3].Error)
+	}
+	if r[4].Count == nil || *r[4].Count != 2 {
+		t.Fatalf("count after exhaustion = %v, want 2 (counts cost no cells)", r[4].Count)
+	}
+}
+
+// An enumerate that fits its clamped limit exactly but was NOT clamped by
+// the budget must not be flagged Truncated — the flag means "there may be
+// more", never "you got everything".
+func TestQueryEnumerateCompleteNotTruncated(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	hr, resp := postQuery(t, ts, "", queryBody(`{"op": "enumerate", "limit": 10}`))
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", hr.StatusCode)
+	}
+	if r := resp.Results[0]; len(r.Solutions) != 2 || r.Truncated {
+		t.Fatalf("enumerate = %d solutions, truncated=%v; want 2 rows, not truncated",
+			len(r.Solutions), r.Truncated)
+	}
+}
+
+// The plan cache must key on the budget knobs: the same CSP under a
+// different timeout or node budget can decompose differently, so it must
+// not be served another budget's cached plan (whose reported width and
+// outcome would then be wrong for this request).
+func TestQueryPlanCacheKeyedByBudget(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	body := queryBody(`{"op": "count"}`)
+	_, first := postQuery(t, ts, "", body)
+	if first.Plan == nil || first.Plan.Cached {
+		t.Fatalf("first request: plan = %+v, want a fresh compile", first.Plan)
+	}
+	_, second := postQuery(t, ts, "", body)
+	if second.Plan == nil || !second.Plan.Cached {
+		t.Fatalf("identical request: plan = %+v, want a cache hit", second.Plan)
+	}
+	_, third := postQuery(t, ts, "timeout=7s", body)
+	if third.Plan == nil || third.Plan.Cached {
+		t.Fatalf("different timeout: plan = %+v, want a fresh compile, got a hit", third.Plan)
+	}
+	_, fourth := postQuery(t, ts, "timeout=7s", body)
+	if fourth.Plan == nil || !fourth.Plan.Cached {
+		t.Fatalf("repeated timeout=7s: plan = %+v, want a cache hit", fourth.Plan)
+	}
+	_, fifth := postQuery(t, ts, "nodes=12345", body)
+	if fifth.Plan == nil || fifth.Plan.Cached {
+		t.Fatalf("different node budget: plan = %+v, want a fresh compile, got a hit", fifth.Plan)
+	}
+}
+
+// num_vars is client-controlled and sizes every cursor and result
+// allocation, so it is capped: a CSP declaring an absurd variable count is
+// a 400, not an allocation storm.
+func TestQueryRejectsAbsurdNumVars(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	body := fmt.Sprintf(`{"csp": {"num_vars": %d, "domain": [0], "constraints": []}, "queries": [{"op": "count"}]}`,
+		MaxCSPVars+1)
+	hr, resp := postQuery(t, ts, "", body)
+	if hr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 (error: %s)", hr.StatusCode, resp.Error)
+	}
+	if !strings.Contains(resp.Error, "variable cap") {
+		t.Fatalf("error %q does not name the variable cap", resp.Error)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"runtime"
 	"sort"
@@ -47,6 +48,17 @@ const (
 	DefaultMaxRequestBytes = 32 << 20
 	DefaultTimeout         = 10 * time.Second
 	DefaultMaxTimeout      = 2 * time.Minute
+	// DefaultMaxCompileSteps caps the work of compiling one /query plan.
+	// Steps are cheap (an enumeration step, a joined or probed row), so 50M
+	// is roughly a second of compile CPU — generous for legitimate bounded-
+	// width instances, fatal for a 24-ary bag over a 50-value domain.
+	DefaultMaxCompileSteps = 50_000_000
+	// DefaultMaxResultCells caps the assignment cells (one int each) a
+	// single /query request may materialize into its response across the
+	// whole batch — 4M cells ≈ 32 MB of solutions. Without it, a batch of
+	// 10k enumerate queries with limit 10k could demand 10^8 rows however
+	// small MaxRequestBytes is.
+	DefaultMaxResultCells = 4 << 20
 )
 
 // Config configures a Server. The zero value serves with sane production
@@ -85,6 +97,18 @@ type Config struct {
 	// selects DefaultPlanCacheCapacity, negative disables plan caching
 	// (every /query request then decomposes and compiles afresh).
 	PlanCacheCapacity int
+	// MaxCompileSteps bounds the work of compiling one /query plan (bag
+	// enumeration steps, join/projection rows, count-DP candidate checks).
+	// Past it the request is rejected with 422 instead of wedging a worker
+	// slot on a doubly-exponential materialization core.Decompose's budgets
+	// never see. 0 selects DefaultMaxCompileSteps, negative disables the
+	// step cap (the request timeout still bounds compile wall-clock).
+	MaxCompileSteps int64
+	// MaxResultCells bounds the total assignment cells (solution rows ×
+	// variables) one /query request may materialize across its batch;
+	// queries past the cap get per-query error markers instead of rows. 0
+	// selects DefaultMaxResultCells, negative disables the cap.
+	MaxResultCells int
 	// Algorithm is the default algorithm when the request names none; empty
 	// selects the algorithm portfolio (the racing solver set: exact when a
 	// member proves optimality in time, anytime-degradable otherwise).
@@ -130,6 +154,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Algorithm == "" {
 		c.Algorithm = core.AlgPortfolio
+	}
+	switch {
+	case c.MaxCompileSteps == 0:
+		c.MaxCompileSteps = DefaultMaxCompileSteps
+	case c.MaxCompileSteps < 0:
+		c.MaxCompileSteps = 0 // 0 = unlimited for budget.Limits.MaxNodes
+	}
+	switch {
+	case c.MaxResultCells == 0:
+		c.MaxResultCells = DefaultMaxResultCells
+	case c.MaxResultCells < 0:
+		c.MaxResultCells = math.MaxInt
 	}
 	switch {
 	case c.SlowN == 0:
